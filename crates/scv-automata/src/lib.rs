@@ -1,0 +1,443 @@
+//! Finite automata substrate.
+//!
+//! Theorem 3.1 reduces "is the observer a witness for the protocol?" to
+//! language problems over regular (finite-word) automata: trace
+//! *equivalence* between observer and protocol (property i), and checker
+//! *acceptance* of every observer run (property ii), which is the language
+//! inclusion `L(observer-runs) ⊆ L(checker)`. This crate implements the
+//! needed machinery from scratch:
+//!
+//! * [`Nfa`] — nondeterministic finite automata over a dense `u32`
+//!   alphabet, with ε-free construction helpers;
+//! * [`Dfa`] — deterministic automata via subset construction
+//!   ([`Nfa::determinize`]), with completion, complement, product,
+//!   emptiness, and minimization (Hopcroft-style partition refinement);
+//! * language operations: [`Dfa::intersect`], [`Dfa::complement`],
+//!   [`Dfa::is_empty`], [`includes`] (language inclusion with
+//!   counterexample extraction), and [`equivalent`].
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// A nondeterministic finite automaton over the alphabet `0..alphabet`.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// Alphabet size; symbols are `0..alphabet`.
+    pub alphabet: u32,
+    /// `delta[state]` = list of `(symbol, successor)` pairs.
+    pub delta: Vec<Vec<(u32, u32)>>,
+    /// Initial states.
+    pub initial: Vec<u32>,
+    /// Accepting states.
+    pub accepting: Vec<bool>,
+}
+
+impl Nfa {
+    /// An NFA with `states` states and no transitions.
+    pub fn new(alphabet: u32, states: usize) -> Self {
+        Nfa {
+            alphabet,
+            delta: vec![Vec::new(); states],
+            initial: Vec::new(),
+            accepting: vec![false; states],
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Is the automaton empty of states?
+    pub fn is_empty_automaton(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// Add a state; returns its index.
+    pub fn add_state(&mut self, accepting: bool) -> u32 {
+        self.delta.push(Vec::new());
+        self.accepting.push(accepting);
+        (self.delta.len() - 1) as u32
+    }
+
+    /// Add a transition.
+    pub fn add_transition(&mut self, from: u32, symbol: u32, to: u32) {
+        debug_assert!(symbol < self.alphabet);
+        self.delta[from as usize].push((symbol, to));
+    }
+
+    /// Does the NFA accept the word?
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let mut cur: BTreeSet<u32> = self.initial.iter().copied().collect();
+        for &a in word {
+            let mut next = BTreeSet::new();
+            for &s in &cur {
+                for &(sym, t) in &self.delta[s as usize] {
+                    if sym == a {
+                        next.insert(t);
+                    }
+                }
+            }
+            cur = next;
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        cur.iter().any(|&s| self.accepting[s as usize])
+    }
+
+    /// Subset construction: an equivalent complete DFA (with an implicit
+    /// dead state for missing transitions, made explicit).
+    pub fn determinize(&self) -> Dfa {
+        let init: BTreeSet<u32> = self.initial.iter().copied().collect();
+        let mut index: HashMap<BTreeSet<u32>, u32> = HashMap::new();
+        let mut sets: Vec<BTreeSet<u32>> = Vec::new();
+        let mut dfa = Dfa::new(self.alphabet, 0);
+        index.insert(init.clone(), 0);
+        sets.push(init.clone());
+        dfa.push_state(init.iter().any(|&s| self.accepting[s as usize]));
+        let mut queue = VecDeque::from([0u32]);
+        while let Some(i) = queue.pop_front() {
+            let set = sets[i as usize].clone();
+            for a in 0..self.alphabet {
+                let mut next = BTreeSet::new();
+                for &s in &set {
+                    for &(sym, t) in &self.delta[s as usize] {
+                        if sym == a {
+                            next.insert(t);
+                        }
+                    }
+                }
+                let j = match index.get(&next) {
+                    Some(&j) => j,
+                    None => {
+                        let j = dfa.push_state(next.iter().any(|&s| self.accepting[s as usize]));
+                        index.insert(next.clone(), j);
+                        sets.push(next);
+                        queue.push_back(j);
+                        j
+                    }
+                };
+                dfa.set_transition(i, a, j);
+            }
+        }
+        dfa
+    }
+}
+
+/// A complete deterministic finite automaton over `0..alphabet`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Dfa {
+    /// Alphabet size.
+    pub alphabet: u32,
+    /// `delta[state * alphabet + symbol]` = successor.
+    pub delta: Vec<u32>,
+    /// The initial state (0 by convention after construction).
+    pub initial: u32,
+    /// Accepting states.
+    pub accepting: Vec<bool>,
+}
+
+impl Dfa {
+    /// A DFA with `states` states and all transitions unset (0).
+    pub fn new(alphabet: u32, states: usize) -> Self {
+        Dfa {
+            alphabet,
+            delta: vec![0; states * alphabet as usize],
+            initial: 0,
+            accepting: vec![false; states],
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Append a state; returns its index.
+    pub fn push_state(&mut self, accepting: bool) -> u32 {
+        self.accepting.push(accepting);
+        self.delta.extend(std::iter::repeat(0).take(self.alphabet as usize));
+        (self.accepting.len() - 1) as u32
+    }
+
+    /// Set `delta(from, symbol) = to`.
+    pub fn set_transition(&mut self, from: u32, symbol: u32, to: u32) {
+        self.delta[from as usize * self.alphabet as usize + symbol as usize] = to;
+    }
+
+    /// `delta(from, symbol)`.
+    pub fn step(&self, from: u32, symbol: u32) -> u32 {
+        self.delta[from as usize * self.alphabet as usize + symbol as usize]
+    }
+
+    /// Does the DFA accept the word?
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let mut s = self.initial;
+        for &a in word {
+            s = self.step(s, a);
+        }
+        self.accepting[s as usize]
+    }
+
+    /// Complement (the DFA must be complete, which all constructors here
+    /// guarantee).
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for a in &mut out.accepting {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// Product automaton accepting the intersection of the languages.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        assert_eq!(self.alphabet, other.alphabet, "alphabet mismatch");
+        let mut index: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut out = Dfa::new(self.alphabet, 0);
+        let start = (self.initial, other.initial);
+        index.insert(start, 0);
+        out.push_state(
+            self.accepting[start.0 as usize] && other.accepting[start.1 as usize],
+        );
+        let mut order = vec![start];
+        let mut qi = 0usize;
+        while qi < order.len() {
+            let (x, y) = order[qi];
+            let i = index[&(x, y)];
+            for a in 0..self.alphabet {
+                let nx = self.step(x, a);
+                let ny = other.step(y, a);
+                let j = match index.get(&(nx, ny)) {
+                    Some(&j) => j,
+                    None => {
+                        let j = out.push_state(
+                            self.accepting[nx as usize] && other.accepting[ny as usize],
+                        );
+                        index.insert((nx, ny), j);
+                        order.push((nx, ny));
+                        j
+                    }
+                };
+                out.set_transition(i, a, j);
+            }
+            qi += 1;
+        }
+        out
+    }
+
+    /// Is the language empty? If not, returns a shortest accepted word.
+    pub fn find_word(&self) -> Option<Vec<u32>> {
+        let mut prev: Vec<Option<(u32, u32)>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::from([self.initial]);
+        seen[self.initial as usize] = true;
+        while let Some(s) = queue.pop_front() {
+            if self.accepting[s as usize] {
+                // Reconstruct the word.
+                let mut word = Vec::new();
+                let mut cur = s;
+                while cur != self.initial || prev[cur as usize].is_some() {
+                    let (p, a) = prev[cur as usize].expect("path to initial");
+                    word.push(a);
+                    cur = p;
+                    if cur == self.initial && prev[cur as usize].is_none() {
+                        break;
+                    }
+                }
+                word.reverse();
+                return Some(word);
+            }
+            for a in 0..self.alphabet {
+                let t = self.step(s, a);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    prev[t as usize] = Some((s, a));
+                    queue.push_back(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Is the language empty?
+    pub fn is_empty(&self) -> bool {
+        self.find_word().is_none()
+    }
+
+    /// Hopcroft-style minimization (partition refinement).
+    pub fn minimize(&self) -> Dfa {
+        let n = self.len();
+        // Initial partition: accepting vs rejecting.
+        let mut class: Vec<u32> = self.accepting.iter().map(|&a| a as u32).collect();
+        let mut n_classes = 2;
+        loop {
+            // Refine: states are equivalent if same class and same class
+            // signature on every symbol.
+            let mut sig_index: HashMap<(u32, Vec<u32>), u32> = HashMap::new();
+            let mut new_class = vec![0u32; n];
+            for s in 0..n {
+                let sig: Vec<u32> = (0..self.alphabet)
+                    .map(|a| class[self.step(s as u32, a) as usize])
+                    .collect();
+                let key = (class[s], sig);
+                let next = sig_index.len() as u32;
+                let c = *sig_index.entry(key).or_insert(next);
+                new_class[s] = c;
+            }
+            let m = sig_index.len() as u32;
+            if m == n_classes {
+                class = new_class;
+                break;
+            }
+            n_classes = m;
+            class = new_class;
+        }
+        let mut out = Dfa::new(self.alphabet, n_classes as usize);
+        for s in 0..n {
+            let c = class[s];
+            out.accepting[c as usize] = self.accepting[s];
+            for a in 0..self.alphabet {
+                out.set_transition(c, a, class[self.step(s as u32, a) as usize]);
+            }
+        }
+        out.initial = class[self.initial as usize];
+        out
+    }
+}
+
+/// Language inclusion `L(a) ⊆ L(b)`: `Ok(())`, or a counterexample word in
+/// `L(a) \ L(b)`.
+pub fn includes(a: &Dfa, b: &Dfa) -> Result<(), Vec<u32>> {
+    match a.intersect(&b.complement()).find_word() {
+        None => Ok(()),
+        Some(w) => Err(w),
+    }
+}
+
+/// Language equivalence, with a separating word on failure.
+pub fn equivalent(a: &Dfa, b: &Dfa) -> Result<(), Vec<u32>> {
+    includes(a, b)?;
+    includes(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NFA for words over {0,1} containing the factor "11".
+    fn contains_11() -> Nfa {
+        let mut n = Nfa::new(2, 3);
+        n.initial = vec![0];
+        n.accepting[2] = true;
+        n.add_transition(0, 0, 0);
+        n.add_transition(0, 1, 0);
+        n.add_transition(0, 1, 1);
+        n.add_transition(1, 1, 2);
+        n.add_transition(2, 0, 2);
+        n.add_transition(2, 1, 2);
+        n
+    }
+
+    /// DFA for words with an even number of 1s.
+    fn even_ones() -> Dfa {
+        let mut d = Dfa::new(2, 2);
+        d.accepting[0] = true;
+        d.set_transition(0, 0, 0);
+        d.set_transition(0, 1, 1);
+        d.set_transition(1, 0, 1);
+        d.set_transition(1, 1, 0);
+        d
+    }
+
+    #[test]
+    fn nfa_accepts_and_rejects() {
+        let n = contains_11();
+        assert!(n.accepts(&[1, 1]));
+        assert!(n.accepts(&[0, 1, 1, 0]));
+        assert!(!n.accepts(&[1, 0, 1, 0]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn determinization_preserves_language() {
+        let n = contains_11();
+        let d = n.determinize();
+        for w in 0..64u32 {
+            for len in 0..6 {
+                let word: Vec<u32> = (0..len).map(|i| (w >> i) & 1).collect();
+                assert_eq!(n.accepts(&word), d.accepts(&word), "word {word:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let d = even_ones();
+        let c = d.complement();
+        assert!(d.accepts(&[1, 1]));
+        assert!(!c.accepts(&[1, 1]));
+        assert!(!d.accepts(&[1]));
+        assert!(c.accepts(&[1]));
+    }
+
+    #[test]
+    fn intersection_is_conjunction() {
+        let d1 = even_ones();
+        let d2 = contains_11().determinize();
+        let both = d1.intersect(&d2);
+        assert!(both.accepts(&[1, 1])); // two ones, contains 11
+        assert!(!both.accepts(&[1, 1, 1])); // odd ones
+        assert!(!both.accepts(&[1, 0, 1])); // no 11 factor
+        assert!(both.accepts(&[1, 1, 0, 1, 1]));
+    }
+
+    #[test]
+    fn emptiness_and_witness() {
+        let d = even_ones();
+        // even ones ∧ odd ones = ∅.
+        let empty = d.intersect(&d.complement());
+        assert!(empty.is_empty());
+        // The witness for a non-empty language is shortest.
+        let w = d.intersect(&contains_11().determinize()).find_word().unwrap();
+        assert_eq!(w, vec![1, 1]);
+    }
+
+    #[test]
+    fn inclusion_and_equivalence() {
+        let all_with_11 = contains_11().determinize();
+        let with_11_even = all_with_11.intersect(&even_ones());
+        // L(with_11_even) ⊆ L(all_with_11), not conversely.
+        assert_eq!(includes(&with_11_even, &all_with_11), Ok(()));
+        let ce = includes(&all_with_11, &with_11_even).unwrap_err();
+        assert!(all_with_11.accepts(&ce) && !with_11_even.accepts(&ce));
+        assert!(equivalent(&all_with_11, &all_with_11.clone()).is_ok());
+        assert!(equivalent(&all_with_11, &with_11_even).is_err());
+    }
+
+    #[test]
+    fn minimization_shrinks_and_preserves() {
+        let n = contains_11();
+        let d = n.determinize();
+        let m = d.minimize();
+        assert!(m.len() <= d.len());
+        assert_eq!(equivalent(&d, &m), Ok(()));
+        // The minimal DFA for "contains 11" has exactly 3 states.
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn minimize_even_ones_is_two_states() {
+        let m = even_ones().minimize();
+        assert_eq!(m.len(), 2);
+        assert_eq!(equivalent(&m, &even_ones()), Ok(()));
+    }
+
+    #[test]
+    fn empty_word_handling() {
+        let mut d = Dfa::new(1, 1);
+        d.accepting[0] = true;
+        d.set_transition(0, 0, 0);
+        assert!(d.accepts(&[]));
+        assert_eq!(d.find_word(), Some(vec![]));
+    }
+}

@@ -1,0 +1,61 @@
+//! Experiment E6: cost of the finite-state streaming checkers vs the
+//! whole-trace Gibbons–Korach baseline.
+//!
+//! The streaming checkers run in memory bounded by the bandwidth `k`,
+//! independent of trace length; the baseline materializes the whole
+//! constraint graph (`O(n)` memory). The series reported here are checker
+//! wall-time vs trace length (1k / 4k / 16k operations) at small and large
+//! reordering windows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scv_bench::sc_workload;
+use scv_checker::{CycleChecker, ScChecker};
+use scv_graph::baseline::{BaselineChecker, BaselineVerdict};
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_checker_scaling");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &len in &[1_000usize, 4_000, 16_000] {
+        for &window in &[4usize, 64] {
+            let w = sc_workload(len, window, 42);
+            group.throughput(Throughput::Elements(len as u64));
+            let id = format!("n{len}_w{window}_k{}", w.bandwidth);
+
+            if w.bandwidth + 1 <= 64 {
+                // The word-packed Lemma 3.3 checker supports k+1 <= 64.
+                group.bench_with_input(
+                    BenchmarkId::new("stream_cycle", &id),
+                    &w,
+                    |b, w| {
+                        b.iter(|| {
+                            CycleChecker::check(&w.descriptor).expect("acyclic");
+                        })
+                    },
+                );
+            }
+            group.bench_with_input(BenchmarkId::new("stream_sc", &id), &w, |b, w| {
+                b.iter(|| {
+                    ScChecker::check(&w.descriptor).expect("constraint graph");
+                })
+            });
+            group.bench_with_input(
+                BenchmarkId::new("baseline_whole_graph", &id),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        assert!(matches!(
+                            BaselineChecker::check(&w.trace, &w.witness),
+                            BaselineVerdict::Consistent(_)
+                        ));
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

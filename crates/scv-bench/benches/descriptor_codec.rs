@@ -1,0 +1,35 @@
+//! Descriptor codec throughput: Lemma 3.2 encoding and §3.2 decoding of
+//! bandwidth-bounded constraint graphs (supports experiment E6's cost
+//! decomposition).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scv_bench::sc_workload;
+use scv_descriptor::{decode, encode, naive_descriptor};
+use scv_graph::saturated_graph;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("descriptor_codec");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &len in &[1_000usize, 8_000] {
+        let w = sc_workload(len, 16, 7);
+        let g = saturated_graph(&w.trace, &w.witness);
+        let k = w.bandwidth.max(1) as u32;
+        group.throughput(Throughput::Elements(len as u64));
+
+        group.bench_with_input(BenchmarkId::new("encode_minimal_k", len), &g, |b, g| {
+            b.iter(|| encode(g, k).expect("fits"))
+        });
+        group.bench_with_input(BenchmarkId::new("encode_naive", len), &g, |b, g| {
+            b.iter(|| naive_descriptor(g))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", len), &w.descriptor, |b, d| {
+            b.iter(|| decode(d).expect("well-formed"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Experiment E8: the Lazy Caching ST order generator (§4.2) as queue
+//! depth grows — observation cost and the observer's pin pressure scale
+//! with how many stores can be simultaneously pending serialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use scv_bench::protocol_run;
+use scv_checker::ScChecker;
+use scv_observer::Observer;
+use scv_protocol::LazyCaching;
+use scv_types::Params;
+
+const STEPS: usize = 1_500;
+
+fn bench_lazy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_lazy_storder");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(STEPS as u64));
+    for depth in [1u8, 2, 4] {
+        let p = LazyCaching::new(Params::new(2, 2, 2), depth, depth);
+        let (run, d) = protocol_run(&p, STEPS, 13);
+        group.bench_with_input(BenchmarkId::new("observe", depth), &run, |b, run| {
+            b.iter(|| Observer::observe_run(&p, run))
+        });
+        group.bench_with_input(BenchmarkId::new("check", depth), &d, |b, d| {
+            b.iter(|| ScChecker::check(d).expect("lazy caching verifies"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lazy);
+criterion_main!(benches);

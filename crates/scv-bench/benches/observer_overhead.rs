@@ -1,0 +1,60 @@
+//! Observer overhead (supports §4.4's practicality discussion): cost of a
+//! protocol random walk alone vs the same walk with the witness observer
+//! attached, per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scv_observer::{Observer, ObserverConfig};
+use scv_protocol::{
+    DirectoryProtocol, LazyCaching, MsiProtocol, Protocol, Runner, SerialMemory,
+};
+use scv_types::Params;
+
+const STEPS: usize = 2_000;
+
+fn walk<P: Protocol + Clone>(p: &P, observe: bool) -> usize {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let mut runner = Runner::new(p.clone());
+    runner.run_random(STEPS, 0.5, &mut rng);
+    let run = runner.into_run();
+    if observe {
+        let mut obs = Observer::new(ObserverConfig::from_protocol(p));
+        let mut syms = Vec::new();
+        for s in &run.steps {
+            obs.step(s, &mut syms);
+        }
+        obs.finish(&mut syms);
+        syms.len()
+    } else {
+        run.len()
+    }
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let params = Params::new(2, 2, 2);
+    let mut group = c.benchmark_group("observer_overhead");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.throughput(Throughput::Elements(STEPS as u64));
+    macro_rules! pair {
+        ($name:expr, $proto:expr) => {{
+            let p = $proto;
+            group.bench_with_input(BenchmarkId::new("protocol_only", $name), &p, |b, p| {
+                b.iter(|| walk(p, false))
+            });
+            group.bench_with_input(BenchmarkId::new("with_observer", $name), &p, |b, p| {
+                b.iter(|| walk(p, true))
+            });
+        }};
+    }
+    pair!("serial", SerialMemory::new(params));
+    pair!("msi", MsiProtocol::new(params));
+    pair!("directory", DirectoryProtocol::new(params));
+    pair!("lazy", LazyCaching::new(params, 2, 2));
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

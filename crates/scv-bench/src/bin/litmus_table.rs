@@ -1,0 +1,43 @@
+//! E10 — litmus battery vs the protocol zoo (appended to EXPERIMENTS.md).
+
+use scv_protocol::litmus::{all, realizable};
+use scv_protocol::{MesiProtocol, MsiProtocol, Protocol, SerialMemory, StoreBufferTso};
+
+fn main() {
+    println!("## E10 — litmus battery (directed execution search)\n");
+    println!("`yes` = the protocol can realize the outcome. A protocol realizing a");
+    println!("`forbidden` outcome is not sequentially consistent — the empirical");
+    println!("cross-check of the E5 verdicts.\n");
+    let battery = all();
+    print!("| protocol |");
+    for l in &battery {
+        print!(" {} ({}) |", l.name, if l.sc_allows { "allowed" } else { "forbidden" });
+    }
+    println!();
+    print!("|---|");
+    for _ in &battery {
+        print!("---|");
+    }
+    println!();
+    macro_rules! row {
+        ($name:expr, $mk:expr, $budget:expr) => {{
+            print!("| {} |", $name);
+            for l in &battery {
+                let hit = {
+                    let p = $mk(l.min_params());
+                    realizable(&p, &l.trace, $budget)
+                };
+                print!(" {} |", if hit { "yes" } else { "no" });
+            }
+            println!();
+        }};
+    }
+    row!("serial-memory", |p| SerialMemory::new(p), 2);
+    row!("msi", |p| MsiProtocol::new(p), 4);
+    row!("mesi", |p| MesiProtocol::new(p), 4);
+    row!("msi-buggy", |p| MsiProtocol::buggy(p), 6);
+    row!("mesi-buggy", |p| MesiProtocol::buggy(p), 6);
+    row!("tso (d=2)", |p| StoreBufferTso::new(p, 2), 4);
+    let _ = <SerialMemory as Protocol>::name;
+    println!();
+}

@@ -1,0 +1,42 @@
+use scv_mc::{TransitionSystem, VerifySystem};
+use scv_protocol::*;
+use scv_types::Params;
+use std::collections::HashMap;
+
+fn main() {
+    let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
+    // BFS a few levels, count states per depth.
+    let mut seen: HashMap<_, usize> = HashMap::new();
+    let init = sys.initial();
+    seen.insert(init.clone(), 0);
+    let mut frontier = vec![init];
+    for depth in 1..=8 {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for (_, t) in sys.successors(s) {
+                if !seen.contains_key(&t) {
+                    seen.insert(t.clone(), depth);
+                    next.push(t);
+                }
+            }
+        }
+        println!("depth {depth}: +{} states (total {})", next.len(), seen.len());
+        frontier = next;
+    }
+    // Pick a few states at depth 6 and dump their checker/observer state sizes.
+    let mut count = 0;
+    for (s, d) in &seen {
+        if *d == 6 && count < 4 {
+            println!("--- state at depth {d}: chk retained={} enc_len={}", s.chk.retained_count(), {
+                let mut ids = scv_descriptor::IdCanon::new(s.obs.location_count());
+                let mut e = Vec::new();
+                s.obs.canonical_encoding(&mut e, &mut ids);
+                let ol = e.len();
+                s.chk.canonical_encoding(&mut e, &mut ids);
+                format!("obs={} chk={}", ol, e.len() - ol)
+            });
+            println!("chk: {:?}", s.chk);
+            count += 1;
+        }
+    }
+}

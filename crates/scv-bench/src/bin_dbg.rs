@@ -1,0 +1,24 @@
+// temporary debug: find the offending LD in directory seed 0
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use scv_observer::Observer;
+use scv_protocol::*;
+use scv_types::Params;
+use scv_descriptor::decode;
+use scv_graph::validate_constraint_graph;
+
+fn main() {
+    let p = DirectoryProtocol::new(Params::new(2, 2, 2));
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut r = Runner::new(p.clone());
+    r.run_random(80, 0.5, &mut rng);
+    let run = r.into_run();
+    for (i, s) in run.steps.iter().enumerate() {
+        println!("{i:3} {} {:?}", s.action, s.tracking);
+    }
+    let d = Observer::observe_run(&p, &run);
+    let (dg, _) = decode(&d).unwrap();
+    let cg = dg.to_constraint_graph().unwrap();
+    println!("{:?}", validate_constraint_graph(&cg, &run.trace()));
+    println!("trace: {}", run.trace());
+}

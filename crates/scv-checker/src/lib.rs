@@ -1,0 +1,27 @@
+//! Finite-state checkers for *k*-graph descriptors (§3.3–3.4 of Condon &
+//! Hu, SPAA 2001).
+//!
+//! * [`CycleChecker`] — the streaming cycle checker of Lemma 3.3: reads a
+//!   descriptor symbol by symbol, maintains an *active graph* of at most
+//!   `k+1` nodes (contracting edges through nodes whose IDs are recycled),
+//!   and rejects the moment an edge closes a directed cycle. Accepts a
+//!   descriptor iff the whole graph it describes is acyclic.
+//!
+//! * [`ScChecker`] — the full sequential-consistency checker of
+//!   Theorem 3.1: the cycle check plus streaming enforcement of all five
+//!   edge-annotation constraints of §3.1 (program-order and ST-order
+//!   totality bits, inheritance bits, the `forced-edge-on-path-to`
+//!   variables with deferred node removal, and the `LD(P,B,⊥)` rule).
+//!   Accepts a run of an observer iff the run describes an acyclic
+//!   constraint graph for its trace — which, over all runs, is exactly the
+//!   witness condition that implies sequential consistency.
+//!
+//! Both checkers are *differentially tested* against the whole-graph
+//! reference implementations in `scv-graph`: on any descriptor, the
+//! streaming verdict must equal "decode, then check globally".
+
+pub mod cycle;
+pub mod sc;
+
+pub use cycle::{CycleChecker, CycleError};
+pub use sc::{ScChecker, ScError, ScVerdict};

@@ -1,0 +1,1590 @@
+//! The full sequential-consistency checker of Theorem 3.1.
+//!
+//! [`ScChecker`] reads an observer's descriptor stream and accepts iff the
+//! stream describes an acyclic constraint graph (§3.1) for its trace — so
+//! that, by Lemma 3.1, any topological order of the graph is a serial
+//! reordering. It combines, in streaming form:
+//!
+//! * the cycle check of Lemma 3.3 — here via an incrementally maintained
+//!   *reachability closure* over the retained nodes (edge contraction
+//!   preserves exactly reachability, so the closure is the canonical form
+//!   of the contracted active graph);
+//! * constraint 2 — per-processor program order totality, via
+//!   `program-edge-in/out` bits plus end-of-string source/sink counting;
+//! * constraint 3 — per-block ST order totality, likewise;
+//! * constraint 4 — `inheritance-edge-in` bits with label matching;
+//! * constraint 5(a) — the `forced-edge-on-path-to` variable: a LD node's
+//!   removal is *deferred* until its forced edge to the ST-order successor
+//!   of its inheritance source is seen, a later LD of the same processor
+//!   inheriting from the same ST supersedes it (the program-order-path
+//!   proviso), or — the paper's contraction rule — the forced edge is
+//!   inherited through a same-processor node it reaches;
+//! * constraint 5(b) — each `LD(P,B,⊥)` needs a forced edge on a
+//!   program-order path to the first ST in `B`'s ST order; per
+//!   (processor, block) only the most recent `⊥` load is retained.
+//!
+//! Like the paper's checker, the forced-edge rules are enforced up to
+//! *reachability*: every discharged obligation corresponds to a path from
+//! the load to the store that must follow it, which is exactly what the
+//! serial-reordering extraction needs. The number of retained nodes is
+//! bounded by the active-ID space plus the deferred nodes (`p` per pending
+//! store plus `p·b` bottom loads), so the checker is finite-state for any
+//! fixed protocol parameters.
+
+use scv_descriptor::{Descriptor, IdNum, Symbol};
+use scv_graph::EdgeSet;
+use scv_types::{Op, OpKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A generational handle to a (possibly already finalized) node record.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Handle {
+    slot: u32,
+    gen: u32,
+}
+
+/// Why the checker rejected.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScError {
+    /// Symbol index at which the rejection fired; `None` for end-of-string
+    /// rejections.
+    pub position: Option<usize>,
+    /// The violated rule.
+    pub kind: ScErrorKind,
+}
+
+/// The rule a rejected descriptor violated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ScErrorKind {
+    /// An edge closed a directed cycle: the graph is not acyclic.
+    CycleClosed,
+    /// An edge referenced an unassigned ID.
+    DanglingEdge,
+    /// An ID outside `1..=k+1`.
+    IdOutOfRange,
+    /// A node descriptor without an operation label.
+    UnlabeledNode,
+    /// An edge descriptor without annotations.
+    UnlabeledEdge,
+    /// Pathologically many simultaneously retained nodes (sanity cap).
+    TooManyRetained,
+    /// Constraint 2 violated (program order).
+    ProgramOrder(&'static str),
+    /// Constraint 3 violated (ST order).
+    StOrder(&'static str),
+    /// Constraint 4 violated (inheritance).
+    Inheritance(&'static str),
+    /// Constraint 5(a) violated: a LD's forced edge never materialized.
+    ForcedUnsatisfied,
+    /// Constraint 5(b) violated: a `⊥` load lacks its forced edge to the
+    /// first ST of its block.
+    BottomUnsatisfied,
+}
+
+impl fmt::Display for ScError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.position {
+            Some(p) => write!(f, "rejected at symbol {p}: {:?}", self.kind),
+            None => write!(f, "rejected at end of input: {:?}", self.kind),
+        }
+    }
+}
+
+impl std::error::Error for ScError {}
+
+/// Checker verdict with diagnostics.
+pub type ScVerdict = Result<(), ScError>;
+
+/// A growable bitset over slot indices (the reachability closure rows).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+struct SlotSet(Vec<u64>);
+
+impl SlotSet {
+    #[inline]
+    fn get(&self, slot: u32) -> bool {
+        let (w, b) = ((slot / 64) as usize, slot % 64);
+        self.0.get(w).is_some_and(|x| x & (1 << b) != 0)
+    }
+
+    #[inline]
+    fn set(&mut self, slot: u32) {
+        let (w, b) = ((slot / 64) as usize, slot % 64);
+        if self.0.len() <= w {
+            self.0.resize(w + 1, 0);
+        }
+        self.0[w] |= 1 << b;
+    }
+
+    #[inline]
+    fn clear(&mut self, slot: u32) {
+        let (w, b) = ((slot / 64) as usize, slot % 64);
+        if let Some(x) = self.0.get_mut(w) {
+            *x &= !(1 << b);
+        }
+    }
+
+    #[inline]
+    fn or_with(&mut self, other: &SlotSet) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().enumerate().flat_map(|(w, &x)| {
+            let mut bits = x;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(w as u32 * 64 + b)
+            })
+        })
+    }
+}
+
+/// Where a block's first-in-ST-order store stands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum HeadState {
+    /// Unknown so far.
+    #[default]
+    Unknown,
+    /// Confirmed and still retained.
+    Alive(Handle),
+    /// Confirmed, record already finalized (⊥-load obligations against it
+    /// were resolved at confirmation time).
+    ConfirmedGone,
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct NodeRec {
+    gen: u32,
+    label: Op,
+    /// Monotone birth index; only relative order among retained nodes is
+    /// used (the canonical encoding ranks it away).
+    birth: u64,
+    /// Number of descriptor IDs currently naming this node.
+    id_count: u32,
+    po_in: bool,
+    po_out: bool,
+    sto_in: bool,
+    sto_out: bool,
+    inh_in: bool,
+    /// LD: the ST-order successor of the inheritance source — the
+    /// `forced-edge-on-path-to` variable of the paper. `None` with
+    /// `target_dead` set means the successor exists but was finalized
+    /// before the obligation was met (only supersession can save the
+    /// node now).
+    forced_target: Option<Handle>,
+    /// See [`NodeRec::forced_target`].
+    target_dead: bool,
+    /// LD: the required forced edge has been seen (directly, or inherited
+    /// through reachability per the contraction rule).
+    forced_done: bool,
+    /// LD: the inheritance source is still active with no ST-order
+    /// successor yet, so the obligation cannot be evaluated.
+    waiting_succ: bool,
+    /// A later LD of the same processor covering this node's obligation
+    /// (program-order-path proviso of constraint 5).
+    superseded: bool,
+    /// `⊥` LD: resolved verdict once the block's first store was
+    /// confirmed while this node was retained (`None` = still open).
+    bot_resolved: Option<bool>,
+    /// `⊥` LD: retained stores of the same block this node has forced
+    /// edges to (pruned when a target is finalized).
+    bot_forced: Vec<Handle>,
+    /// ST: next node in ST order, once known (`None` + `succ_dead` if the
+    /// successor was finalized).
+    sto_succ: Option<Handle>,
+    /// See [`NodeRec::sto_succ`].
+    succ_dead: bool,
+    /// ST: the most recent inheriting LD per processor awaiting this
+    /// store's ST-order successor.
+    heirs: Vec<(u8, Handle)>,
+    /// Targets of this node's *forced* edges (retained nodes only).
+    forced_out: Vec<Handle>,
+    /// Reachability closure: slot `s` present iff the node in slot `s` is
+    /// reachable from this node in the (contracted) witness graph.
+    reach: SlotSet,
+}
+
+impl NodeRec {
+    fn is_load(&self) -> bool {
+        self.label.kind == OpKind::Load
+    }
+    fn is_store(&self) -> bool {
+        self.label.kind == OpKind::Store
+    }
+    fn is_bottom_load(&self) -> bool {
+        self.is_load() && self.label.value.is_bottom()
+    }
+}
+
+/// End-of-string tallies for one processor's program order or one block's
+/// ST order: how many members lacked an in-edge / out-edge (saturating at
+/// 2 — only 0, 1, "many" matter).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct OrderTally {
+    no_in: u8,
+    no_out: u8,
+}
+
+impl OrderTally {
+    fn bump_in(&mut self) {
+        self.no_in = (self.no_in + 1).min(2);
+    }
+    fn bump_out(&mut self) {
+        self.no_out = (self.no_out + 1).min(2);
+    }
+}
+
+/// Streaming statistics, for the bandwidth experiments of §4.4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ScStats {
+    /// Maximum number of retained (active + deferred) nodes.
+    pub max_retained: usize,
+    /// Total symbols processed.
+    pub symbols: usize,
+}
+
+/// The finite-state sequential-consistency checker (Theorem 3.1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScChecker {
+    k: u32,
+    owner: Vec<Option<Handle>>,
+    slots: Vec<Option<NodeRec>>,
+    free_slots: Vec<u32>,
+    next_gen: u32,
+    birth: u64,
+    position: usize,
+    /// Per-processor program-order tallies.
+    proc_tally: BTreeMap<u8, OrderTally>,
+    /// Per-block ST-order tallies and head state.
+    block_tally: BTreeMap<u8, (OrderTally, HeadState)>,
+    /// Most recent `⊥` load per (processor, block).
+    last_bot: BTreeMap<(u8, u8), Handle>,
+    stats: ScStats,
+    rejected: Option<ScError>,
+}
+
+impl ScChecker {
+    /// A checker for *k*-graph descriptors.
+    pub fn new(k: u32) -> Self {
+        ScChecker {
+            k,
+            owner: vec![None; (k + 1) as usize],
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            next_gen: 1,
+            birth: 0,
+            position: 0,
+            proc_tally: BTreeMap::new(),
+            block_tally: BTreeMap::new(),
+            last_bot: BTreeMap::new(),
+            stats: ScStats::default(),
+            rejected: None,
+        }
+    }
+
+    /// The bandwidth parameter.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Streaming statistics so far.
+    pub fn stats(&self) -> ScStats {
+        self.stats
+    }
+
+    /// Number of currently retained (active + deferred) nodes.
+    pub fn retained_count(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Has the checker already rejected?
+    pub fn is_rejected(&self) -> bool {
+        self.rejected.is_some()
+    }
+
+    /// Run the checker over a whole descriptor.
+    pub fn check(d: &Descriptor) -> ScVerdict {
+        let mut c = ScChecker::new(d.k);
+        for s in &d.symbols {
+            c.step(s)?;
+        }
+        c.finish()
+    }
+
+    /// Process one symbol. Once an error is returned the checker stays
+    /// rejected (subsequent calls return the same error).
+    pub fn step(&mut self, sym: &Symbol) -> ScVerdict {
+        if let Some(e) = &self.rejected {
+            return Err(e.clone());
+        }
+        let pos = self.position;
+        self.position += 1;
+        self.stats.symbols += 1;
+        let result = self.step_inner(sym, pos);
+        if let Err(e) = &result {
+            self.rejected = Some(e.clone());
+        }
+        self.stats.max_retained = self.stats.max_retained.max(self.retained_count());
+        result
+    }
+
+    fn step_inner(&mut self, sym: &Symbol, pos: usize) -> ScVerdict {
+        let reject = |kind: ScErrorKind| Err(ScError { position: Some(pos), kind });
+        let in_range = |id: IdNum| id >= 1 && id <= self.k + 1;
+        if !in_range(sym.min_id()) || !in_range(sym.max_id()) {
+            return reject(ScErrorKind::IdOutOfRange);
+        }
+        match *sym {
+            Symbol::Node { id, label } => {
+                let Some(op) = label else {
+                    return reject(ScErrorKind::UnlabeledNode);
+                };
+                self.retire_id(id)?;
+                let h = self.alloc_node(op, pos)?;
+                self.owner[(id - 1) as usize] = Some(h);
+                self.rec_mut(h).id_count = 1;
+                self.on_node_created(h, op);
+                Ok(())
+            }
+            Symbol::AddId { of, add } => {
+                if of == add {
+                    return Ok(());
+                }
+                self.retire_id(add)?;
+                if let Some(h) = self.owner[(of - 1) as usize] {
+                    self.owner[(add - 1) as usize] = Some(h);
+                    self.rec_mut(h).id_count += 1;
+                }
+                Ok(())
+            }
+            Symbol::Edge { from, to, label } => {
+                let (Some(u), Some(v)) = (
+                    self.owner[(from - 1) as usize],
+                    self.owner[(to - 1) as usize],
+                ) else {
+                    return reject(ScErrorKind::DanglingEdge);
+                };
+                let Some(ann) = label.filter(|a| !a.is_empty()) else {
+                    return reject(ScErrorKind::UnlabeledEdge);
+                };
+                if u == v || self.reaches(v, u) {
+                    return reject(ScErrorKind::CycleClosed);
+                }
+                self.add_reach(u, v);
+                self.apply_annotations(u, v, ann, pos)
+            }
+        }
+    }
+
+    /// End of input: run the end-of-string checks of Theorem 3.1.
+    pub fn finish(self) -> ScVerdict {
+        self.check_end()
+    }
+
+    /// The end-of-string checks of Theorem 3.1, *without* consuming the
+    /// checker — traces are prefix-closed, so callers (the model checker's
+    /// prefix-closure probe in particular) may ask "would this be a valid
+    /// run end?" at any point and keep streaming afterwards.
+    pub fn check_end(&self) -> ScVerdict {
+        if let Some(e) = &self.rejected {
+            return Err(e.clone());
+        }
+        let reject = |kind: ScErrorKind| Err(ScError { position: None, kind });
+
+        // Fold retained nodes into copies of the order tallies.
+        let retained: Vec<Handle> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, r)| r.as_ref().map(|r| Handle { slot: s as u32, gen: r.gen }))
+            .collect();
+        let mut proc_tally = self.proc_tally.clone();
+        let mut block_tally = self.block_tally.clone();
+        for &h in &retained {
+            let r = self.rec(h);
+            let t = proc_tally.entry(r.label.proc.0).or_default();
+            if !r.po_in {
+                t.bump_in();
+            }
+            if !r.po_out {
+                t.bump_out();
+            }
+            if r.is_store() {
+                let (t, head) = block_tally
+                    .entry(r.label.block.0)
+                    .or_insert((OrderTally::default(), HeadState::Unknown));
+                if !r.sto_in {
+                    t.bump_in();
+                    if *head == HeadState::Unknown {
+                        *head = HeadState::Alive(h);
+                    }
+                }
+                if !r.sto_out {
+                    t.bump_out();
+                }
+            }
+        }
+
+        // Constraints 2 / 3: exactly one source and one sink per processor
+        // and per block-with-stores (cycles were rejected eagerly, so this
+        // forces a single chain).
+        for t in proc_tally.values() {
+            if t.no_in != 1 || t.no_out != 1 {
+                return reject(ScErrorKind::ProgramOrder("order is not a single chain"));
+            }
+        }
+        for (t, _) in block_tally.values() {
+            if t.no_in != 1 || t.no_out != 1 {
+                return reject(ScErrorKind::StOrder("order is not a single chain"));
+            }
+        }
+
+        // Constraints 4 and 5 for retained nodes.
+        for &h in &retained {
+            let r = self.rec(h);
+            if r.is_load() && !r.is_bottom_load() {
+                if !r.inh_in {
+                    return reject(ScErrorKind::Inheritance("load never inherited a value"));
+                }
+                // `waiting_succ` at end of string: the source never got an
+                // ST-order successor (it is last in its block's validated
+                // order) — vacuous. Otherwise the forced edge must have
+                // been seen, or the load superseded.
+                if !r.superseded
+                    && !r.waiting_succ
+                    && (r.forced_target.is_some() || r.target_dead)
+                    && !r.forced_done
+                {
+                    return reject(ScErrorKind::ForcedUnsatisfied);
+                }
+            }
+            if r.is_bottom_load() && !r.superseded {
+                let block = r.label.block.0;
+                let ok = match block_tally.get(&block) {
+                    None => true, // no stores to the block: vacuous
+                    Some((_, HeadState::Alive(head))) => r.bot_forced.contains(head),
+                    Some((_, HeadState::ConfirmedGone)) => r.bot_resolved == Some(true),
+                    Some((_, HeadState::Unknown)) => {
+                        unreachable!("tally passed: chain head exists")
+                    }
+                };
+                if !ok {
+                    return reject(ScErrorKind::BottomUnsatisfied);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A canonical encoding of the checker state, independent of absolute
+    /// birth/generation counters, slot arrangement, and — through `ids` —
+    /// of the arbitrary identities of auxiliary descriptor IDs. The same
+    /// [`scv_descriptor::IdCanon`] must be threaded through the paired
+    /// observer's encoding *first*, so the renaming is consistent across
+    /// the product state. Two checkers with the same encoding accept
+    /// exactly the same future symbol streams up to that renaming.
+    pub fn canonical_encoding(&self, out: &mut Vec<u64>, ids: &mut scv_descriptor::IdCanon) {
+        use std::collections::HashMap as Map;
+        let mut retained: Vec<(u64, Handle)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, r)| {
+                r.as_ref().map(|r| (r.birth, Handle { slot: s as u32, gen: r.gen }))
+            })
+            .collect();
+        retained.sort_unstable_by_key(|&(b, _)| b);
+        let rank: Map<Handle, u64> = retained
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, h))| (h, i as u64))
+            .collect();
+        let slot_rank: Map<u32, u64> =
+            retained.iter().enumerate().map(|(i, &(_, h))| (h.slot, i as u64)).collect();
+        let tok = |h: Option<Handle>| -> u64 {
+            h.map_or(u64::MAX, |h| rank[&h])
+        };
+        out.push(retained.len() as u64);
+        // Owner table keyed by canonical ID (location IDs are fixed
+        // points; auxiliary IDs were renamed by the observer's encoding).
+        let mut owners: Vec<(u64, u64)> = self
+            .owner
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|h| (i as u32 + 1, h)))
+            .map(|(id, h)| (ids.canon(id), tok(Some(h))))
+            .collect();
+        owners.sort_unstable();
+        out.push(owners.len() as u64);
+        for (id, t) in owners {
+            out.push(id);
+            out.push(t);
+        }
+        for &(_, h) in &retained {
+            let r = self.rec(h);
+            // A load's value is never read again once its inheritance bit
+            // is set (future inh edges are rejected on that bit before any
+            // label comparison), so it is erased to a sentinel — loads
+            // that already inherited differ only structurally.
+            let value = if r.is_load() && !r.label.value.is_bottom() && r.inh_in {
+                0xFFu64
+            } else {
+                r.label.value.0 as u64
+            };
+            out.push(
+                (r.label.proc.0 as u64) << 24
+                    | (r.label.block.0 as u64) << 16
+                    | value << 8
+                    | r.is_store() as u64,
+            );
+            out.push(
+                (r.id_count as u64) << 16
+                    | (r.po_in as u64)
+                    | (r.po_out as u64) << 1
+                    | (r.sto_in as u64) << 2
+                    | (r.sto_out as u64) << 3
+                    | (r.inh_in as u64) << 4
+                    | (r.forced_done as u64) << 5
+                    | (r.waiting_succ as u64) << 6
+                    | (r.superseded as u64) << 7
+                    | (r.target_dead as u64) << 8
+                    | (r.succ_dead as u64) << 9
+                    | (match r.bot_resolved {
+                        None => 0u64,
+                        Some(false) => 1,
+                        Some(true) => 2,
+                    }) << 10,
+            );
+            out.push(tok(r.forced_target));
+            out.push(tok(r.sto_succ));
+            let mut bf: Vec<u64> = r.bot_forced.iter().map(|&x| tok(Some(x))).collect();
+            bf.sort_unstable();
+            out.push(bf.len() as u64);
+            out.extend(bf);
+            let mut heirs: Vec<(u8, u64)> =
+                r.heirs.iter().map(|&(p, x)| (p, tok(Some(x)))).collect();
+            heirs.sort_unstable();
+            out.push(heirs.len() as u64);
+            for (p, x) in heirs {
+                out.push((p as u64) << 32 | x);
+            }
+            let mut fo: Vec<u64> = r.forced_out.iter().map(|&x| tok(Some(x))).collect();
+            fo.sort_unstable();
+            out.push(fo.len() as u64);
+            out.extend(fo);
+            // Reachability closure as a rank set.
+            let mut reach_ranks: Vec<u64> = r
+                .reach
+                .iter()
+                .filter_map(|s| slot_rank.get(&s).copied())
+                .collect();
+            reach_ranks.sort_unstable();
+            out.push(reach_ranks.len() as u64);
+            out.extend(reach_ranks);
+        }
+        for (p, t) in &self.proc_tally {
+            out.push((*p as u64) << 16 | (t.no_in as u64) << 8 | t.no_out as u64);
+        }
+        for (b, (t, head)) in &self.block_tally {
+            out.push((*b as u64) << 16 | (t.no_in as u64) << 8 | t.no_out as u64);
+            out.push(match head {
+                HeadState::Unknown => u64::MAX,
+                HeadState::ConfirmedGone => u64::MAX - 1,
+                HeadState::Alive(h) => tok(Some(*h)),
+            });
+        }
+        for (&(p, b), h) in &self.last_bot {
+            out.push((p as u64) << 8 | b as u64);
+            out.push(tok(Some(*h)));
+        }
+        out.push(self.rejected.is_some() as u64);
+    }
+
+    // ----- node lifecycle -------------------------------------------------
+
+    fn alloc_node(&mut self, op: Op, pos: usize) -> Result<Handle, ScError> {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let birth = self.birth;
+        self.birth += 1;
+        let rec = NodeRec {
+            gen,
+            label: op,
+            birth,
+            id_count: 0,
+            po_in: false,
+            po_out: false,
+            sto_in: false,
+            sto_out: false,
+            inh_in: false,
+            forced_target: None,
+            target_dead: false,
+            forced_done: false,
+            waiting_succ: false,
+            superseded: false,
+            bot_resolved: None,
+            bot_forced: Vec::new(),
+            sto_succ: None,
+            succ_dead: false,
+            heirs: Vec::new(),
+            forced_out: Vec::new(),
+            reach: SlotSet::default(),
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(rec);
+                s
+            }
+            None => {
+                // Sanity cap against adversarial streams that never let
+                // anything finalize; real observers retain O(L + pb).
+                if self.slots.len() >= 4096 {
+                    return Err(ScError {
+                        position: Some(pos),
+                        kind: ScErrorKind::TooManyRetained,
+                    });
+                }
+                self.slots.push(Some(rec));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        Ok(Handle { slot, gen })
+    }
+
+    fn on_node_created(&mut self, h: Handle, op: Op) {
+        self.proc_tally.entry(op.proc.0).or_default();
+        if op.is_store() {
+            self.block_tally
+                .entry(op.block.0)
+                .or_insert((OrderTally::default(), HeadState::Unknown));
+        }
+        if op.is_load() && op.value.is_bottom() {
+            // Supersede the previous ⊥ load of this (processor, block).
+            let key = (op.proc.0, op.block.0);
+            if let Some(prev) = self.last_bot.insert(key, h) {
+                if self.rec_opt(prev).is_some() {
+                    self.rec_mut(prev).superseded = true;
+                    self.try_finalize(prev);
+                }
+            }
+        }
+    }
+
+    fn rec(&self, h: Handle) -> &NodeRec {
+        let r = self.slots[h.slot as usize].as_ref().expect("live handle");
+        debug_assert_eq!(r.gen, h.gen, "stale handle");
+        r
+    }
+
+    fn rec_mut(&mut self, h: Handle) -> &mut NodeRec {
+        let r = self.slots[h.slot as usize].as_mut().expect("live handle");
+        debug_assert_eq!(r.gen, h.gen, "stale handle");
+        r
+    }
+
+    /// Like [`Self::rec`] but `None` for finalized handles.
+    fn rec_opt(&self, h: Handle) -> Option<&NodeRec> {
+        self.slots[h.slot as usize]
+            .as_ref()
+            .filter(|r| r.gen == h.gen)
+    }
+
+    /// Drop ID `id`; if its owner lost its last ID, run the deactivation
+    /// checks and possibly finalize it.
+    fn retire_id(&mut self, id: IdNum) -> ScVerdict {
+        let Some(h) = self.owner[(id - 1) as usize].take() else {
+            return Ok(());
+        };
+        let r = self.rec_mut(h);
+        r.id_count -= 1;
+        if r.id_count > 0 {
+            return Ok(());
+        }
+        self.deactivate(h)
+    }
+
+    /// A node lost its last ID: per the paper, reject a non-⊥ load removed
+    /// without inheritance; release waiting heirs of a store (its ST-order
+    /// successor can no longer appear); then finalize unless deferred.
+    fn deactivate(&mut self, h: Handle) -> ScVerdict {
+        let (is_ld, is_bot, inh_in) = {
+            let r = self.rec(h);
+            (r.is_load(), r.is_bottom_load(), r.inh_in)
+        };
+        if is_ld && !is_bot && !inh_in {
+            return Err(ScError {
+                position: Some(self.position.saturating_sub(1)),
+                kind: ScErrorKind::Inheritance("load removed without inheritance edge"),
+            });
+        }
+        if self.rec(h).is_store() {
+            let heirs = std::mem::take(&mut self.rec_mut(h).heirs);
+            for (_, j) in heirs {
+                if self.rec_opt(j).is_some() {
+                    self.rec_mut(j).waiting_succ = false;
+                    self.try_finalize(j);
+                }
+            }
+        }
+        self.try_finalize(h);
+        Ok(())
+    }
+
+    /// Finalize `h` if it is inactive and has no pending obligations:
+    /// tally its order bits, propagate its forced edges per the
+    /// contraction rule, scrub references to it, and drop the record.
+    fn try_finalize(&mut self, h: Handle) {
+        let Some(r) = self.rec_opt(h) else { return };
+        if r.id_count > 0 {
+            return;
+        }
+        let pending = if r.is_bottom_load() {
+            !r.superseded && r.bot_resolved != Some(true)
+        } else if r.is_load() {
+            !r.superseded
+                && (r.waiting_succ
+                    || ((r.forced_target.is_some() || r.target_dead) && !r.forced_done))
+        } else {
+            false
+        };
+        if pending {
+            return;
+        }
+
+        let r = self.rec(h).clone();
+
+        // Tally order bits (the "counted when removed from the active
+        // graph" step of the paper's checker).
+        let t = self.proc_tally.entry(r.label.proc.0).or_default();
+        if !r.po_in {
+            t.bump_in();
+        }
+        if !r.po_out {
+            t.bump_out();
+        }
+        if r.is_store() {
+            let mut confirm_head = false;
+            {
+                let (t, head) = self
+                    .block_tally
+                    .entry(r.label.block.0)
+                    .or_insert((OrderTally::default(), HeadState::Unknown));
+                if !r.sto_in {
+                    t.bump_in();
+                    // No future in-edge can arrive: this is the confirmed
+                    // head of the block's ST order.
+                    if *head == HeadState::Unknown {
+                        *head = HeadState::ConfirmedGone;
+                        confirm_head = true;
+                    }
+                }
+                if !r.sto_out {
+                    t.bump_out();
+                }
+            }
+            if confirm_head {
+                // Resolve the ⊥-load obligations against the head now,
+                // before the record disappears.
+                let block = r.label.block.0;
+                let loads: Vec<Handle> = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, n)| {
+                        n.as_ref().map(|n| (Handle { slot: s as u32, gen: n.gen }, n))
+                    })
+                    .filter(|(_, n)| n.is_bottom_load() && n.label.block.0 == block)
+                    .map(|(x, _)| x)
+                    .collect();
+                for j in loads {
+                    let sat = self.rec(j).bot_forced.contains(&h);
+                    self.rec_mut(j).bot_resolved = Some(sat);
+                }
+            }
+        }
+
+        // The paper's contraction rule, in reachability form: every
+        // retained same-processor node that reaches `h` inherits `h`'s
+        // forced edges.
+        if !r.forced_out.is_empty() {
+            let preds: Vec<Handle> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(s, n)| {
+                    n.as_ref().map(|n| (Handle { slot: s as u32, gen: n.gen }, n))
+                })
+                .filter(|(x, n)| {
+                    *x != h && n.label.proc == r.label.proc && n.reach.get(h.slot)
+                })
+                .map(|(x, _)| x)
+                .collect();
+            for g in preds {
+                for &j in &r.forced_out {
+                    if self.rec_opt(j).is_some() {
+                        self.note_forced(g, j);
+                    }
+                }
+            }
+        }
+
+        // Scrub references to the dying node from the retained set.
+        for s in 0..self.slots.len() {
+            let Some(n) = self.slots[s].as_mut() else { continue };
+            n.reach.clear(h.slot);
+            if n.sto_succ == Some(h) {
+                n.sto_succ = None;
+                n.succ_dead = true;
+            }
+            if n.forced_target == Some(h) {
+                n.forced_target = None;
+                n.target_dead = true;
+            }
+            n.bot_forced.retain(|&x| x != h);
+            n.forced_out.retain(|&x| x != h);
+            n.heirs.retain(|&(_, x)| x != h);
+        }
+        self.slots[h.slot as usize] = None;
+        self.free_slots.push(h.slot);
+    }
+
+    // ----- reachability ----------------------------------------------------
+
+    /// Record the edge `u -> v` in the reachability closure.
+    fn add_reach(&mut self, u: Handle, v: Handle) {
+        debug_assert!(u != v);
+        let mut add = self.rec(v).reach.clone();
+        add.set(v.slot);
+        for s in 0..self.slots.len() {
+            let Some(n) = self.slots[s].as_mut() else { continue };
+            if s as u32 == u.slot || n.reach.get(u.slot) {
+                n.reach.or_with(&add);
+            }
+        }
+    }
+
+    /// Is `to` reachable from `from`?
+    fn reaches(&self, from: Handle, to: Handle) -> bool {
+        self.rec(from).reach.get(to.slot)
+    }
+
+    // ----- annotation handling ---------------------------------------------
+
+    fn apply_annotations(&mut self, u: Handle, v: Handle, ann: EdgeSet, pos: usize) -> ScVerdict {
+        let reject = |kind: ScErrorKind| Err(ScError { position: Some(pos), kind });
+
+        if ann.contains(EdgeSet::PO) {
+            let (lu, lv, bu, bv) = {
+                let (ru, rv) = (self.rec(u), self.rec(v));
+                (ru.label, rv.label, ru.birth, rv.birth)
+            };
+            if lu.proc != lv.proc {
+                return reject(ScErrorKind::ProgramOrder("edge joins different processors"));
+            }
+            if bu >= bv {
+                return reject(ScErrorKind::ProgramOrder("edge contradicts trace order"));
+            }
+            if self.rec(u).po_out {
+                return reject(ScErrorKind::ProgramOrder("two program-order successors"));
+            }
+            if self.rec(v).po_in {
+                return reject(ScErrorKind::ProgramOrder("two program-order predecessors"));
+            }
+            self.rec_mut(u).po_out = true;
+            self.rec_mut(v).po_in = true;
+        }
+
+        if ann.contains(EdgeSet::STO) {
+            let (lu, lv) = (self.rec(u).label, self.rec(v).label);
+            if !lu.is_store() || !lv.is_store() || lu.block != lv.block {
+                return reject(ScErrorKind::StOrder("edge is not between STs to one block"));
+            }
+            if self.rec(u).sto_out {
+                return reject(ScErrorKind::StOrder("two ST-order successors"));
+            }
+            if self.rec(v).sto_in {
+                return reject(ScErrorKind::StOrder("two ST-order predecessors"));
+            }
+            self.rec_mut(u).sto_out = true;
+            self.rec_mut(v).sto_in = true;
+            self.rec_mut(u).sto_succ = Some(v);
+            // Initialize forced-edge-on-path-to for every waiting heir.
+            // The heirs stay registered: a later load inheriting from `u`
+            // may still supersede them (program-order-path proviso).
+            let heirs = self.rec(u).heirs.clone();
+            for (_, j) in &heirs {
+                let j = *j;
+                if self.rec_opt(j).is_none() {
+                    continue;
+                }
+                let already_forced = self.rec(j).forced_out.contains(&v);
+                {
+                    let rj = self.rec_mut(j);
+                    rj.forced_target = Some(v);
+                    rj.waiting_succ = false;
+                    if already_forced {
+                        rj.forced_done = true;
+                    }
+                }
+                self.try_finalize(j);
+            }
+        }
+
+        if ann.contains(EdgeSet::INH) {
+            let (lu, lv) = (self.rec(u).label, self.rec(v).label);
+            if !lu.is_store() || !lv.is_load() || lv.value.is_bottom() {
+                return reject(ScErrorKind::Inheritance(
+                    "inheritance must run from a ST to a non-⊥ LD",
+                ));
+            }
+            if lu.block != lv.block || lu.value != lv.value {
+                return reject(ScErrorKind::Inheritance("source does not match load"));
+            }
+            if self.rec(v).inh_in {
+                return reject(ScErrorKind::Inheritance("two inheritance edges"));
+            }
+            self.rec_mut(v).inh_in = true;
+            let (succ, succ_dead) = {
+                let ru = self.rec(u);
+                (ru.sto_succ, ru.succ_dead)
+            };
+            match succ {
+                Some(k) => {
+                    let already_forced = self.rec(v).forced_out.contains(&k);
+                    let rv = self.rec_mut(v);
+                    rv.forced_target = Some(k);
+                    if already_forced {
+                        rv.forced_done = true;
+                    }
+                }
+                None if succ_dead => {
+                    // The successor exists but was finalized: the forced
+                    // edge can no longer be expressed. Only supersession
+                    // can discharge this load now.
+                    self.rec_mut(v).target_dead = true;
+                }
+                None => {
+                    self.rec_mut(v).waiting_succ = true;
+                }
+            }
+            // Register v as the newest heir of u for its processor,
+            // superseding any previous one (whether or not the ST-order
+            // successor is already known): a forced edge from the latest
+            // inheritor covers earlier ones via the program-order path.
+            let proc = lv.proc.0;
+            let prev = {
+                let ru = self.rec_mut(u);
+                let prev = ru
+                    .heirs
+                    .iter()
+                    .position(|(p, _)| *p == proc)
+                    .map(|i| ru.heirs.remove(i).1);
+                ru.heirs.push((proc, v));
+                prev
+            };
+            if let Some(prev) = prev {
+                if self.rec_opt(prev).is_some() && prev != v {
+                    self.rec_mut(prev).superseded = true;
+                    self.try_finalize(prev);
+                }
+            }
+        }
+
+        if ann.contains(EdgeSet::FORCED) {
+            self.note_forced(u, v);
+        }
+        Ok(())
+    }
+
+    /// A forced edge `u -> v` exists (read from the input, or inherited
+    /// through the contraction rule): discharge matching obligations on
+    /// `u`.
+    fn note_forced(&mut self, u: Handle, v: Handle) {
+        {
+            let ru = self.rec_mut(u);
+            if !ru.forced_out.contains(&v) {
+                ru.forced_out.push(v);
+            }
+            if ru.forced_target == Some(v) {
+                ru.forced_done = true;
+            }
+        }
+        if self.rec(u).is_bottom_load() {
+            let (is_st, same_block) = {
+                match self.rec_opt(v) {
+                    Some(rv) => (rv.is_store(), rv.label.block == self.rec(u).label.block),
+                    None => (false, false),
+                }
+            };
+            if is_st && same_block && !self.rec(u).bot_forced.contains(&v) {
+                self.rec_mut(u).bot_forced.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scv_descriptor::{encode, naive_descriptor};
+    use scv_graph::{graph_from_serial_reordering, saturated_graph, ConstraintGraph, Witness};
+    use scv_types::{BlockId, Op, ProcId, Reordering, Trace, Value};
+
+    fn st(p: u8, b: u8, v: u8) -> Op {
+        Op::store(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ld(p: u8, b: u8, v: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ldb(p: u8, b: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value::BOTTOM)
+    }
+
+    fn figure3_trace() -> Trace {
+        Trace::from_ops([st(1, 1, 1), ld(2, 1, 1), st(1, 1, 2), ld(2, 1, 1), ld(2, 1, 2)])
+    }
+
+    /// The paper's hand-written 3-bandwidth descriptor for Figure 3.
+    fn figure3_descriptor() -> Descriptor {
+        let mut d = Descriptor::new(3);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, ld(2, 1, 1)),
+            Symbol::edge(1, 2, EdgeSet::INH),
+            Symbol::node(3, st(1, 1, 2)),
+            Symbol::edge(1, 3, EdgeSet::PO_STO),
+            Symbol::node(4, ld(2, 1, 1)),
+            Symbol::edge(1, 4, EdgeSet::INH),
+            Symbol::edge(2, 4, EdgeSet::PO),
+            Symbol::edge(4, 3, EdgeSet::FORCED),
+            Symbol::node(1, ld(2, 1, 2)),
+            Symbol::edge(3, 1, EdgeSet::INH),
+            Symbol::edge(4, 1, EdgeSet::PO),
+        ];
+        d
+    }
+
+    #[test]
+    fn accepts_figure3_descriptor() {
+        assert_eq!(ScChecker::check(&figure3_descriptor()), Ok(()));
+    }
+
+    #[test]
+    fn accepts_saturated_witness_graphs() {
+        let t = figure3_trace();
+        let r = Reordering::new(vec![0, 1, 3, 2, 4]);
+        let w = Witness::from_serial_reordering(&t, &r);
+        let g = saturated_graph(&t, &w);
+        let d = naive_descriptor(&g);
+        assert_eq!(ScChecker::check(&d), Ok(()));
+        let d = encode(&g, g.bandwidth() as u32).unwrap();
+        assert_eq!(ScChecker::check(&d), Ok(()));
+    }
+
+    #[test]
+    fn rejects_missing_forced_edge() {
+        // Figure 3's descriptor without the forced edge (4,3): node 4's
+        // obligation (triple ST1, LD4, ST3) is never met.
+        let mut d = figure3_descriptor();
+        d.symbols.retain(|s| !matches!(s, Symbol::Edge { from: 4, to: 3, .. }));
+        let err = ScChecker::check(&d).unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::ForcedUnsatisfied);
+    }
+
+    #[test]
+    fn rejects_missing_inheritance_at_recycle() {
+        // A LD is recycled before any inheritance edge reaches it.
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, ld(2, 1, 1)),
+            Symbol::node(2, ld(2, 1, 1)), // recycles the first LD: reject
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert!(matches!(err.kind, ScErrorKind::Inheritance(_)));
+    }
+
+    #[test]
+    fn rejects_missing_inheritance_at_end() {
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, ld(2, 1, 1)),
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert!(matches!(err.kind, ScErrorKind::Inheritance(_)));
+        assert_eq!(err.position, None);
+    }
+
+    #[test]
+    fn rejects_value_mismatched_inheritance() {
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, ld(2, 1, 2)),
+            Symbol::edge(1, 2, EdgeSet::INH),
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert!(matches!(err.kind, ScErrorKind::Inheritance(_)));
+    }
+
+    #[test]
+    fn rejects_double_inheritance() {
+        let mut d = Descriptor::new(3);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, st(2, 1, 1)),
+            Symbol::edge(1, 2, EdgeSet::STO),
+            Symbol::node(3, ld(1, 1, 1)),
+            Symbol::edge(1, 3, EdgeSet::PO_INH),
+            Symbol::edge(2, 3, EdgeSet::INH),
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert!(matches!(err.kind, ScErrorKind::Inheritance(_)));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, st(2, 1, 2)),
+            Symbol::edge(1, 2, EdgeSet::STO),
+            Symbol::edge(2, 1, EdgeSet::FORCED),
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::CycleClosed);
+        assert_eq!(err.position, Some(3));
+    }
+
+    #[test]
+    fn rejects_po_out_of_trace_order() {
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, st(1, 1, 2)),
+            Symbol::edge(2, 1, EdgeSet::PO), // backwards
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert!(matches!(err.kind, ScErrorKind::ProgramOrder(_)));
+    }
+
+    #[test]
+    fn rejects_missing_po_edge_at_end() {
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, st(1, 1, 2)),
+            Symbol::edge(1, 2, EdgeSet::STO), // po missing
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert!(matches!(err.kind, ScErrorKind::ProgramOrder(_)));
+        assert_eq!(err.position, None);
+    }
+
+    #[test]
+    fn rejects_cross_processor_po() {
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, st(2, 1, 2)),
+            Symbol::edge(1, 2, EdgeSet::PO),
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert!(matches!(err.kind, ScErrorKind::ProgramOrder(_)));
+    }
+
+    #[test]
+    fn rejects_split_st_order() {
+        // Three stores to one block, but only one STo edge: not a chain.
+        let mut d = Descriptor::new(3);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, st(2, 1, 2)),
+            Symbol::node(3, st(3, 1, 3)),
+            Symbol::edge(1, 2, EdgeSet::STO),
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert!(matches!(err.kind, ScErrorKind::StOrder(_)));
+    }
+
+    #[test]
+    fn accepts_st_order_against_trace_order() {
+        // STo may contradict trace order (that is its purpose).
+        let mut d = Descriptor::new(3);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, st(2, 1, 2)),
+            Symbol::edge(2, 1, EdgeSet::STO),
+        ];
+        assert_eq!(ScChecker::check(&d), Ok(()));
+    }
+
+    #[test]
+    fn bottom_load_requires_forced_edge_to_first_store() {
+        // LD(P2,B1,⊥) then ST(P1,B1,1): without the forced edge, reject.
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, ldb(2, 1)),
+            Symbol::node(2, st(1, 1, 1)),
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::BottomUnsatisfied);
+        // With the forced edge, accept.
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, ldb(2, 1)),
+            Symbol::node(2, st(1, 1, 1)),
+            Symbol::edge(1, 2, EdgeSet::FORCED),
+        ];
+        assert_eq!(ScChecker::check(&d), Ok(()));
+    }
+
+    #[test]
+    fn bottom_load_vacuous_without_stores() {
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, ldb(2, 1)),
+            Symbol::node(2, ldb(1, 1)),
+        ];
+        assert_eq!(ScChecker::check(&d), Ok(()));
+    }
+
+    #[test]
+    fn later_bottom_load_supersedes_earlier() {
+        // Two ⊥ loads by the same processor; only the later carries the
+        // forced edge (program-order-path proviso).
+        let mut d = Descriptor::new(3);
+        d.symbols = vec![
+            Symbol::node(1, ldb(2, 1)),
+            Symbol::node(2, ldb(2, 1)),
+            Symbol::edge(1, 2, EdgeSet::PO),
+            Symbol::node(3, st(1, 1, 1)),
+            Symbol::edge(2, 3, EdgeSet::FORCED),
+        ];
+        assert_eq!(ScChecker::check(&d), Ok(()));
+    }
+
+    #[test]
+    fn bottom_load_of_other_processor_not_superseded() {
+        // ⊥ loads by different processors: each needs its own forced edge.
+        let mut d = Descriptor::new(3);
+        d.symbols = vec![
+            Symbol::node(1, ldb(2, 1)),
+            Symbol::node(2, ldb(3, 1)),
+            Symbol::node(3, st(1, 1, 1)),
+            Symbol::edge(2, 3, EdgeSet::FORCED),
+            // P2's ⊥ load has no forced edge.
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::BottomUnsatisfied);
+    }
+
+    #[test]
+    fn heir_superseded_by_later_load() {
+        // Two LDs of P2 inherit from the same ST; only the later one gets
+        // the forced edge once the next ST arrives — exactly Figure 3
+        // without a direct forced edge from node 2.
+        assert_eq!(ScChecker::check(&figure3_descriptor()), Ok(()));
+    }
+
+    #[test]
+    fn unlabeled_node_rejected() {
+        let mut d = Descriptor::new(1);
+        d.symbols = vec![Symbol::Node { id: 1, label: None }];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::UnlabeledNode);
+    }
+
+    #[test]
+    fn unlabeled_edge_rejected() {
+        let mut d = Descriptor::new(2);
+        d.symbols = vec![
+            Symbol::node(1, st(1, 1, 1)),
+            Symbol::node(2, st(1, 1, 2)),
+            Symbol::Edge { from: 1, to: 2, label: None },
+        ];
+        let err = ScChecker::check(&d).unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::UnlabeledEdge);
+    }
+
+    #[test]
+    fn lemma31_graphs_always_accepted() {
+        // Every graph built from a serial reordering is an acyclic
+        // constraint graph, so the checker must accept its descriptor.
+        let traces: Vec<(Trace, Vec<usize>)> = vec![
+            (figure3_trace(), vec![0, 1, 3, 2, 4]),
+            (
+                Trace::from_ops([ldb(1, 1), st(2, 1, 1), ld(1, 1, 1)]),
+                vec![0, 1, 2],
+            ),
+            (
+                Trace::from_ops([
+                    st(1, 1, 1),
+                    st(1, 2, 2),
+                    ldb(2, 2),
+                    ld(2, 1, 1),
+                ]),
+                vec![0, 2, 1, 3],
+            ),
+        ];
+        for (t, perm) in traces {
+            let r = Reordering::new(perm);
+            let g = graph_from_serial_reordering(&t, &r);
+            let k = g.bandwidth() as u32;
+            let d = encode(&g, k).unwrap();
+            assert_eq!(ScChecker::check(&d), Ok(()), "trace {t}");
+            let d = naive_descriptor(&g);
+            assert_eq!(ScChecker::check(&d), Ok(()), "naive, trace {t}");
+        }
+    }
+
+    #[test]
+    fn retained_nodes_stay_bounded() {
+        // A long alternating ST/LD workload encoded at its natural
+        // bandwidth: the checker must not accumulate deferred nodes.
+        let mut ops = Vec::new();
+        for i in 0..200u32 {
+            let v = 1 + (i % 3) as u8;
+            ops.push(st(1, 1, v));
+            ops.push(ld(2, 1, v));
+        }
+        let t = Trace::from_ops(ops);
+        assert!(t.is_serial());
+        let r = Reordering::identity(t.len());
+        let g = graph_from_serial_reordering(&t, &r);
+        let k = g.bandwidth() as u32;
+        let d = encode(&g, k).unwrap();
+        let mut c = ScChecker::new(d.k);
+        for s in &d.symbols {
+            c.step(s).unwrap();
+            assert!(c.retained_count() <= (k as usize + 1) + 8, "retained blow-up");
+        }
+        c.finish().unwrap();
+    }
+
+    /// Differential test: the streaming checker must agree with the
+    /// whole-graph reference (axioms + acyclicity) on saturated witness
+    /// graphs and on mutated variants.
+    #[test]
+    fn differential_against_whole_graph_reference() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use scv_graph::random::{random_witnessed_trace, WorkloadConfig};
+        use scv_graph::validate_constraint_graph;
+
+        let mut rng = SmallRng::seed_from_u64(42);
+        let cfg = WorkloadConfig::new(scv_types::Params::new(3, 2, 3), 40);
+        let mut positives = 0;
+        for _ in 0..60 {
+            let wt = random_witnessed_trace(&cfg, 5, &mut rng);
+            let mut g = saturated_graph(&wt.trace, &wt.witness);
+            // Randomly drop one edge annotation set entirely (possible
+            // violation) in a third of the cases.
+            let mutate = rng.gen_range(0..3) == 0;
+            if mutate {
+                let edges: Vec<(usize, usize, EdgeSet)> = g.edges().collect();
+                if !edges.is_empty() {
+                    let victim = edges[rng.gen_range(0..edges.len())];
+                    let mut g2 = ConstraintGraph::with_nodes(g.labels().to_vec());
+                    for (u, v, a) in edges {
+                        if (u, v) != (victim.0, victim.1) {
+                            g2.add_edge(u, v, a);
+                        }
+                    }
+                    g = g2;
+                }
+            }
+            let reference_ok =
+                validate_constraint_graph(&g, &wt.trace).is_ok() && g.is_acyclic();
+            let k = g.bandwidth().max(1) as u32;
+            let d = encode(&g, k).unwrap();
+            let streaming_ok = ScChecker::check(&d).is_ok();
+            assert_eq!(
+                streaming_ok, reference_ok,
+                "disagreement (mutated={mutate}) on trace {}",
+                wt.trace
+            );
+            positives += reference_ok as usize;
+        }
+        assert!(positives >= 20, "test should exercise plenty of positives");
+    }
+}
+
+#[cfg(test)]
+mod closure_tests {
+    use super::*;
+    use scv_descriptor::IdCanon;
+    use scv_types::{BlockId, ProcId, Value};
+
+    fn st(p: u8, b: u8, v: u8) -> Op {
+        Op::store(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ld(p: u8, b: u8, v: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ldb(p: u8, b: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value::BOTTOM)
+    }
+
+    #[test]
+    fn check_end_is_reusable_mid_stream() {
+        // Prefix-closure probing: check_end never consumes, and the
+        // checker keeps working afterwards.
+        let mut c = ScChecker::new(3);
+        c.step(&Symbol::node(1, st(1, 1, 1))).unwrap();
+        assert_eq!(c.check_end(), Ok(()));
+        c.step(&Symbol::node(2, ld(2, 1, 1))).unwrap();
+        // Load without inheritance: a run ending here is invalid...
+        assert!(c.check_end().is_err());
+        // ...but the stream can continue and become valid again.
+        c.step(&Symbol::edge(1, 2, EdgeSet::INH)).unwrap();
+        assert_eq!(c.check_end(), Ok(()));
+        assert_eq!(c.finish(), Ok(()));
+    }
+
+    #[test]
+    fn transitive_cycle_through_recycled_node_rejected() {
+        // a -> b, b -> c, recycle b's ID, then c -> a must close the
+        // (contracted) cycle via the reachability closure.
+        let mut c = ScChecker::new(3);
+        c.step(&Symbol::node(1, st(1, 1, 1))).unwrap(); // a
+        c.step(&Symbol::node(2, st(1, 1, 2))).unwrap(); // b
+        c.step(&Symbol::edge(1, 2, EdgeSet::PO_STO)).unwrap();
+        c.step(&Symbol::node(3, st(1, 1, 1))).unwrap(); // c
+        c.step(&Symbol::edge(2, 3, EdgeSet::PO_STO)).unwrap();
+        c.step(&Symbol::node(2, st(2, 1, 2))).unwrap(); // recycles b
+        let err = c.step(&Symbol::edge(3, 1, EdgeSet::STO)).unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::CycleClosed);
+    }
+
+    #[test]
+    fn inh_after_successor_died_rejects_at_end() {
+        // ST a; ST b (a's STo successor); b loses its ID and finalizes; a
+        // new load then inherits from a. Its forced edge to b can no
+        // longer be expressed, so without supersession the run end must
+        // reject with ForcedUnsatisfied.
+        let mut c = ScChecker::new(4);
+        c.step(&Symbol::node(1, st(1, 1, 1))).unwrap(); // a
+        c.step(&Symbol::node(2, st(1, 1, 2))).unwrap(); // b
+        c.step(&Symbol::edge(1, 2, EdgeSet::PO_STO)).unwrap();
+        // b's ID is recycled for an unrelated third store of another
+        // block; b finalizes (it had no obligations).
+        c.step(&Symbol::node(2, st(2, 2, 1))).unwrap();
+        // A load inherits from a, whose successor is now gone.
+        c.step(&Symbol::node(3, ld(2, 1, 1))).unwrap();
+        c.step(&Symbol::edge(2, 3, EdgeSet::PO)).unwrap();
+        c.step(&Symbol::edge(1, 3, EdgeSet::INH)).unwrap();
+        let err = c.check_end().unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::ForcedUnsatisfied);
+        // A later load of the same processor inheriting from a supersedes
+        // it — but inherits the same impossible obligation, so the end
+        // check still rejects (soundly).
+        c.step(&Symbol::node(4, ld(2, 1, 1))).unwrap();
+        c.step(&Symbol::edge(3, 4, EdgeSet::PO)).unwrap();
+        c.step(&Symbol::edge(1, 4, EdgeSet::INH)).unwrap();
+        let err = c.finish().unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::ForcedUnsatisfied);
+    }
+
+    #[test]
+    fn bottom_load_resolved_before_head_dies() {
+        // LD(P2,B1,⊥) with forced edge to the first store; the store is
+        // then recycled away — the obligation must have been resolved at
+        // confirmation time.
+        let mut c = ScChecker::new(4);
+        c.step(&Symbol::node(1, ldb(2, 1))).unwrap();
+        c.step(&Symbol::node(2, st(1, 1, 1))).unwrap();
+        c.step(&Symbol::edge(1, 2, EdgeSet::FORCED)).unwrap();
+        c.step(&Symbol::node(3, st(1, 1, 2))).unwrap();
+        c.step(&Symbol::edge(2, 3, EdgeSet::PO_STO)).unwrap();
+        // Recycle the first store's ID: it finalizes and is confirmed as
+        // the block head; the ⊥-load's edge was recorded.
+        c.step(&Symbol::node(2, ld(1, 1, 2))).unwrap();
+        c.step(&Symbol::edge(3, 2, EdgeSet::PO_INH)).unwrap();
+        assert_eq!(c.finish(), Ok(()));
+    }
+
+    #[test]
+    fn bottom_load_without_edge_rejected_after_head_dies() {
+        let mut c = ScChecker::new(4);
+        c.step(&Symbol::node(1, ldb(2, 1))).unwrap();
+        c.step(&Symbol::node(2, st(1, 1, 1))).unwrap();
+        // no forced edge
+        c.step(&Symbol::node(3, st(1, 1, 2))).unwrap();
+        c.step(&Symbol::edge(2, 3, EdgeSet::PO_STO)).unwrap();
+        c.step(&Symbol::node(2, ld(1, 1, 2))).unwrap();
+        c.step(&Symbol::edge(3, 2, EdgeSet::PO_INH)).unwrap();
+        let err = c.finish().unwrap_err();
+        assert_eq!(err.kind, ScErrorKind::BottomUnsatisfied);
+    }
+
+    #[test]
+    fn canonical_encoding_ignores_aux_identity() {
+        // Two checkers whose streams differ only in which auxiliary ID
+        // (above the location base 2) names the load encode identically.
+        let build = |aux: IdNum| {
+            let mut c = ScChecker::new(6);
+            c.step(&Symbol::node(1, st(1, 1, 1))).unwrap();
+            c.step(&Symbol::node(aux, ld(2, 1, 1))).unwrap();
+            c.step(&Symbol::edge(1, aux, EdgeSet::INH)).unwrap();
+            c
+        };
+        let (a, b) = (build(3), build(6));
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        a.canonical_encoding(&mut ea, &mut IdCanon::new(2));
+        b.canonical_encoding(&mut eb, &mut IdCanon::new(2));
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn canonical_encoding_erases_discharged_load_values() {
+        let build = |v: u8| {
+            let mut c = ScChecker::new(6);
+            c.step(&Symbol::node(1, st(1, 1, v))).unwrap();
+            c.step(&Symbol::node(3, ld(2, 1, v))).unwrap();
+            c.step(&Symbol::edge(1, 3, EdgeSet::INH)).unwrap();
+            // Recycle the store so only the (discharged-by-waiting) load
+            // and nothing value-bearing remains... keep both; the load's
+            // value must be erased, the store's kept.
+            c
+        };
+        let (a, b) = (build(1), build(2));
+        let mut ea = Vec::new();
+        let mut eb = Vec::new();
+        a.canonical_encoding(&mut ea, &mut IdCanon::new(2));
+        b.canonical_encoding(&mut eb, &mut IdCanon::new(2));
+        // The store's value still distinguishes the states.
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn too_many_retained_rejected_not_panicking() {
+        // 70 loads, none ever discharged (no inheritance), all retained as
+        // heirs... simplest blow-up: distinct processors' ⊥-loads.
+        let mut c = ScChecker::new(63);
+        let mut err = None;
+        for i in 0..70u32 {
+            let p = (i % 200 + 1) as u8;
+            // ⊥-loads per (proc, block) are retained until superseded.
+            if let Err(e) = c.step(&Symbol::node(1 + (i % 64), ldb(p, 1))) {
+                err = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = err {
+            assert_eq!(e.kind, ScErrorKind::TooManyRetained);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Canonical renaming of auxiliary descriptor IDs.
+//!
+//! An observer's IDs split into two classes: location IDs `1..=L`, whose
+//! identities are meaningful (they *are* the protocol's storage
+//! locations), and auxiliary IDs above `L`, whose identities are
+//! arbitrary pool choices. Two (observer, checker) pairs that differ only
+//! by a permutation of the auxiliary IDs are bisimilar: every component of
+//! the pipeline treats IDs as opaque table indices, so renaming them
+//! consistently on both sides changes nothing observable.
+//!
+//! [`IdCanon`] assigns auxiliary IDs dense canonical numbers in first-use
+//! order during a deterministic encoding traversal; the model checker
+//! hashes product states through it, collapsing the aux-permutation orbit
+//! to a single state (without it, state counts blow up by factors up to
+//! `A!`).
+
+use crate::symbol::IdNum;
+use std::collections::HashMap;
+
+/// First-use canonical renaming for IDs above a fixed base.
+#[derive(Clone, Debug)]
+pub struct IdCanon {
+    base: IdNum,
+    map: HashMap<IdNum, u64>,
+}
+
+impl IdCanon {
+    /// IDs `1..=base` are fixed (returned as-is); higher IDs are renamed.
+    pub fn new(base: IdNum) -> Self {
+        IdCanon { base, map: HashMap::new() }
+    }
+
+    /// Canonical number for `id`: itself if `id <= base`, otherwise
+    /// `base + 1 + k` where `k` is the 0-based first-use index.
+    pub fn canon(&mut self, id: IdNum) -> u64 {
+        if id <= self.base {
+            return id as u64;
+        }
+        let next = self.base as u64 + 1 + self.map.len() as u64;
+        *self.map.entry(id).or_insert(next)
+    }
+
+    /// Number of auxiliary IDs renamed so far.
+    pub fn renamed(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locations_are_fixed_points() {
+        let mut c = IdCanon::new(4);
+        for id in 1..=4 {
+            assert_eq!(c.canon(id), id as u64);
+        }
+        assert_eq!(c.renamed(), 0);
+    }
+
+    #[test]
+    fn aux_ids_renamed_in_first_use_order() {
+        let mut c = IdCanon::new(2);
+        assert_eq!(c.canon(9), 3);
+        assert_eq!(c.canon(5), 4);
+        assert_eq!(c.canon(9), 3, "stable on reuse");
+        assert_eq!(c.canon(7), 5);
+        assert_eq!(c.renamed(), 3);
+    }
+
+    #[test]
+    fn permuted_aux_ids_encode_identically() {
+        // The whole point: two traversals that use different concrete aux
+        // IDs in the same order produce the same canonical sequence.
+        let mut a = IdCanon::new(1);
+        let mut b = IdCanon::new(1);
+        let seq_a: Vec<u64> = [4, 9, 4, 1, 9].iter().map(|&i| a.canon(i)).collect();
+        let seq_b: Vec<u64> = [7, 3, 7, 1, 3].iter().map(|&i| b.canon(i)).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+}

@@ -1,0 +1,36 @@
+//! *k*-graph descriptors (§3.2 of Condon & Hu, SPAA 2001).
+//!
+//! A *k*-node-bandwidth-bounded graph can be represented as a string of
+//! node descriptors, edge descriptors, and `add-ID` symbols, over the ID
+//! space `1..=k+1`, in a way that admits finite-state processing:
+//!
+//! * a **node descriptor** `I, label?` introduces a new node identified by
+//!   `I` (any node previously holding `I` loses it);
+//! * an **edge descriptor** `(I,J), label?` adds an edge between the nodes
+//!   currently holding `I` and `J`;
+//! * **`add-ID(I,J)`** adds `J` as an alias of the node holding `I`
+//!   (removing `J` from any other node) — the observer of §4 uses this to
+//!   model a stored value being *copied* between protocol locations, so
+//!   that a ST node's ID set is exactly the set of locations holding its
+//!   value.
+//!
+//! This crate provides the symbol alphabet ([`Symbol`]), the exact prefix
+//! ID-set semantics of the paper ([`IdTable`]), a decoder back to a whole
+//! graph ([`decode`]), and the Lemma 3.2 encoder from any bandwidth-bounded
+//! [`ConstraintGraph`] to a descriptor ([`encode`]).
+
+pub mod decode;
+pub mod encode;
+pub mod idcanon;
+pub mod idtable;
+pub mod symbol;
+
+pub use decode::{decode, DecodeError, DecodeStats, DecodedGraph};
+pub use encode::{encode, naive_descriptor, EncodeError};
+pub use idcanon::IdCanon;
+pub use idtable::IdTable;
+pub use symbol::{Descriptor, IdNum, Symbol};
+
+// Re-exported for convenience: descriptors are usually decoded back into
+// constraint graphs.
+pub use scv_graph::{ConstraintGraph, EdgeSet};

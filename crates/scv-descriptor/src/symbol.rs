@@ -1,0 +1,161 @@
+//! The descriptor symbol alphabet and the [`Descriptor`] container.
+
+use scv_graph::EdgeSet;
+use scv_types::Op;
+use std::fmt;
+
+/// A node identification number, in `1..=k+1` for a *k*-graph descriptor.
+pub type IdNum = u32;
+
+/// One symbol of a *k*-graph descriptor.
+///
+/// The paper writes labels as separate alphabet symbols immediately
+/// following the node or edge they belong to; since a label is only
+/// meaningful in that position, we attach it to the node/edge symbol
+/// directly (the textual rendering, [`fmt::Display`], matches the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Symbol {
+    /// A node descriptor: a fresh node identified by `id`, optionally
+    /// labeled with a trace operation.
+    Node { id: IdNum, label: Option<Op> },
+    /// An edge descriptor `(from, to)`, optionally labeled with edge
+    /// annotations.
+    Edge { from: IdNum, to: IdNum, label: Option<EdgeSet> },
+    /// `add-ID(of, add)`: the node currently holding `of` additionally
+    /// gains the ID `add` (which is removed from any other node).
+    AddId { of: IdNum, add: IdNum },
+}
+
+impl Symbol {
+    /// Shorthand for a labeled node descriptor.
+    pub fn node(id: IdNum, op: Op) -> Symbol {
+        Symbol::Node { id, label: Some(op) }
+    }
+
+    /// Shorthand for a labeled edge descriptor.
+    pub fn edge(from: IdNum, to: IdNum, ann: EdgeSet) -> Symbol {
+        Symbol::Edge { from, to, label: Some(ann) }
+    }
+
+    /// The largest ID mentioned by the symbol.
+    pub fn max_id(&self) -> IdNum {
+        match *self {
+            Symbol::Node { id, .. } => id,
+            Symbol::Edge { from, to, .. } => from.max(to),
+            Symbol::AddId { of, add } => of.max(add),
+        }
+    }
+
+    /// The smallest ID mentioned by the symbol.
+    pub fn min_id(&self) -> IdNum {
+        match *self {
+            Symbol::Node { id, .. } => id,
+            Symbol::Edge { from, to, .. } => from.min(to),
+            Symbol::AddId { of, add } => of.min(add),
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Symbol::Node { id, label: None } => write!(f, "{id}"),
+            Symbol::Node { id, label: Some(op) } => write!(f, "{id}, {op}"),
+            Symbol::Edge { from, to, label: None } => write!(f, "({from},{to})"),
+            Symbol::Edge { from, to, label: Some(a) } => write!(f, "({from},{to}), {a}"),
+            Symbol::AddId { of, add } => write!(f, "add-ID({of},{add})"),
+        }
+    }
+}
+
+/// A complete *k*-graph descriptor: the bandwidth parameter `k` and the
+/// symbol string.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Descriptor {
+    /// The bandwidth bound: IDs range over `1..=k+1`.
+    pub k: u32,
+    /// The symbol string.
+    pub symbols: Vec<Symbol>,
+}
+
+impl Descriptor {
+    /// An empty descriptor with the given bandwidth bound.
+    pub fn new(k: u32) -> Self {
+        Descriptor { k, symbols: Vec::new() }
+    }
+
+    /// Number of node descriptors (= number of nodes of the graph).
+    pub fn node_count(&self) -> usize {
+        self.symbols
+            .iter()
+            .filter(|s| matches!(s, Symbol::Node { .. }))
+            .count()
+    }
+
+    /// Are all IDs within `1..=k+1`?
+    pub fn ids_in_range(&self) -> bool {
+        self.symbols
+            .iter()
+            .all(|s| s.min_id() >= 1 && s.max_id() <= self.k + 1)
+    }
+}
+
+impl fmt::Display for Descriptor {
+    /// Paper notation: symbols joined by `", "`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for s in &self.symbols {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scv_types::{BlockId, ProcId, Value};
+
+    #[test]
+    fn symbol_display_matches_paper() {
+        let st = Op::store(ProcId(1), BlockId(1), Value(1));
+        assert_eq!(Symbol::node(1, st).to_string(), "1, ST(P1,B1,1)");
+        assert_eq!(Symbol::edge(1, 2, EdgeSet::INH).to_string(), "(1,2), inh");
+        assert_eq!(
+            Symbol::edge(1, 3, EdgeSet::PO_STO).to_string(),
+            "(1,3), po-STo"
+        );
+        assert_eq!(Symbol::AddId { of: 2, add: 3 }.to_string(), "add-ID(2,3)");
+        assert_eq!(Symbol::Node { id: 4, label: None }.to_string(), "4");
+        assert_eq!(
+            Symbol::Edge { from: 4, to: 1, label: None }.to_string(),
+            "(4,1)"
+        );
+    }
+
+    #[test]
+    fn id_range_check() {
+        let mut d = Descriptor::new(2);
+        d.symbols.push(Symbol::Node { id: 3, label: None }); // k+1 = 3: ok
+        assert!(d.ids_in_range());
+        d.symbols.push(Symbol::Node { id: 4, label: None });
+        assert!(!d.ids_in_range());
+        let mut d0 = Descriptor::new(2);
+        d0.symbols.push(Symbol::Node { id: 0, label: None });
+        assert!(!d0.ids_in_range());
+    }
+
+    #[test]
+    fn node_count_counts_only_nodes() {
+        let mut d = Descriptor::new(3);
+        d.symbols.push(Symbol::Node { id: 1, label: None });
+        d.symbols.push(Symbol::Edge { from: 1, to: 1, label: None });
+        d.symbols.push(Symbol::AddId { of: 1, add: 2 });
+        d.symbols.push(Symbol::Node { id: 2, label: None });
+        assert_eq!(d.node_count(), 2);
+    }
+}

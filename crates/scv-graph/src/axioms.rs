@@ -1,0 +1,484 @@
+//! The edge annotation constraints of §3.1, checked globally.
+//!
+//! [`validate_constraint_graph`] decides whether an annotated graph is a
+//! *constraint graph* for a trace: constraints 2–5 of §3.1 (constraint 1 is
+//! enforced structurally by [`EdgeSet`] being non-empty on every edge). This
+//! is the whole-graph reference implementation; the finite-state checker in
+//! `scv-checker` must agree with it on every descriptor stream, which is how
+//! the two are differentially tested.
+
+use crate::edge::EdgeSet;
+use crate::graph::ConstraintGraph;
+use scv_types::Trace;
+use std::fmt;
+
+/// A violation of one of the §3.1 edge annotation constraints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AxiomViolation {
+    /// The graph's node labels do not match the trace.
+    LabelsMismatch,
+    /// Constraint 2: program order edges of some processor do not form a
+    /// total order consistent with trace order.
+    ProgramOrder { detail: String },
+    /// Constraint 3: ST order edges of some block do not form a total order
+    /// over exactly the STs to that block.
+    StOrder { detail: String },
+    /// Constraint 4: inheritance edges are not exactly one per non-⊥ LD,
+    /// each from a matching ST.
+    Inheritance { detail: String },
+    /// Constraint 5(a): a (store, load, next-store) triple lacks its forced
+    /// edge (directly or via a program-order path to a later inheritor).
+    Forced { store: usize, load: usize, next_store: usize },
+    /// Constraint 5(b): a `LD(P,B,⊥)` lacks a forced path to the first ST
+    /// in the block's ST order.
+    ForcedBottom { load: usize, first_store: usize },
+}
+
+impl fmt::Display for AxiomViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiomViolation::LabelsMismatch => write!(f, "node labels do not match trace"),
+            AxiomViolation::ProgramOrder { detail } => write!(f, "program order: {detail}"),
+            AxiomViolation::StOrder { detail } => write!(f, "ST order: {detail}"),
+            AxiomViolation::Inheritance { detail } => write!(f, "inheritance: {detail}"),
+            AxiomViolation::Forced { store, load, next_store } => write!(
+                f,
+                "forced: triple (ST {}, LD {}, ST {}) lacks a forced edge",
+                store + 1,
+                load + 1,
+                next_store + 1
+            ),
+            AxiomViolation::ForcedBottom { load, first_store } => write!(
+                f,
+                "forced(⊥): LD {} lacks a forced path to first ST {}",
+                load + 1,
+                first_store + 1
+            ),
+        }
+    }
+}
+
+/// Extract, per processor index, the node numbers in trace order.
+fn per_proc_nodes(trace: &Trace) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for (i, op) in trace.iter().enumerate() {
+        let p = op.proc.idx();
+        if out.len() <= p {
+            out.resize(p + 1, Vec::new());
+        }
+        out[p].push(i);
+    }
+    out
+}
+
+/// Check constraint 2 (program order) or 3 (ST order): `edges` restricted to
+/// `members` must form a Hamiltonian path over `members`. For program order
+/// the path must additionally visit `members` in their given (trace) order.
+fn check_total_order(
+    members: &[usize],
+    edges: &[(usize, usize)],
+    require_trace_order: bool,
+    what: &str,
+) -> Result<Vec<usize>, String> {
+    let u = members.len();
+    if u == 0 {
+        return if edges.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Err(format!("{what}: edges between non-members"))
+        };
+    }
+    if edges.len() != u - 1 {
+        return Err(format!(
+            "{what}: expected {} edges over {} members, found {}",
+            u - 1,
+            u,
+            edges.len()
+        ));
+    }
+    let is_member = |x: usize| members.contains(&x);
+    let mut succ: Vec<Option<usize>> = vec![None; u];
+    let mut has_pred = vec![false; u];
+    let pos = |x: usize| members.iter().position(|&m| m == x);
+    for &(a, b) in edges {
+        if !is_member(a) || !is_member(b) {
+            return Err(format!("{what}: edge ({},{}) leaves the member set", a + 1, b + 1));
+        }
+        let (ia, ib) = (pos(a).unwrap(), pos(b).unwrap());
+        if succ[ia].is_some() {
+            return Err(format!("{what}: node {} has two successors", a + 1));
+        }
+        if has_pred[ib] {
+            return Err(format!("{what}: node {} has two predecessors", b + 1));
+        }
+        succ[ia] = Some(ib);
+        has_pred[ib] = true;
+    }
+    let mut starts = (0..u).filter(|&i| !has_pred[i]);
+    let start = starts.next().ok_or_else(|| format!("{what}: no start node (cycle)"))?;
+    if starts.next().is_some() {
+        return Err(format!("{what}: disconnected order"));
+    }
+    let mut chain = Vec::with_capacity(u);
+    let mut cur = Some(start);
+    while let Some(i) = cur {
+        chain.push(members[i]);
+        cur = succ[i];
+    }
+    if chain.len() != u {
+        return Err(format!("{what}: order has a cycle"));
+    }
+    if require_trace_order && chain != members {
+        return Err(format!("{what}: order not consistent with trace order"));
+    }
+    Ok(chain)
+}
+
+/// Compute, for each node, the set of nodes reachable by following only
+/// program-order edges (used for the constraint-5 path provisos). Returns
+/// the po-successor of each node, if any (po edges form paths after
+/// constraint 2 has been validated).
+fn po_successors(g: &ConstraintGraph) -> Vec<Option<usize>> {
+    let mut succ = vec![None; g.node_count()];
+    for (u, v) in g.edges_with(EdgeSet::PO) {
+        succ[u] = Some(v);
+    }
+    succ
+}
+
+/// Validate that `g` is a constraint graph for `trace` per §3.1
+/// (constraints 2–5). Acyclicity is *not* part of being a constraint graph
+/// and is checked separately ([`ConstraintGraph::is_acyclic`]).
+pub fn validate_constraint_graph(g: &ConstraintGraph, trace: &Trace) -> Result<(), AxiomViolation> {
+    let n = trace.len();
+    if g.node_count() != n || (0..n).any(|i| g.label(i) != trace[i]) {
+        return Err(AxiomViolation::LabelsMismatch);
+    }
+
+    // Constraint 2: per-processor program order.
+    let po_edges: Vec<(usize, usize)> = g.edges_with(EdgeSet::PO).collect();
+    for (pidx, members) in per_proc_nodes(trace).iter().enumerate() {
+        let mine: Vec<(usize, usize)> = po_edges
+            .iter()
+            .copied()
+            .filter(|&(u, _)| trace[u].proc.idx() == pidx)
+            .collect();
+        check_total_order(members, &mine, true, &format!("P{}", pidx + 1))
+            .map_err(|detail| AxiomViolation::ProgramOrder { detail })?;
+    }
+    // No po edge may join different processors.
+    for &(u, v) in &po_edges {
+        if trace[u].proc != trace[v].proc {
+            return Err(AxiomViolation::ProgramOrder {
+                detail: format!("edge ({},{}) joins different processors", u + 1, v + 1),
+            });
+        }
+    }
+
+    // Constraint 3: per-block ST order; collect the validated chains.
+    let sto_edges: Vec<(usize, usize)> = g.edges_with(EdgeSet::STO).collect();
+    for &(u, v) in &sto_edges {
+        if !trace[u].is_store()
+            || !trace[v].is_store()
+            || trace[u].block != trace[v].block
+        {
+            return Err(AxiomViolation::StOrder {
+                detail: format!("edge ({},{}) is not between STs to one block", u + 1, v + 1),
+            });
+        }
+    }
+    let mut st_chains: Vec<(scv_types::BlockId, Vec<usize>)> = Vec::new();
+    {
+        let mut blocks: Vec<scv_types::BlockId> =
+            trace.iter().filter(|o| o.is_store()).map(|o| o.block).collect();
+        blocks.sort();
+        blocks.dedup();
+        for b in blocks {
+            let members = trace.stores_to(b);
+            let mine: Vec<(usize, usize)> = sto_edges
+                .iter()
+                .copied()
+                .filter(|&(u, _)| trace[u].block == b)
+                .collect();
+            let chain = check_total_order(&members, &mine, false, &format!("{b}"))
+                .map_err(|detail| AxiomViolation::StOrder { detail })?;
+            st_chains.push((b, chain));
+        }
+    }
+
+    // Constraint 4: inheritance edges.
+    let inh_edges: Vec<(usize, usize)> = g.edges_with(EdgeSet::INH).collect();
+    let mut inh_from: Vec<Option<usize>> = vec![None; n];
+    for &(u, v) in &inh_edges {
+        let (src, dst) = (trace[u], trace[v]);
+        if !dst.is_load() || dst.value.is_bottom() {
+            return Err(AxiomViolation::Inheritance {
+                detail: format!("edge into node {} which is not a non-⊥ LD", v + 1),
+            });
+        }
+        if !src.is_store() || src.block != dst.block || src.value != dst.value {
+            return Err(AxiomViolation::Inheritance {
+                detail: format!(
+                    "node {} inherits from {} which is not ST(*,{},{})",
+                    v + 1,
+                    u + 1,
+                    dst.block,
+                    dst.value
+                ),
+            });
+        }
+        if inh_from[v].is_some() {
+            return Err(AxiomViolation::Inheritance {
+                detail: format!("node {} has two inheritance edges", v + 1),
+            });
+        }
+        inh_from[v] = Some(u);
+    }
+    for (v, op) in trace.iter().enumerate() {
+        if op.is_load() && !op.value.is_bottom() && inh_from[v].is_none() {
+            return Err(AxiomViolation::Inheritance {
+                detail: format!("LD node {} has no inheritance edge", v + 1),
+            });
+        }
+    }
+
+    // Constraint 5: forced edges. Precompute po successor chain.
+    let po_succ = po_successors(g);
+    let has_forced = |a: usize, b: usize| g.edge(a, b).is_some_and(|e| e.contains(EdgeSet::FORCED));
+
+    // 5(a): for each ST-order edge (i,k) and inheritance edge (i,j), some
+    // node j' reachable from j by po edges (j' = j allowed) also inherits
+    // from i and has a forced edge to k.
+    for (b, chain) in &st_chains {
+        let _ = b;
+        for w in chain.windows(2) {
+            let (i, k) = (w[0], w[1]);
+            for &(src, j) in &inh_edges {
+                if src != i {
+                    continue;
+                }
+                let mut cur = Some(j);
+                let mut ok = false;
+                while let Some(jp) = cur {
+                    if inh_from[jp] == Some(i) && has_forced(jp, k) {
+                        ok = true;
+                        break;
+                    }
+                    cur = po_succ[jp];
+                }
+                if !ok {
+                    return Err(AxiomViolation::Forced { store: i, load: j, next_store: k });
+                }
+            }
+        }
+    }
+
+    // 5(b): each LD(P,B,⊥) has a forced edge on a (po) path to the first
+    // node in B's ST order. Vacuous if B has no stores.
+    for (b, chain) in &st_chains {
+        let first = chain[0];
+        for (j, op) in trace.iter().enumerate() {
+            if !(op.is_load() && op.value.is_bottom() && op.block == *b) {
+                continue;
+            }
+            let mut cur = Some(j);
+            let mut ok = false;
+            while let Some(jp) = cur {
+                let lbl = trace[jp];
+                let same_kind = lbl.is_load() && lbl.value.is_bottom() && lbl.block == *b;
+                if same_kind && has_forced(jp, first) {
+                    ok = true;
+                    break;
+                }
+                cur = po_succ[jp];
+            }
+            if !ok {
+                return Err(AxiomViolation::ForcedBottom { load: j, first_store: first });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scv_types::{BlockId, Op, ProcId, Value};
+
+    fn st(p: u8, b: u8, v: u8) -> Op {
+        Op::store(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ld(p: u8, b: u8, v: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ldb(p: u8, b: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value::BOTTOM)
+    }
+
+    fn figure3_trace() -> Trace {
+        Trace::from_ops([st(1, 1, 1), ld(2, 1, 1), st(1, 1, 2), ld(2, 1, 1), ld(2, 1, 2)])
+    }
+
+    fn figure3_graph() -> ConstraintGraph {
+        let t = figure3_trace();
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(0, 1, EdgeSet::INH);
+        g.add_edge(0, 2, EdgeSet::PO_STO);
+        g.add_edge(0, 3, EdgeSet::INH);
+        g.add_edge(1, 3, EdgeSet::PO);
+        g.add_edge(3, 2, EdgeSet::FORCED);
+        g.add_edge(2, 4, EdgeSet::INH);
+        g.add_edge(3, 4, EdgeSet::PO);
+        g
+    }
+
+    #[test]
+    fn figure3_satisfies_all_axioms() {
+        let t = figure3_trace();
+        let g = figure3_graph();
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+    }
+
+    #[test]
+    fn node_2_is_covered_by_path_proviso() {
+        // In Figure 3, the triple (1,2,3) has no direct forced edge 2->3;
+        // it is satisfied via the po path 2 -> 4 and the forced edge 4 -> 3.
+        let g = figure3_graph();
+        assert_eq!(g.edge(1, 2), None);
+        assert!(g.edge(3, 2).unwrap().contains(EdgeSet::FORCED));
+    }
+
+    #[test]
+    fn missing_forced_edge_detected() {
+        let t = figure3_trace();
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(0, 1, EdgeSet::INH);
+        g.add_edge(0, 2, EdgeSet::PO_STO);
+        g.add_edge(0, 3, EdgeSet::INH);
+        g.add_edge(1, 3, EdgeSet::PO);
+        // forced edge (4,3) omitted
+        g.add_edge(2, 4, EdgeSet::INH);
+        g.add_edge(3, 4, EdgeSet::PO);
+        assert!(matches!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::Forced { store: 0, next_store: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_inheritance_edge_detected() {
+        let t = Trace::from_ops([st(1, 1, 1), ld(2, 1, 1)]);
+        let g = ConstraintGraph::with_nodes(t.iter().copied());
+        assert!(matches!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::Inheritance { .. })
+        ));
+    }
+
+    #[test]
+    fn inheritance_value_mismatch_detected() {
+        let t = Trace::from_ops([st(1, 1, 1), ld(2, 1, 2)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(0, 1, EdgeSet::INH);
+        assert!(matches!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::Inheritance { .. })
+        ));
+    }
+
+    #[test]
+    fn double_inheritance_detected() {
+        let t = Trace::from_ops([st(1, 1, 1), st(2, 1, 1), ld(1, 1, 1)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(0, 2, EdgeSet::INH | EdgeSet::PO);
+        g.add_edge(1, 2, EdgeSet::INH);
+        g.add_edge(0, 1, EdgeSet::STO);
+        assert!(matches!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::Inheritance { .. })
+        ));
+    }
+
+    #[test]
+    fn program_order_must_match_trace_order() {
+        let t = Trace::from_ops([st(1, 1, 1), st(1, 1, 2)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(1, 0, EdgeSet::PO); // wrong direction
+        g.add_edge(0, 1, EdgeSet::STO);
+        assert!(matches!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::ProgramOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_po_edge_detected() {
+        let t = Trace::from_ops([st(1, 1, 1), st(1, 1, 2)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(0, 1, EdgeSet::STO); // po edge missing
+        assert!(matches!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::ProgramOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn st_order_may_differ_from_trace_order() {
+        // STs by different processors to the same block, serialized in the
+        // opposite of trace order — legal for constraint 3.
+        let t = Trace::from_ops([st(1, 1, 1), st(2, 1, 2)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(1, 0, EdgeSet::STO);
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+    }
+
+    #[test]
+    fn st_order_cycle_detected() {
+        let t = Trace::from_ops([st(1, 1, 1), st(2, 1, 2)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(0, 1, EdgeSet::STO);
+        g.add_edge(1, 0, EdgeSet::STO);
+        assert!(matches!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::StOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn bottom_load_needs_forced_path_to_first_store() {
+        let t = Trace::from_ops([ldb(2, 1), st(1, 1, 1)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        // No forced edge from the ⊥ load to the first store: violation.
+        assert!(matches!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::ForcedBottom { load: 0, first_store: 1 })
+        ));
+        g.add_edge(0, 1, EdgeSet::FORCED);
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+    }
+
+    #[test]
+    fn bottom_load_vacuous_without_stores() {
+        let t = Trace::from_ops([ldb(1, 1), ldb(2, 1)]);
+        let g = ConstraintGraph::with_nodes(t.iter().copied());
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+    }
+
+    #[test]
+    fn bottom_load_covered_by_po_path() {
+        // Two ⊥ loads by P2; only the later one carries the forced edge.
+        let t = Trace::from_ops([ldb(2, 1), ldb(2, 1), st(1, 1, 1)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(0, 1, EdgeSet::PO);
+        g.add_edge(1, 2, EdgeSet::FORCED);
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+    }
+
+    #[test]
+    fn labels_mismatch_detected() {
+        let t = figure3_trace();
+        let g = ConstraintGraph::with_nodes([st(1, 1, 1)]);
+        assert_eq!(validate_constraint_graph(&g, &t), Err(AxiomViolation::LabelsMismatch));
+    }
+}

@@ -1,0 +1,343 @@
+//! Whole-trace baseline checker in the style of Gibbons & Korach.
+//!
+//! The observer of section 4 supplies two pieces of reordering information:
+//! which ST each LD inherits its value from, and the serial order of the STs
+//! to each block. Packaged as a [`Witness`], that information determines a
+//! unique *saturated* constraint graph (all forced edges added directly),
+//! and the trace has a serial reordering consistent with the witness iff
+//! that graph is acyclic.
+//!
+//! This module materializes the whole graph in memory — `O(n)` space for a
+//! length-`n` trace — and is the baseline that the finite-state streaming
+//! checker of `scv-checker` is differentially tested and benchmarked
+//! against.
+
+use crate::edge::EdgeSet;
+use crate::graph::ConstraintGraph;
+use scv_types::{Reordering, Trace};
+
+/// Reordering information for a trace: inheritance sources and per-block ST
+/// orders. Node indices are 0-based trace positions.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Witness {
+    /// `inh[j] = Some(i)` iff operation `j` is a LD inheriting its value
+    /// from ST `i`; `None` for STs and for `⊥` loads.
+    pub inh: Vec<Option<usize>>,
+    /// `st_order[b]` is the serial order of the STs to block index `b`
+    /// (a permutation of `trace.stores_to(B)`); empty for blocks without
+    /// stores.
+    pub st_order: Vec<Vec<usize>>,
+}
+
+/// Errors found when validating a witness against its trace.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WitnessError {
+    /// `inh` has the wrong length or assigns inheritance to a non-load,
+    /// a `⊥` load, or from a non-matching ST.
+    BadInheritance(usize),
+    /// `st_order[b]` is not a permutation of the STs to block `b`.
+    BadStOrder(usize),
+}
+
+impl Witness {
+    /// Derive the witness implied by a serial reordering: each LD inherits
+    /// from the last ST to its block preceding it in the serial trace, and
+    /// the ST order is the order of STs in the serial trace.
+    pub fn from_serial_reordering(trace: &Trace, r: &Reordering) -> Witness {
+        assert!(r.is_serial_reordering(trace), "witness requires a serial reordering");
+        let n = trace.len();
+        let n_blocks = trace.iter().map(|op| op.block.idx() + 1).max().unwrap_or(0);
+        let mut inh = vec![None; n];
+        let mut st_order = vec![Vec::new(); n_blocks];
+        let mut last_st: Vec<Option<usize>> = vec![None; n_blocks];
+        for &a in r.as_slice() {
+            let op = trace[a];
+            let b = op.block.idx();
+            if op.is_store() {
+                st_order[b].push(a);
+                last_st[b] = Some(a);
+            } else if !op.value.is_bottom() {
+                inh[a] = Some(last_st[b].expect("serial trace: load after store"));
+            }
+        }
+        Witness { inh, st_order }
+    }
+
+    /// Validate shape invariants against the trace.
+    pub fn validate(&self, trace: &Trace) -> Result<(), WitnessError> {
+        if self.inh.len() != trace.len() {
+            return Err(WitnessError::BadInheritance(usize::MAX));
+        }
+        for (j, src) in self.inh.iter().enumerate() {
+            let op = trace[j];
+            match src {
+                None => {
+                    if op.is_load() && !op.value.is_bottom() {
+                        return Err(WitnessError::BadInheritance(j));
+                    }
+                }
+                Some(i) => {
+                    if !op.is_load() || op.value.is_bottom() {
+                        return Err(WitnessError::BadInheritance(j));
+                    }
+                    let Some(&s) = trace.ops().get(*i) else {
+                        return Err(WitnessError::BadInheritance(j));
+                    };
+                    if !s.is_store() || s.block != op.block || s.value != op.value {
+                        return Err(WitnessError::BadInheritance(j));
+                    }
+                }
+            }
+        }
+        let n_blocks = trace.iter().map(|op| op.block.idx() + 1).max().unwrap_or(0);
+        if self.st_order.len() < n_blocks {
+            return Err(WitnessError::BadStOrder(usize::MAX));
+        }
+        for (b, order) in self.st_order.iter().enumerate() {
+            let mut expect = trace.stores_to(scv_types::BlockId::from_idx(b));
+            let mut got = order.clone();
+            expect.sort_unstable();
+            got.sort_unstable();
+            if expect != got {
+                return Err(WitnessError::BadStOrder(b));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Build the *saturated* constraint graph for `trace` under `witness`:
+/// program-order edges in trace order, the witness's ST order and
+/// inheritance edges, and every forced edge added directly (constraint 5's
+/// direct form, which has the same reachability as any path-proviso
+/// variant).
+pub fn saturated_graph(trace: &Trace, witness: &Witness) -> ConstraintGraph {
+    debug_assert_eq!(witness.validate(trace), Ok(()));
+    let mut g = ConstraintGraph::with_nodes(trace.iter().copied());
+
+    // Program order edges (consecutive per processor, trace order).
+    let mut last_of_proc: Vec<Option<usize>> = Vec::new();
+    for (i, op) in trace.iter().enumerate() {
+        let p = op.proc.idx();
+        if last_of_proc.len() <= p {
+            last_of_proc.resize(p + 1, None);
+        }
+        if let Some(prev) = last_of_proc[p] {
+            g.add_edge(prev, i, EdgeSet::PO);
+        }
+        last_of_proc[p] = Some(i);
+    }
+
+    // ST order edges.
+    for order in &witness.st_order {
+        for w in order.windows(2) {
+            g.add_edge(w[0], w[1], EdgeSet::STO);
+        }
+    }
+
+    // Inheritance edges, indexed by source for the forced-edge pass.
+    let mut heirs: Vec<Vec<usize>> = vec![Vec::new(); trace.len()];
+    for (j, src) in witness.inh.iter().enumerate() {
+        if let Some(i) = src {
+            g.add_edge(*i, j, EdgeSet::INH);
+            heirs[*i].push(j);
+        }
+    }
+
+    // Forced edges, direct form: for each consecutive (i,k) in a block's ST
+    // order, every heir of i gets a forced edge to k.
+    for order in &witness.st_order {
+        for w in order.windows(2) {
+            let (i, k) = (w[0], w[1]);
+            for &j in &heirs[i] {
+                g.add_edge(j, k, EdgeSet::FORCED);
+            }
+        }
+    }
+
+    // Forced edges for ⊥ loads: to the first ST in the block's ST order.
+    for (j, op) in trace.iter().enumerate() {
+        if op.is_load() && op.value.is_bottom() {
+            if let Some(order) = witness.st_order.get(op.block.idx()) {
+                if let Some(&first) = order.first() {
+                    g.add_edge(j, first, EdgeSet::FORCED);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// Verdict of the baseline checker.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BaselineVerdict {
+    /// The saturated graph is acyclic: the trace has a serial reordering
+    /// consistent with the witness (returned).
+    Consistent(Reordering),
+    /// The witness itself is malformed.
+    InvalidWitness(WitnessError),
+    /// The saturated graph has a cycle (returned as a node sequence):
+    /// no serial reordering is consistent with the witness.
+    Cyclic(Vec<usize>),
+}
+
+/// The whole-trace baseline checker: build the saturated graph and test
+/// acyclicity.
+#[derive(Default)]
+pub struct BaselineChecker;
+
+impl BaselineChecker {
+    /// Check a trace against a witness.
+    pub fn check(trace: &Trace, witness: &Witness) -> BaselineVerdict {
+        if let Err(e) = witness.validate(trace) {
+            return BaselineVerdict::InvalidWitness(e);
+        }
+        let g = saturated_graph(trace, witness);
+        match g.topological_order() {
+            Some(order) => {
+                let r = Reordering::new(order);
+                debug_assert!(r.is_serial_reordering(trace));
+                BaselineVerdict::Consistent(r)
+            }
+            None => BaselineVerdict::Cyclic(g.find_cycle().expect("cyclic graph has a cycle")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::validate_constraint_graph;
+    use scv_types::{BlockId, Op, ProcId, Value};
+
+    fn st(p: u8, b: u8, v: u8) -> Op {
+        Op::store(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ld(p: u8, b: u8, v: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value(v))
+    }
+
+    fn figure3() -> (Trace, Reordering) {
+        let t = Trace::from_ops([
+            st(1, 1, 1),
+            ld(2, 1, 1),
+            st(1, 1, 2),
+            ld(2, 1, 1),
+            ld(2, 1, 2),
+        ]);
+        let r = Reordering::new(vec![0, 1, 3, 2, 4]);
+        (t, r)
+    }
+
+    #[test]
+    fn witness_from_reordering_is_valid() {
+        let (t, r) = figure3();
+        let w = Witness::from_serial_reordering(&t, &r);
+        assert_eq!(w.validate(&t), Ok(()));
+        assert_eq!(w.inh, vec![None, Some(0), None, Some(0), Some(2)]);
+        assert_eq!(w.st_order, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn saturated_graph_satisfies_axioms_and_is_acyclic() {
+        let (t, r) = figure3();
+        let w = Witness::from_serial_reordering(&t, &r);
+        let g = saturated_graph(&t, &w);
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn checker_accepts_consistent_witness() {
+        let (t, r) = figure3();
+        let w = Witness::from_serial_reordering(&t, &r);
+        match BaselineChecker::check(&t, &w) {
+            BaselineVerdict::Consistent(r2) => assert!(r2.is_serial_reordering(&t)),
+            v => panic!("expected Consistent, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn checker_rejects_wrong_inheritance() {
+        // LD at node 4 claims to inherit value 2 from node 0 (which stored
+        // value 1): invalid witness.
+        let (t, r) = figure3();
+        let mut w = Witness::from_serial_reordering(&t, &r);
+        w.inh[4] = Some(0);
+        assert!(matches!(
+            BaselineChecker::check(&t, &w),
+            BaselineVerdict::InvalidWitness(WitnessError::BadInheritance(4))
+        ));
+    }
+
+    #[test]
+    fn checker_finds_cycle_for_stale_read_with_wrong_order() {
+        // Trace: ST(B,1) by P1; ST(B,2) by P1; LD(B,1) by P2.
+        // Claimed ST order = trace order, LD inherits from the first ST:
+        // forced edge LD -> ST2 is fine (acyclic). But claim the *reverse*
+        // ST order [1,0]: then LD inherits from ST 0, whose STo successor
+        // is... none (0 is last). The cycle appears instead through po+STo:
+        // po 0->1 and STo 1->0 is a 2-cycle.
+        let t = Trace::from_ops([st(1, 1, 1), st(1, 1, 2), ld(2, 1, 1)]);
+        let w = Witness { inh: vec![None, None, Some(0)], st_order: vec![vec![1, 0]] };
+        assert_eq!(w.validate(&t), Ok(()));
+        match BaselineChecker::check(&t, &w) {
+            BaselineVerdict::Cyclic(cycle) => {
+                assert!(cycle.contains(&0) && cycle.contains(&1));
+            }
+            v => panic!("expected Cyclic, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn checker_finds_forced_cycle_on_non_sc_observation() {
+        // P2 reads 1 then 2; P3 reads 2 then 1. With ST order [ST1, ST2],
+        // P3's second read (of value 1) forces an edge to ST2, which
+        // precedes the inheritance edge ST2 -> P3's first read: cycle.
+        let t = Trace::from_ops([
+            st(1, 1, 1), // 0
+            st(1, 1, 2), // 1   (same proc so po fixes ST order anyway)
+            ld(2, 1, 1), // 2
+            ld(2, 1, 2), // 3
+            ld(3, 1, 2), // 4
+            ld(3, 1, 1), // 5
+        ]);
+        let w = Witness {
+            inh: vec![None, None, Some(0), Some(1), Some(1), Some(0)],
+            st_order: vec![vec![0, 1]],
+        };
+        assert_eq!(w.validate(&t), Ok(()));
+        match BaselineChecker::check(&t, &w) {
+            BaselineVerdict::Cyclic(cycle) => {
+                // The cycle runs through P3's po edge 4 -> 5 and the forced
+                // edge 5 -> 1 and inheritance 1 -> 4.
+                for wdw in cycle.windows(2) {
+                    let g = saturated_graph(&t, &w);
+                    assert!(g.edge(wdw[0], wdw[1]).is_some());
+                }
+            }
+            v => panic!("expected Cyclic, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn bottom_load_forced_edge_creates_cycle_when_late() {
+        // LD(B,⊥) after a ST to B in every possible serial order: the
+        // forced edge to the first ST plus the inheritance structure of a
+        // later read of that ST... simplest: P1 stores then loads ⊥.
+        // po edge ST -> LD and forced edge LD -> ST: 2-cycle.
+        let t = Trace::from_ops([st(1, 1, 1), Op::load(ProcId(1), BlockId(1), Value::BOTTOM)]);
+        let w = Witness { inh: vec![None, None], st_order: vec![vec![0]] };
+        assert!(matches!(BaselineChecker::check(&t, &w), BaselineVerdict::Cyclic(_)));
+    }
+
+    #[test]
+    fn st_order_permutation_mismatch_detected() {
+        let t = Trace::from_ops([st(1, 1, 1), st(2, 1, 2)]);
+        let w = Witness { inh: vec![None, None], st_order: vec![vec![0]] };
+        assert!(matches!(
+            BaselineChecker::check(&t, &w),
+            BaselineVerdict::InvalidWitness(WitnessError::BadStOrder(0))
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! Graphviz DOT export for constraint graphs — used when inspecting
+//! counterexample witness graphs by eye.
+
+use crate::edge::EdgeSet;
+use crate::graph::ConstraintGraph;
+use std::fmt::Write;
+
+/// Render the graph in Graphviz DOT syntax. Nodes are numbered 1-based as
+/// in the paper and labeled with their operations; edge styles distinguish
+/// the four annotations (program order solid, ST order bold, inheritance
+/// dashed, forced dotted — combinations list all labels).
+pub fn to_dot(g: &ConstraintGraph) -> String {
+    let mut out = String::new();
+    out.push_str("digraph constraint_graph {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for v in 0..g.node_count() {
+        let op = g.label(v);
+        let shape = if op.is_store() { "box" } else { "ellipse" };
+        writeln!(out, "  n{} [label=\"{}: {}\", shape={}];", v + 1, v + 1, op, shape)
+            .expect("write to string");
+    }
+    for (u, v, ann) in g.edges() {
+        let style = if ann.contains(EdgeSet::STO) {
+            "bold"
+        } else if ann.contains(EdgeSet::PO) {
+            "solid"
+        } else if ann.contains(EdgeSet::INH) {
+            "dashed"
+        } else {
+            "dotted"
+        };
+        writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\", style={}];",
+            u + 1,
+            v + 1,
+            ann,
+            style
+        )
+        .expect("write to string");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Highlight a cycle (as returned by [`ConstraintGraph::find_cycle`]) in
+/// red on top of the plain rendering.
+pub fn to_dot_with_cycle(g: &ConstraintGraph, cycle: &[usize]) -> String {
+    let mut out = to_dot(g);
+    let closing = out.rfind('}').expect("well-formed dot");
+    out.truncate(closing);
+    for w in cycle.windows(2) {
+        writeln!(out, "  n{} -> n{} [color=red, penwidth=2, label=\"cycle\"];", w[0] + 1, w[1] + 1)
+            .expect("write to string");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scv_types::{BlockId, Op, ProcId, Value};
+
+    fn sample() -> ConstraintGraph {
+        let mut g = ConstraintGraph::with_nodes([
+            Op::store(ProcId(1), BlockId(1), Value(1)),
+            Op::load(ProcId(2), BlockId(1), Value(1)),
+        ]);
+        g.add_edge(0, 1, EdgeSet::INH);
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph constraint_graph {"));
+        assert!(dot.contains("n1 [label=\"1: ST(P1,B1,1)\", shape=box]"));
+        assert!(dot.contains("n2 [label=\"2: LD(P2,B1,1)\", shape=ellipse]"));
+        assert!(dot.contains("n1 -> n2 [label=\"inh\", style=dashed]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edge_styles_reflect_annotations() {
+        let mut g = sample();
+        g.add_edge(1, 0, EdgeSet::FORCED); // creates a cycle, but dot doesn't care
+        let dot = to_dot(&g);
+        assert!(dot.contains("style=dotted"));
+    }
+
+    #[test]
+    fn cycle_overlay_appends_red_edges() {
+        let mut g = sample();
+        g.add_edge(1, 0, EdgeSet::FORCED);
+        let cycle = g.find_cycle().expect("cyclic");
+        let dot = to_dot_with_cycle(&g, &cycle);
+        assert!(dot.contains("color=red"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

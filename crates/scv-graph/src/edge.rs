@@ -1,0 +1,161 @@
+//! Edge annotations (§3.1, edge annotation constraint 1).
+//!
+//! Every edge of a constraint graph carries one or more of the four
+//! annotations *inheritance*, *program order*, *ST order*, *forced*. The
+//! observer alphabet of §3.4 names the combinations that occur in practice
+//! (`inh`, `po`, `STo`, `forced`, `po-STo`, `po-inh`, `po-forced`); we
+//! represent the full power set as a bit set.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A non-empty set of edge annotations, stored as a bit set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct EdgeSet(u8);
+
+impl EdgeSet {
+    /// No annotations. Constraint 1 forbids storing such an edge in a graph;
+    /// this value exists only as the identity for [`BitOr`].
+    pub const EMPTY: EdgeSet = EdgeSet(0);
+    /// Inheritance edge: from the ST a LD got its value from, to that LD.
+    pub const INH: EdgeSet = EdgeSet(1);
+    /// Program order edge: consecutive operations of one processor.
+    pub const PO: EdgeSet = EdgeSet(2);
+    /// ST order edge: consecutive STs to one block in the serial order.
+    pub const STO: EdgeSet = EdgeSet(4);
+    /// Forced edge: keeps later STs to a block after the LDs that read the
+    /// previous ST's value (constraint 5).
+    pub const FORCED: EdgeSet = EdgeSet(8);
+
+    /// The combined `po-STo` annotation of the observer alphabet.
+    pub const PO_STO: EdgeSet = EdgeSet(2 | 4);
+    /// The combined `po-inh` annotation of the observer alphabet.
+    pub const PO_INH: EdgeSet = EdgeSet(2 | 1);
+    /// The combined `po-forced` annotation of the observer alphabet.
+    pub const PO_FORCED: EdgeSet = EdgeSet(2 | 8);
+
+    /// Is the set empty (no annotations)?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Does the set contain every annotation in `other`?
+    #[inline]
+    pub fn contains(self, other: EdgeSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Raw bits, for compact serialization.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuild from raw bits (only the low 4 bits are meaningful).
+    #[inline]
+    pub fn from_bits(bits: u8) -> EdgeSet {
+        EdgeSet(bits & 0xf)
+    }
+
+    /// All sixteen subsets, for exhaustive tests.
+    pub fn all_subsets() -> impl Iterator<Item = EdgeSet> {
+        (0..16u8).map(EdgeSet)
+    }
+}
+
+impl BitOr for EdgeSet {
+    type Output = EdgeSet;
+    #[inline]
+    fn bitor(self, rhs: EdgeSet) -> EdgeSet {
+        EdgeSet(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for EdgeSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: EdgeSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for EdgeSet {
+    /// Paper notation: annotations joined by `-`, e.g. `po-STo`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "(none)");
+        }
+        let mut first = true;
+        let mut put = |name: &str, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if !first {
+                write!(f, "-")?;
+            }
+            first = false;
+            write!(f, "{name}")
+        };
+        // Order chosen to reproduce the paper's combined labels (po-STo,
+        // po-inh, po-forced) with `po` first, and `inh` first otherwise.
+        if self.contains(EdgeSet::PO) {
+            put("po", f)?;
+        }
+        if self.contains(EdgeSet::INH) {
+            put("inh", f)?;
+        }
+        if self.contains(EdgeSet::STO) {
+            put("STo", f)?;
+        }
+        if self.contains(EdgeSet::FORCED) {
+            put("forced", f)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for EdgeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_containment() {
+        let e = EdgeSet::PO | EdgeSet::STO;
+        assert!(e.contains(EdgeSet::PO));
+        assert!(e.contains(EdgeSet::STO));
+        assert!(!e.contains(EdgeSet::INH));
+        assert!(e.contains(EdgeSet::EMPTY));
+        assert_eq!(e, EdgeSet::PO_STO);
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(EdgeSet::INH.to_string(), "inh");
+        assert_eq!(EdgeSet::PO.to_string(), "po");
+        assert_eq!(EdgeSet::STO.to_string(), "STo");
+        assert_eq!(EdgeSet::FORCED.to_string(), "forced");
+        assert_eq!(EdgeSet::PO_STO.to_string(), "po-STo");
+        assert_eq!(EdgeSet::PO_INH.to_string(), "po-inh");
+        assert_eq!(EdgeSet::PO_FORCED.to_string(), "po-forced");
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for e in EdgeSet::all_subsets() {
+            assert_eq!(EdgeSet::from_bits(e.bits()), e);
+        }
+        assert_eq!(EdgeSet::all_subsets().count(), 16);
+    }
+
+    #[test]
+    fn or_assign_accumulates() {
+        let mut e = EdgeSet::EMPTY;
+        assert!(e.is_empty());
+        e |= EdgeSet::FORCED;
+        e |= EdgeSet::PO;
+        assert_eq!(e, EdgeSet::PO_FORCED);
+    }
+}

@@ -1,0 +1,218 @@
+//! Both directions of Lemma 3.1: a trace has a serial reordering iff some
+//! constraint graph for it is acyclic.
+
+use crate::edge::EdgeSet;
+use crate::graph::ConstraintGraph;
+use scv_types::{Reordering, Trace};
+
+/// Forward direction of Lemma 3.1 (the construction in its proof): given a
+/// serial reordering `Π` of `trace`, build the constraint graph whose
+/// program-order, ST-order, inheritance, and forced edges all follow the
+/// serial trace `T' = Π(T)`. The resulting graph is a constraint graph for
+/// `trace` and is acyclic.
+///
+/// Panics if `reordering` is not a serial reordering of `trace` (the
+/// construction is only defined for serial reorderings).
+pub fn graph_from_serial_reordering(trace: &Trace, reordering: &Reordering) -> ConstraintGraph {
+    assert!(
+        reordering.is_serial_reordering(trace),
+        "graph_from_serial_reordering requires a serial reordering"
+    );
+    let mut g = ConstraintGraph::with_nodes(trace.iter().copied());
+    // Positions of original nodes within T' (π⁻¹).
+    let inv = reordering.inverse();
+    // Scan T' once, maintaining per-processor last op, per-block last ST,
+    // and per-block current inheritance source.
+    let order = reordering.as_slice();
+
+    // Bullet 1: program order edges (consecutive ops of each processor in
+    // T'; same as consecutive in T since program order is preserved).
+    let mut last_of_proc: Vec<Option<usize>> = Vec::new();
+    // Bullet 2: ST order edges (consecutive STs per block in T').
+    let mut last_st_of_block: Vec<Option<usize>> = Vec::new();
+    // Bullet 3: inheritance edges (last ST to the block before each LD in T').
+    for &a in order {
+        let op = trace[a];
+        let p = op.proc.idx();
+        if last_of_proc.len() <= p {
+            last_of_proc.resize(p + 1, None);
+        }
+        if let Some(prev) = last_of_proc[p] {
+            g.add_edge(prev, a, EdgeSet::PO);
+        }
+        last_of_proc[p] = Some(a);
+
+        let b = op.block.idx();
+        if last_st_of_block.len() <= b {
+            last_st_of_block.resize(b + 1, None);
+        }
+        if op.is_store() {
+            if let Some(prev) = last_st_of_block[b] {
+                g.add_edge(prev, a, EdgeSet::STO);
+            }
+            last_st_of_block[b] = Some(a);
+        } else if !op.value.is_bottom() {
+            let src = last_st_of_block[b]
+                .expect("serial trace: non-⊥ load must follow a store");
+            debug_assert_eq!(trace[src].value, op.value);
+            g.add_edge(src, a, EdgeSet::INH);
+        }
+    }
+
+    // Bullet 4: forced edges for triples (i, a, b) with STo edge i->b and
+    // inh edge i->a.
+    let sto: Vec<(usize, usize)> = g.edges_with(EdgeSet::STO).collect();
+    let inh: Vec<(usize, usize)> = g.edges_with(EdgeSet::INH).collect();
+    for &(i, b) in &sto {
+        for &(src, a) in &inh {
+            if src == i {
+                g.add_edge(a, b, EdgeSet::FORCED);
+            }
+        }
+    }
+
+    // Bullet 5: forced edges from each LD(P,B,⊥) to the first ST to B in T'.
+    let mut first_st_of_block: Vec<Option<usize>> = Vec::new();
+    for &a in order {
+        let op = trace[a];
+        let b = op.block.idx();
+        if first_st_of_block.len() <= b {
+            first_st_of_block.resize(b + 1, None);
+        }
+        if op.is_store() && first_st_of_block[b].is_none() {
+            first_st_of_block[b] = Some(a);
+        }
+    }
+    for (a, op) in trace.iter().enumerate() {
+        if op.is_load() && op.value.is_bottom() {
+            let b = op.block.idx();
+            if let Some(Some(first)) = first_st_of_block.get(b) {
+                // In a serial T', every ⊥ load precedes the first ST.
+                debug_assert!(inv[a] < inv[*first]);
+                g.add_edge(a, *first, EdgeSet::FORCED);
+            }
+        }
+    }
+    g
+}
+
+/// Reverse direction of Lemma 3.1: any total order of the nodes of an
+/// acyclic constraint graph that respects its edges is a serial reordering.
+/// Returns `None` if the graph is cyclic.
+pub fn serial_reordering_from_graph(g: &ConstraintGraph) -> Option<Reordering> {
+    g.topological_order().map(Reordering::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axioms::validate_constraint_graph;
+    use scv_types::{BlockId, Op, ProcId, Value};
+
+    fn st(p: u8, b: u8, v: u8) -> Op {
+        Op::store(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ld(p: u8, b: u8, v: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value(v))
+    }
+
+    /// The Figure 3 trace with the serial reordering 1,2,4,3,5.
+    fn figure3() -> (Trace, Reordering) {
+        let t = Trace::from_ops([
+            st(1, 1, 1),
+            ld(2, 1, 1),
+            st(1, 1, 2),
+            ld(2, 1, 1),
+            ld(2, 1, 2),
+        ]);
+        let r = Reordering::new(vec![0, 1, 3, 2, 4]);
+        assert!(r.is_serial_reordering(&t));
+        (t, r)
+    }
+
+    #[test]
+    fn forward_builds_valid_acyclic_constraint_graph() {
+        let (t, r) = figure3();
+        let g = graph_from_serial_reordering(&t, &r);
+        assert!(g.is_acyclic());
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+    }
+
+    #[test]
+    fn forward_matches_figure3_edges() {
+        let (t, r) = figure3();
+        let g = graph_from_serial_reordering(&t, &r);
+        // The paper's Figure 3 edges (0-based), with the direct forced edges
+        // of the proof construction.
+        assert!(g.edge(0, 1).unwrap().contains(EdgeSet::INH));
+        assert!(g.edge(0, 2).unwrap().contains(EdgeSet::PO));
+        assert!(g.edge(0, 2).unwrap().contains(EdgeSet::STO));
+        assert!(g.edge(0, 3).unwrap().contains(EdgeSet::INH));
+        assert!(g.edge(1, 3).unwrap().contains(EdgeSet::PO));
+        assert!(g.edge(2, 4).unwrap().contains(EdgeSet::INH));
+        assert!(g.edge(3, 4).unwrap().contains(EdgeSet::PO));
+        assert!(g.edge(3, 2).unwrap().contains(EdgeSet::FORCED));
+        // The proof construction also forces 2 -> 3 directly (node 2
+        // inherits from node 1, node 3 is the STo successor of node 1).
+        assert!(g.edge(1, 2).unwrap().contains(EdgeSet::FORCED));
+    }
+
+    #[test]
+    fn reverse_extracts_serial_reordering() {
+        let (t, r) = figure3();
+        let g = graph_from_serial_reordering(&t, &r);
+        let r2 = serial_reordering_from_graph(&g).unwrap();
+        assert!(r2.is_serial_reordering(&t));
+    }
+
+    #[test]
+    fn roundtrip_on_interleaved_workload() {
+        // Two processors ping-pong on two blocks; trace equals its own
+        // witness (already serial).
+        let t = Trace::from_ops([
+            st(1, 1, 1),
+            ld(2, 1, 1),
+            st(2, 2, 2),
+            ld(1, 2, 2),
+            st(1, 1, 2),
+            ld(2, 1, 2),
+        ]);
+        assert!(t.is_serial());
+        let r = Reordering::identity(t.len());
+        let g = graph_from_serial_reordering(&t, &r);
+        assert!(g.is_acyclic());
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+        let r2 = serial_reordering_from_graph(&g).unwrap();
+        assert!(r2.is_serial_reordering(&t));
+    }
+
+    #[test]
+    fn bottom_loads_get_forced_edges() {
+        let t = Trace::from_ops([
+            Op::load(ProcId(2), BlockId(1), Value::BOTTOM),
+            st(1, 1, 1),
+            ld(2, 1, 1),
+        ]);
+        let r = Reordering::identity(3);
+        assert!(r.is_serial_reordering(&t));
+        let g = graph_from_serial_reordering(&t, &r);
+        assert!(g.edge(0, 1).unwrap().contains(EdgeSet::FORCED));
+        assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a serial reordering")]
+    fn non_serial_reordering_rejected() {
+        let t = Trace::from_ops([st(1, 1, 1), ld(2, 1, 2)]);
+        let r = Reordering::identity(2);
+        let _ = graph_from_serial_reordering(&t, &r);
+    }
+
+    #[test]
+    fn reverse_on_cyclic_graph_is_none() {
+        let mut g = ConstraintGraph::with_nodes([st(1, 1, 1), st(2, 1, 2)]);
+        g.add_edge(0, 1, EdgeSet::STO);
+        g.add_edge(1, 0, EdgeSet::FORCED);
+        assert!(serial_reordering_from_graph(&g).is_none());
+    }
+}

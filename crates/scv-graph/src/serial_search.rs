@@ -1,0 +1,259 @@
+//! Direct decision procedure for "does this trace have a serial
+//! reordering?" (§2.2), by memoized search over interleavings.
+//!
+//! A serial reordering consumes each processor's operations in program
+//! order, so a search state is the per-processor cursor vector plus the
+//! current memory contents (the value of the last store executed per
+//! block). The number of states is at most `∏(len_p + 1) · v^b`, which is
+//! exponential in general — consistent with the NP-completeness of testing
+//! shared memories (Gibbons & Korach) — but fine for the small traces this
+//! is used on: cross-validating Lemma 3.1 and the observer/checker pipeline.
+
+use scv_types::{Reordering, Trace, Value};
+use std::collections::{HashMap, HashSet};
+
+/// Find a serial reordering of `trace`, or `None` if none exists.
+///
+/// The returned reordering `r` satisfies `r.is_serial_reordering(trace)`.
+pub fn find_serial_reordering(trace: &Trace) -> Option<Reordering> {
+    let n = trace.len();
+    if n == 0 {
+        return Some(Reordering::identity(0));
+    }
+    // Per-processor operation index lists.
+    let mut procs: Vec<Vec<usize>> = Vec::new();
+    for (i, op) in trace.iter().enumerate() {
+        let p = op.proc.idx();
+        if procs.len() <= p {
+            procs.resize(p + 1, Vec::new());
+        }
+        procs[p].push(i);
+    }
+    let n_blocks = trace
+        .iter()
+        .map(|op| op.block.idx() + 1)
+        .max()
+        .unwrap_or(0);
+
+    // Memoized DFS over (cursors, memory) states known to be dead ends.
+    let mut dead: HashSet<(Vec<u16>, Vec<Value>)> = HashSet::new();
+    let mut cursors = vec![0u16; procs.len()];
+    let mut mem = vec![Value::BOTTOM; n_blocks];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+
+    fn dfs(
+        procs: &[Vec<usize>],
+        trace: &Trace,
+        cursors: &mut Vec<u16>,
+        mem: &mut Vec<Value>,
+        order: &mut Vec<usize>,
+        dead: &mut HashSet<(Vec<u16>, Vec<Value>)>,
+    ) -> bool {
+        if order.len() == trace.len() {
+            return true;
+        }
+        let key = (cursors.clone(), mem.clone());
+        if dead.contains(&key) {
+            return false;
+        }
+        for p in 0..procs.len() {
+            let c = cursors[p] as usize;
+            if c >= procs[p].len() {
+                continue;
+            }
+            let i = procs[p][c];
+            let op = trace[i];
+            let b = op.block.idx();
+            let old = mem[b];
+            if op.is_store() {
+                mem[b] = op.value;
+            } else if mem[b] != op.value {
+                continue; // load value would be wrong here
+            }
+            cursors[p] += 1;
+            order.push(i);
+            if dfs(procs, trace, cursors, mem, order, dead) {
+                return true;
+            }
+            order.pop();
+            cursors[p] -= 1;
+            mem[b] = old;
+        }
+        dead.insert(key);
+        false
+    }
+
+    if dfs(&procs, trace, &mut cursors, &mut mem, &mut order, &mut dead) {
+        let r = Reordering::new(order);
+        debug_assert!(r.is_serial_reordering(trace));
+        Some(r)
+    } else {
+        None
+    }
+}
+
+/// Does the trace have a serial reordering? (§2.2: a protocol is
+/// sequentially consistent iff all of its traces do.)
+pub fn has_serial_reordering(trace: &Trace) -> bool {
+    find_serial_reordering(trace).is_some()
+}
+
+/// Count the distinct serial reorderings of a trace (for tests and for the
+/// Figure 1 outcome enumeration). Exponential; small traces only.
+pub fn count_serial_reorderings(trace: &Trace) -> usize {
+    let n = trace.len();
+    let mut procs: Vec<Vec<usize>> = Vec::new();
+    for (i, op) in trace.iter().enumerate() {
+        let p = op.proc.idx();
+        if procs.len() <= p {
+            procs.resize(p + 1, Vec::new());
+        }
+        procs[p].push(i);
+    }
+    let n_blocks = trace.iter().map(|op| op.block.idx() + 1).max().unwrap_or(0);
+    // Count paths by memoizing on (cursors, memory).
+    let mut memo: HashMap<(Vec<u16>, Vec<Value>), usize> = HashMap::new();
+
+    fn count(
+        procs: &[Vec<usize>],
+        trace: &Trace,
+        cursors: &mut Vec<u16>,
+        mem: &mut Vec<Value>,
+        remaining: usize,
+        memo: &mut HashMap<(Vec<u16>, Vec<Value>), usize>,
+    ) -> usize {
+        if remaining == 0 {
+            return 1;
+        }
+        let key = (cursors.clone(), mem.clone());
+        if let Some(&c) = memo.get(&key) {
+            return c;
+        }
+        let mut total = 0usize;
+        for p in 0..procs.len() {
+            let c = cursors[p] as usize;
+            if c >= procs[p].len() {
+                continue;
+            }
+            let i = procs[p][c];
+            let op = trace[i];
+            let b = op.block.idx();
+            let old = mem[b];
+            if op.is_store() {
+                mem[b] = op.value;
+            } else if mem[b] != op.value {
+                continue;
+            }
+            cursors[p] += 1;
+            total += count(procs, trace, cursors, mem, remaining - 1, memo);
+            cursors[p] -= 1;
+            mem[b] = old;
+        }
+        memo.insert(key, total);
+        total
+    }
+
+    let mut cursors = vec![0u16; procs.len()];
+    let mut mem = vec![Value::BOTTOM; n_blocks];
+    count(&procs, trace, &mut cursors, &mut mem, n, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scv_types::{BlockId, Op, ProcId};
+
+    fn st(p: u8, b: u8, v: u8) -> Op {
+        Op::store(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ld(p: u8, b: u8, v: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ldb(p: u8, b: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value::BOTTOM)
+    }
+
+    #[test]
+    fn empty_and_serial_traces_pass() {
+        assert!(has_serial_reordering(&Trace::new()));
+        let t = Trace::from_ops([st(1, 1, 1), ld(2, 1, 1)]);
+        assert!(has_serial_reordering(&t));
+    }
+
+    #[test]
+    fn figure1_outcomes() {
+        // Figure 1 (message-passing litmus): Processor 1 executes
+        // ST r1,x then ST r2,y; Processor 2 executes LD r2,y then LD r1,x.
+        // With x = B1 (value 1) and y = B2 (value 2), the paper's caption:
+        // serial memory gives only (r1,r2) = (1,2); SC also allows (0,0)
+        // and (1,0) but *not* (0,2); relaxed models allow (0,2) by
+        // reordering the two loads.
+        let outcome = |r1: Option<u8>, r2: Option<u8>| {
+            Trace::from_ops([
+                st(1, 1, 1), // P1: ST r1 -> x   (x = 1)
+                st(1, 2, 2), // P1: ST r2 -> y   (y = 2)
+                match r2 {
+                    Some(v) => ld(2, 2, v),
+                    None => ldb(2, 2),
+                }, // P2: LD r2 <- y
+                match r1 {
+                    Some(v) => ld(2, 1, v),
+                    None => ldb(2, 1),
+                }, // P2: LD r1 <- x
+            ])
+        };
+        assert!(has_serial_reordering(&outcome(Some(1), Some(2))));
+        assert!(has_serial_reordering(&outcome(None, None)));
+        assert!(has_serial_reordering(&outcome(Some(1), None)));
+        assert!(!has_serial_reordering(&outcome(None, Some(2))));
+    }
+
+    #[test]
+    fn witness_is_checked() {
+        let t = Trace::from_ops([
+            st(1, 1, 1),
+            ld(2, 1, 1),
+            st(1, 1, 2),
+            ld(2, 1, 1), // stale read: must be reordered before ST(B,2)
+            ld(2, 1, 2),
+        ]);
+        let r = find_serial_reordering(&t).expect("figure 3 trace is SC");
+        assert!(r.is_serial_reordering(&t));
+    }
+
+    #[test]
+    fn non_sc_trace_rejected() {
+        // Classic coherence violation: two processors observe the two
+        // stores to one block in opposite orders.
+        let t = Trace::from_ops([
+            st(1, 1, 1),
+            st(2, 1, 2),
+            ld(3, 1, 1),
+            ld(3, 1, 2),
+            ld(4, 1, 2),
+            ld(4, 1, 1),
+        ]);
+        assert!(!has_serial_reordering(&t));
+    }
+
+    #[test]
+    fn stale_bottom_rejected() {
+        let t = Trace::from_ops([st(1, 1, 1), ld(1, 1, 1), ldb(1, 1)]);
+        assert!(!has_serial_reordering(&t));
+    }
+
+    #[test]
+    fn count_matches_enumeration_on_independent_procs() {
+        // Two processors touching different blocks: every interleaving is
+        // serial, so the count is C(4,2) = 6 for 2+2 ops.
+        let t = Trace::from_ops([st(1, 1, 1), ld(1, 1, 1), st(2, 2, 1), ld(2, 2, 1)]);
+        assert_eq!(count_serial_reorderings(&t), 6);
+    }
+
+    #[test]
+    fn count_zero_iff_not_sc() {
+        let t = Trace::from_ops([ld(1, 1, 1)]);
+        assert_eq!(count_serial_reorderings(&t), 0);
+        assert!(!has_serial_reordering(&t));
+    }
+}

@@ -1,0 +1,440 @@
+//! Generic explicit-state reachability: sequential and parallel BFS.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// 128-bit state fingerprints for the seen-set.
+///
+/// Storing full states for every visited state is the memory bottleneck of
+/// explicit-state search; both searchers instead record two independent
+/// 64-bit hashes per state (full states live only in the current
+/// frontier). A collision would silently merge two distinct states — with
+/// 128 bits the probability across even 10⁹ states is ~10⁻²⁰, far below
+/// any practical concern (the same trade Holzmann's bitstate hashing makes
+/// far more aggressively).
+struct Fingerprinter {
+    a: RandomState,
+    b: RandomState,
+}
+
+impl Fingerprinter {
+    fn new() -> Self {
+        Fingerprinter { a: RandomState::new(), b: RandomState::new() }
+    }
+
+    fn fp<S: Hash>(&self, s: &S) -> u128 {
+        let mut ha = self.a.build_hasher();
+        s.hash(&mut ha);
+        let mut hb = self.b.build_hasher();
+        s.hash(&mut hb);
+        (ha.finish() as u128) << 64 | hb.finish() as u128
+    }
+}
+
+/// A finite labeled transition system with a safety predicate.
+pub trait TransitionSystem {
+    /// State type (hashable; `Send` for the parallel searcher).
+    type State: Clone + Eq + Hash + Send;
+    /// Transition label (used in counterexamples).
+    type Label: Clone + Send;
+
+    /// The initial state.
+    fn initial(&self) -> Self::State;
+
+    /// All successors of a state, with labels.
+    fn successors(&self, s: &Self::State) -> Vec<(Self::Label, Self::State)>;
+
+    /// A safety violation in `s`, if any (checked on every reachable
+    /// state, including the initial one).
+    fn violation(&self, s: &Self::State) -> Option<String>;
+}
+
+/// Search limits.
+#[derive(Clone, Copy, Debug)]
+pub struct BfsOptions {
+    /// Stop after visiting this many states.
+    pub max_states: usize,
+    /// Explore at most this many BFS levels.
+    pub max_depth: usize,
+}
+
+impl Default for BfsOptions {
+    fn default() -> Self {
+        BfsOptions { max_states: 1_000_000, max_depth: usize::MAX }
+    }
+}
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct McStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions explored.
+    pub transitions: usize,
+    /// Depth reached.
+    pub depth: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// A violating run: the labels from the initial state to the bad state,
+/// and the violation message.
+#[derive(Clone, Debug)]
+pub struct Counterexample<L> {
+    /// Transition labels along the path.
+    pub path: Vec<L>,
+    /// The safety predicate's message.
+    pub message: String,
+}
+
+/// Result of a search.
+#[derive(Clone, Debug)]
+pub enum SearchResult<L> {
+    /// Every reachable state (within limits) is safe, and no limit was hit.
+    Safe(McStats),
+    /// Every explored state is safe but a limit stopped the search.
+    Bounded(McStats),
+    /// A violation was found.
+    Unsafe(Counterexample<L>, McStats),
+}
+
+impl<L> SearchResult<L> {
+    /// Search statistics regardless of outcome.
+    pub fn stats(&self) -> McStats {
+        match self {
+            SearchResult::Safe(s) | SearchResult::Bounded(s) => *s,
+            SearchResult::Unsafe(_, s) => *s,
+        }
+    }
+
+    /// Did the search prove safety exhaustively?
+    pub fn is_safe(&self) -> bool {
+        matches!(self, SearchResult::Safe(_))
+    }
+}
+
+/// Sequential BFS with parent tracking for counterexample extraction.
+/// The seen-set stores 128-bit fingerprints, not states (see
+/// [`Fingerprinter`]); full states live only in the frontier.
+pub fn bfs<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::Label> {
+    let start = Instant::now();
+    let fper = Fingerprinter::new();
+    let mut stats = McStats::default();
+    let init = sys.initial();
+    let mut index: HashMap<u128, u32> = HashMap::new();
+    let mut parents: Vec<Option<(u32, T::Label)>> = Vec::new();
+    let mut frontier: Vec<(T::State, u32)> = Vec::new();
+
+    index.insert(fper.fp(&init), 0);
+    parents.push(None);
+    stats.states = 1;
+
+    let rebuild = |parents: &Vec<Option<(u32, T::Label)>>, mut at: u32| -> Vec<T::Label> {
+        let mut path = Vec::new();
+        while let Some((p, l)) = &parents[at as usize] {
+            path.push(l.clone());
+            at = *p;
+        }
+        path.reverse();
+        path
+    };
+
+    if let Some(msg) = sys.violation(&init) {
+        stats.elapsed = start.elapsed();
+        return SearchResult::Unsafe(Counterexample { path: Vec::new(), message: msg }, stats);
+    }
+    frontier.push((init, 0));
+
+    let mut depth = 0usize;
+    let mut truncated = false;
+    while !frontier.is_empty() && depth < opts.max_depth {
+        depth += 1;
+        let mut next = Vec::new();
+        for (s, si) in frontier.drain(..) {
+            for (label, t) in sys.successors(&s) {
+                stats.transitions += 1;
+                let fp = fper.fp(&t);
+                if index.contains_key(&fp) {
+                    continue;
+                }
+                let ti = parents.len() as u32;
+                index.insert(fp, ti);
+                parents.push(Some((si, label)));
+                stats.states += 1;
+                stats.depth = depth;
+                if let Some(msg) = sys.violation(&t) {
+                    stats.elapsed = start.elapsed();
+                    return SearchResult::Unsafe(
+                        Counterexample { path: rebuild(&parents, ti), message: msg },
+                        stats,
+                    );
+                }
+                if stats.states >= opts.max_states {
+                    truncated = true;
+                    break;
+                }
+                next.push((t, ti));
+            }
+            if truncated {
+                break;
+            }
+        }
+        frontier = next;
+        if truncated {
+            break;
+        }
+    }
+    stats.elapsed = start.elapsed();
+    if truncated || (depth >= opts.max_depth && !frontier.is_empty()) {
+        SearchResult::Bounded(stats)
+    } else {
+        SearchResult::Safe(stats)
+    }
+}
+
+/// Parallel level-synchronous BFS: each level's frontier is split among
+/// scoped worker threads; the seen-set is sharded by state hash behind
+/// `parking_lot` mutexes. Returns the same verdicts as [`bfs`] (the
+/// counterexample path is reconstructed from parent states stored in the
+/// shards).
+pub fn bfs_parallel<T>(sys: &T, opts: BfsOptions, threads: usize) -> SearchResult<T::Label>
+where
+    T: TransitionSystem + Sync,
+    T::State: Sync,
+    T::Label: Sync,
+{
+    if threads <= 1 {
+        return bfs(sys, opts);
+    }
+    const SHARDS: usize = 64;
+    let start = Instant::now();
+    let fper = Fingerprinter::new();
+    let shard_of = |fp: u128| -> usize { (fp as usize) % SHARDS };
+    // Shard maps: fingerprint -> (parent fingerprint, label); the label
+    // chain is all a counterexample needs.
+    type Parent<T> = Option<(u128, <T as TransitionSystem>::Label)>;
+    let shards: Vec<Mutex<HashMap<u128, Parent<T>>>> =
+        (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
+
+    let init = sys.initial();
+    if let Some(msg) = sys.violation(&init) {
+        let stats = McStats { states: 1, elapsed: start.elapsed(), ..Default::default() };
+        return SearchResult::Unsafe(Counterexample { path: Vec::new(), message: msg }, stats);
+    }
+    let init_fp = fper.fp(&init);
+    shards[shard_of(init_fp)].lock().insert(init_fp, None);
+
+    let n_states = AtomicU64::new(1);
+    let n_trans = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let found: Mutex<Option<(u128, String)>> = Mutex::new(None);
+
+    let mut frontier: Vec<(T::State, u128)> = vec![(init, init_fp)];
+    let mut depth = 0usize;
+    let mut truncated = false;
+
+    while !frontier.is_empty() && depth < opts.max_depth && !stop.load(Ordering::Relaxed) {
+        depth += 1;
+        let chunks: Vec<&[(T::State, u128)]> = frontier
+            .chunks(frontier.len().div_ceil(threads))
+            .collect();
+        let next: Vec<Vec<(T::State, u128)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let shards = &shards;
+                    let n_states = &n_states;
+                    let n_trans = &n_trans;
+                    let stop = &stop;
+                    let found = &found;
+                    let fper = &fper;
+                    let shard_of = &shard_of;
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        for (s, sfp) in chunk {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            for (label, t) in sys.successors(s) {
+                                n_trans.fetch_add(1, Ordering::Relaxed);
+                                let tfp = fper.fp(&t);
+                                {
+                                    let mut m = shards[shard_of(tfp)].lock();
+                                    if m.contains_key(&tfp) {
+                                        continue;
+                                    }
+                                    m.insert(tfp, Some((*sfp, label)));
+                                }
+                                let total =
+                                    n_states.fetch_add(1, Ordering::Relaxed) + 1;
+                                if let Some(msg) = sys.violation(&t) {
+                                    *found.lock() = Some((tfp, msg));
+                                    stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                if total as usize >= opts.max_states {
+                                    stop.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                local.push((t, tfp));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("scope");
+        frontier = next.into_iter().flatten().collect();
+        if stop.load(Ordering::Relaxed) {
+            truncated = true;
+            break;
+        }
+    }
+
+    let mut stats = McStats {
+        states: n_states.load(Ordering::Relaxed) as usize,
+        transitions: n_trans.load(Ordering::Relaxed) as usize,
+        depth,
+        elapsed: start.elapsed(),
+    };
+    let found = found.lock().take();
+    if let Some((bad, msg)) = found {
+        // Reconstruct the label path through the shard parent maps.
+        let mut path = Vec::new();
+        let mut cur = bad;
+        loop {
+            let parent = shards[shard_of(cur)].lock().get(&cur).cloned().flatten();
+            match parent {
+                Some((p, l)) => {
+                    path.push(l);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        stats.elapsed = start.elapsed();
+        return SearchResult::Unsafe(Counterexample { path, message: msg }, stats);
+    }
+    if truncated || (depth >= opts.max_depth && !frontier.is_empty()) {
+        SearchResult::Bounded(stats)
+    } else {
+        SearchResult::Safe(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter modulo n that "violates" at a designated value.
+    struct Counter {
+        n: u32,
+        bad: Option<u32>,
+    }
+
+    impl TransitionSystem for Counter {
+        type State = u32;
+        type Label = &'static str;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+        fn successors(&self, s: &u32) -> Vec<(&'static str, u32)> {
+            vec![("inc", (s + 1) % self.n), ("dbl", (s * 2) % self.n)]
+        }
+        fn violation(&self, s: &u32) -> Option<String> {
+            (Some(*s) == self.bad).then(|| format!("hit {s}"))
+        }
+    }
+
+    #[test]
+    fn safe_system_explores_all_states() {
+        let sys = Counter { n: 97, bad: None };
+        let r = bfs(&sys, BfsOptions::default());
+        assert!(r.is_safe());
+        assert_eq!(r.stats().states, 97);
+    }
+
+    #[test]
+    fn violation_found_with_shortest_path() {
+        let sys = Counter { n: 97, bad: Some(5) };
+        match bfs(&sys, BfsOptions::default()) {
+            SearchResult::Unsafe(ce, _) => {
+                assert_eq!(ce.message, "hit 5");
+                // Shortest path to 5: 0->1->2->4->5 (inc,dbl,dbl,inc) = 4 steps
+                // or 0->1->2->3->... BFS guarantees minimality: length 4.
+                assert_eq!(ce.path.len(), 4);
+                // Replay the path.
+                let mut s = 0u32;
+                for l in &ce.path {
+                    s = match *l {
+                        "inc" => (s + 1) % 97,
+                        _ => (s * 2) % 97,
+                    };
+                }
+                assert_eq!(s, 5);
+            }
+            r => panic!("expected Unsafe, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn state_limit_reports_bounded() {
+        let sys = Counter { n: 1000, bad: None };
+        let r = bfs(&sys, BfsOptions { max_states: 10, max_depth: usize::MAX });
+        assert!(matches!(r, SearchResult::Bounded(_)));
+    }
+
+    #[test]
+    fn depth_limit_reports_bounded() {
+        let sys = Counter { n: 1000, bad: None };
+        let r = bfs(&sys, BfsOptions { max_states: usize::MAX, max_depth: 3 });
+        assert!(matches!(r, SearchResult::Bounded(_)));
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_on_safe() {
+        let sys = Counter { n: 977, bad: None };
+        let seq = bfs(&sys, BfsOptions::default());
+        let par = bfs_parallel(&sys, BfsOptions::default(), 4);
+        assert!(seq.is_safe() && par.is_safe());
+        assert_eq!(seq.stats().states, par.stats().states);
+    }
+
+    #[test]
+    fn parallel_finds_violations() {
+        let sys = Counter { n: 977, bad: Some(123) };
+        match bfs_parallel(&sys, BfsOptions::default(), 4) {
+            SearchResult::Unsafe(ce, _) => {
+                let mut s = 0u32;
+                for l in &ce.path {
+                    s = match *l {
+                        "inc" => (s + 1) % 977,
+                        _ => (s * 2) % 977,
+                    };
+                }
+                assert_eq!(s, 123, "path must replay to the bad state");
+            }
+            r => panic!("expected Unsafe, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn violating_initial_state_caught() {
+        let sys = Counter { n: 10, bad: Some(0) };
+        match bfs(&sys, BfsOptions::default()) {
+            SearchResult::Unsafe(ce, _) => assert!(ce.path.is_empty()),
+            r => panic!("expected Unsafe, got {r:?}"),
+        }
+        match bfs_parallel(&sys, BfsOptions::default(), 2) {
+            SearchResult::Unsafe(ce, _) => assert!(ce.path.is_empty()),
+            r => panic!("expected Unsafe, got {r:?}"),
+        }
+    }
+}

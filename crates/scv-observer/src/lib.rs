@@ -1,0 +1,32 @@
+//! Automatic finite-state witness observers (§4 of Condon & Hu, SPAA
+//! 2001).
+//!
+//! An [`Observer`] is generated from a protocol's *metadata only* — its
+//! parameters, location count, and ST order policy — and runs alongside
+//! the protocol, converting each executed step (with its §4.1 tracking
+//! labels) into *k*-graph-descriptor symbols describing the witness
+//! constraint graph `W(R)`:
+//!
+//! * **inheritance edges** come from the ST-index machinery of Lemma 4.1:
+//!   descriptor IDs `1..=L` *are* the storage locations, a ST node's ID
+//!   set is exactly the set of locations holding its value (`add-ID`
+//!   symbols mirror the copy tracking labels), and a LD's inheritance
+//!   source is the owner of the location named by its tracking label;
+//! * **ST order edges** come from the ST order generator of §4.2 — trivial
+//!   under the real-time policy, or driven by copies into per-block
+//!   *serialization locations* (the memory words, for Lazy Caching and
+//!   store buffers);
+//! * **program order** and **forced** edges are generated per Theorem 4.1,
+//!   with a bounded set of *pinned* nodes (program-order anchors, ST-order
+//!   tails, deferred heirs, `⊥`-load anchors, first-store and
+//!   forced-target stores) held in a small auxiliary ID pool.
+//!
+//! Feeding the observer's output to `scv_checker::ScChecker` implements
+//! the full §3.4 verification method; `scv-mc` does so over *all* runs via
+//! model checking.
+
+pub mod observer;
+pub mod size;
+
+pub use observer::{Observer, ObserverConfig, ObserverStats};
+pub use size::{observer_size_bound, SizeBound};

@@ -1,0 +1,877 @@
+//! The observer construction of Theorem 4.1.
+
+use scv_descriptor::{Descriptor, IdNum, Symbol};
+use scv_graph::EdgeSet;
+use scv_protocol::{Action, CopySrc, LocId, Protocol, Run, StOrderPolicy, Step};
+use scv_types::{Op, Params};
+use std::collections::HashMap;
+
+/// Internal node key (monotone counter; never reused).
+type Key = u64;
+
+/// Static configuration extracted from a protocol.
+#[derive(Clone, Debug)]
+pub struct ObserverConfig {
+    /// Protocol parameters.
+    pub params: Params,
+    /// Number of storage locations `L`.
+    pub locations: u32,
+    /// ST order policy.
+    pub policy: StOrderPolicy,
+}
+
+impl ObserverConfig {
+    /// Extract the configuration from a protocol.
+    pub fn from_protocol<P: Protocol>(p: &P) -> Self {
+        ObserverConfig {
+            params: p.params(),
+            locations: p.locations(),
+            policy: p.st_order_policy(),
+        }
+    }
+}
+
+/// Streaming statistics, for the §4.4 size experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ObserverStats {
+    /// High-water mark of simultaneously used auxiliary IDs.
+    pub max_aux_in_use: usize,
+    /// High-water mark of live node records.
+    pub max_live_nodes: usize,
+    /// Total symbols emitted.
+    pub symbols: usize,
+}
+
+/// Why a node must remain addressable (hold an ID) even after its value
+/// left every storage location. A node is released once no reason remains.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+struct Pins {
+    /// Latest operation of its processor (program-order anchor).
+    po_anchor: bool,
+    /// Tail of its block's ST order (next STo edge starts here).
+    sto_tail: bool,
+    /// Deferred heir: awaiting the ST-order successor of `heir_of`.
+    heir_of: Option<Key>,
+    /// Latest `⊥` load of its (processor, block), awaiting the block's
+    /// first store.
+    bot_anchor: bool,
+    /// First store of its block in ST order (kept forever for late `⊥`
+    /// loads).
+    first_st: bool,
+    /// ST-order successor of the still-inheritable store `Key`.
+    forced_target_of: Option<Key>,
+    /// Issued but not yet serialized (serialization policy only).
+    pending_serialization: bool,
+}
+
+impl Pins {
+    fn any(&self) -> bool {
+        self.po_anchor
+            || self.sto_tail
+            || self.heir_of.is_some()
+            || self.bot_anchor
+            || self.first_st
+            || self.forced_target_of.is_some()
+            || self.pending_serialization
+    }
+}
+
+#[derive(Clone, Debug)]
+struct ObsNode {
+    /// The operation labeling this node (kept for diagnostics).
+    #[allow(dead_code)]
+    op: Op,
+    /// Number of storage locations currently holding this node's value
+    /// (only STs ever have a positive count).
+    loc_count: u32,
+    /// Auxiliary ID held, if any.
+    aux: Option<IdNum>,
+    pins: Pins,
+    /// ST-order successor, once known.
+    sto_succ: Option<Key>,
+    /// Deferred heirs: latest inheriting LD per processor, awaiting this
+    /// store's ST-order successor.
+    heirs: Vec<(u8, Key)>,
+}
+
+/// The automatically generated witness observer.
+#[derive(Clone)]
+pub struct Observer {
+    cfg: ObserverConfig,
+    /// Owner (node key) per location ID `1..=L`.
+    loc_owner: Vec<Option<Key>>,
+    /// Free auxiliary IDs (`L+1 ..= L+A`).
+    aux_free: Vec<IdNum>,
+    aux_total: usize,
+    /// Live node records.
+    nodes: HashMap<Key, ObsNode>,
+    next_key: Key,
+    /// Latest operation node per processor.
+    last_op: Vec<Option<Key>>,
+    /// ST-order tail per block.
+    sto_tail: Vec<Option<Key>>,
+    /// First store in ST order per block.
+    first_st: Vec<Option<Key>>,
+    /// Latest pinned `⊥` load per (processor, block).
+    bot_anchor: Vec<Option<Key>>,
+    /// Issued but unserialized stores per block, in trace order
+    /// (serialization policy only).
+    pending: Vec<Vec<Key>>,
+    /// Reverse map: location -> block it serializes (serialization policy).
+    serialization_of: HashMap<LocId, u8>,
+    stats: ObserverStats,
+    /// Per-step edge accumulation (merged annotations).
+    edges: Vec<((Key, Key), EdgeSet)>,
+}
+
+impl Observer {
+    /// Build an observer for the given configuration.
+    pub fn new(cfg: ObserverConfig) -> Self {
+        let l = cfg.locations as usize;
+        let p = cfg.params.p as usize;
+        let b = cfg.params.b as usize;
+        // Auxiliary pool, sized for the worst case of the pin analysis in
+        // Theorem 4.1 (program-order anchors + ST tails + heirs + ⊥
+        // anchors + first/forced-target stores), with slack.
+        let aux_total = p + b + p * (b + l) + p * b + 2 * b + l + 8;
+        let aux_free: Vec<IdNum> = ((l as u32 + 1)..=(l + aux_total) as u32).rev().collect();
+        let serialization_of = match &cfg.policy {
+            StOrderPolicy::RealTime => HashMap::new(),
+            StOrderPolicy::Serialization { locs } => locs
+                .iter()
+                .enumerate()
+                .map(|(bi, &loc)| (loc, bi as u8))
+                .collect(),
+        };
+        Observer {
+            loc_owner: vec![None; l],
+            aux_free,
+            aux_total,
+            nodes: HashMap::new(),
+            next_key: 0,
+            last_op: vec![None; p],
+            sto_tail: vec![None; b],
+            first_st: vec![None; b],
+            bot_anchor: vec![None; p * b],
+            pending: vec![Vec::new(); b],
+            serialization_of,
+            stats: ObserverStats::default(),
+            edges: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The bandwidth parameter of the emitted descriptor: IDs range over
+    /// `1..=k+1`, with `1..=L` the locations, then the auxiliary pool,
+    /// then one reserved never-owned "null" ID used to orphan IDs.
+    pub fn k(&self) -> u32 {
+        self.cfg.locations + self.aux_total as u32
+    }
+
+    /// The reserved never-owned ID (`k+1`).
+    fn null_id(&self) -> IdNum {
+        self.k() + 1
+    }
+
+    /// The number of storage locations `L` (IDs `1..=L` are locations).
+    pub fn location_count(&self) -> u32 {
+        self.cfg.locations
+    }
+
+    /// Streaming statistics.
+    pub fn stats(&self) -> ObserverStats {
+        self.stats
+    }
+
+    /// Observe one protocol step, appending descriptor symbols to `out`.
+    pub fn step(&mut self, step: &Step, out: &mut Vec<Symbol>) {
+        let before = out.len();
+        match step.action {
+            Action::Mem(op) if op.is_store() => self.on_store(op, step, out),
+            Action::Mem(op) => self.on_load(op, step, out),
+            Action::Internal(..) => self.on_internal(step, out),
+        }
+        self.stats.symbols += out.len() - before;
+        self.stats.max_live_nodes = self.stats.max_live_nodes.max(self.nodes.len());
+        self.stats.max_aux_in_use = self
+            .stats
+            .max_aux_in_use
+            .max(self.aux_total - self.aux_free.len());
+    }
+
+    /// Are there stores still awaiting serialization (so that
+    /// [`Observer::finish`] would emit trailing symbols)?
+    pub fn has_pending(&self) -> bool {
+        self.pending.iter().any(|p| !p.is_empty())
+    }
+
+    /// End of run: serialize any still-pending stores (emitting their ST
+    /// order edges and the forced edges of their waiting heirs).
+    pub fn finish(&mut self, out: &mut Vec<Symbol>) {
+        let before = out.len();
+        for b in 0..self.pending.len() {
+            let pend = std::mem::take(&mut self.pending[b]);
+            for key in pend {
+                if self.nodes.contains_key(&key) {
+                    self.nodes.get_mut(&key).expect("live").pins.pending_serialization = false;
+                    self.serialize_store(b, key);
+                }
+            }
+            self.flush_edges(out);
+        }
+        self.stats.symbols += out.len() - before;
+    }
+
+    /// Observe a whole run, returning the descriptor.
+    pub fn observe_run<P: Protocol>(protocol: &P, run: &Run) -> Descriptor {
+        let mut obs = Observer::new(ObserverConfig::from_protocol(protocol));
+        let mut d = Descriptor::new(obs.k());
+        for s in &run.steps {
+            obs.step(s, &mut d.symbols);
+        }
+        obs.finish(&mut d.symbols);
+        d
+    }
+
+    // ----- event handlers ---------------------------------------------------
+
+    fn on_store(&mut self, op: Op, step: &Step, out: &mut Vec<Symbol>) {
+        let loc = step.tracking.loc.expect("ST carries a location label");
+        // The overwritten occupant of `loc` may need rescuing first.
+        self.rescue_if_needed(loc, out);
+        let key = self.new_node(op);
+        self.nodes.get_mut(&key).expect("live").loc_count = 1;
+        let old = self.loc_owner[(loc - 1) as usize].replace(key);
+        out.push(Symbol::node(loc, op));
+        self.drop_loc_ref(old);
+
+        self.take_po_anchor(key, op.proc.idx());
+        let b = op.block.idx();
+        match self.cfg.policy {
+            StOrderPolicy::RealTime => self.serialize_store(b, key),
+            StOrderPolicy::Serialization { .. } => {
+                self.nodes.get_mut(&key).expect("live").pins.pending_serialization = true;
+                self.pending[b].push(key);
+            }
+        }
+        self.flush_edges(out);
+        self.gc(key);
+    }
+
+    fn on_load(&mut self, op: Op, step: &Step, out: &mut Vec<Symbol>) {
+        let loc = step.tracking.loc.expect("LD carries a location label");
+        let src = self.loc_owner[(loc - 1) as usize];
+        let key = self.new_node(op);
+        // A LD node holds no storage location; give it an auxiliary ID.
+        let aux = self.grab_aux();
+        self.nodes.get_mut(&key).expect("live").aux = Some(aux);
+        out.push(Symbol::node(aux, op));
+
+        self.take_po_anchor(key, op.proc.idx());
+
+        match src {
+            Some(st) if !op.value.is_bottom() => {
+                self.queue_edge(st, key, EdgeSet::INH);
+                let succ = self.nodes.get(&st).and_then(|n| n.sto_succ);
+                match succ {
+                    Some(k) => self.queue_edge(key, k, EdgeSet::FORCED),
+                    None => {
+                        // Pin as the latest heir of (processor, st).
+                        let proc = op.proc.0;
+                        let prev = {
+                            let n = self.nodes.get_mut(&st).expect("inheritable store is live");
+                            let prev = n
+                                .heirs
+                                .iter()
+                                .position(|(p, _)| *p == proc)
+                                .map(|i| n.heirs.remove(i).1);
+                            n.heirs.push((proc, key));
+                            prev
+                        };
+                        self.nodes.get_mut(&key).expect("live").pins.heir_of = Some(st);
+                        if let Some(prev) = prev {
+                            if let Some(n) = self.nodes.get_mut(&prev) {
+                                n.pins.heir_of = None;
+                            }
+                            self.gc(prev);
+                        }
+                    }
+                }
+            }
+            _ => {
+                // ⊥ load (or a value-less location, which the checker will
+                // flag): constraint 5(b) handling.
+                let b = op.block.idx();
+                match self.first_st[b] {
+                    Some(first) => self.queue_edge(key, first, EdgeSet::FORCED),
+                    None => {
+                        let slot = op.proc.idx() * self.cfg.params.b as usize + b;
+                        let prev = self.bot_anchor[slot].replace(key);
+                        self.nodes.get_mut(&key).expect("live").pins.bot_anchor = true;
+                        if let Some(prev) = prev {
+                            if let Some(n) = self.nodes.get_mut(&prev) {
+                                n.pins.bot_anchor = false;
+                            }
+                            self.gc(prev);
+                        }
+                    }
+                }
+            }
+        }
+        self.flush_edges(out);
+        self.gc(key);
+    }
+
+    fn on_internal(&mut self, step: &Step, out: &mut Vec<Symbol>) {
+        for &(dst, src) in &step.tracking.copies {
+            match src {
+                CopySrc::Loc(srcl) if srcl != dst => {
+                    self.rescue_if_needed(dst, out);
+                    let old = self.loc_owner[(dst - 1) as usize].take();
+                    let gainer = self.loc_owner[(srcl - 1) as usize];
+                    self.loc_owner[(dst - 1) as usize] = gainer;
+                    out.push(Symbol::AddId { of: srcl, add: dst });
+                    if let Some(g) = gainer {
+                        self.nodes.get_mut(&g).expect("owner is live").loc_count += 1;
+                    }
+                    self.drop_loc_ref(old);
+                    // Serialization events: a copy into a block's
+                    // serialization location serializes the source store.
+                    if let (Some(&b), Some(g)) = (self.serialization_of.get(&dst), gainer) {
+                        let pending = self
+                            .nodes
+                            .get(&g)
+                            .is_some_and(|n| n.pins.pending_serialization);
+                        if pending {
+                            let bi = b as usize;
+                            self.pending[bi].retain(|&k| k != g);
+                            self.nodes.get_mut(&g).expect("live").pins.pending_serialization =
+                                false;
+                            self.serialize_store(bi, g);
+                        }
+                    }
+                }
+                CopySrc::Loc(_) => {} // c_l(t) = l: unchanged
+                CopySrc::Invalid => {
+                    self.rescue_if_needed(dst, out);
+                    let old = self.loc_owner[(dst - 1) as usize].take();
+                    if old.is_some() {
+                        out.push(Symbol::AddId { of: self.null_id(), add: dst });
+                    }
+                    self.drop_loc_ref(old);
+                }
+            }
+            self.flush_edges(out);
+        }
+    }
+
+    // ----- ST order / forced machinery --------------------------------------
+
+    /// `node` becomes the next store of block `b` in ST order.
+    fn serialize_store(&mut self, b: usize, node: Key) {
+        match self.sto_tail[b] {
+            Some(tail) => {
+                self.queue_edge(tail, node, EdgeSet::STO);
+                // Forced edges for the tail's waiting heirs; they unpin.
+                let heirs = std::mem::take(
+                    &mut self.nodes.get_mut(&tail).expect("tail is live").heirs,
+                );
+                for (_, j) in heirs {
+                    if self.nodes.contains_key(&j) {
+                        self.queue_edge(j, node, EdgeSet::FORCED);
+                        self.nodes.get_mut(&j).expect("live").pins.heir_of = None;
+                        self.gc(j);
+                    }
+                }
+                self.nodes.get_mut(&tail).expect("live").sto_succ = Some(node);
+                // Future loads may still inherit from the tail while its
+                // value sits in some location: keep the successor
+                // addressable for their forced edges.
+                if self.nodes.get(&tail).expect("live").loc_count > 0 {
+                    self.nodes.get_mut(&node).expect("live").pins.forced_target_of = Some(tail);
+                }
+                self.nodes.get_mut(&tail).expect("live").pins.sto_tail = false;
+                self.gc(tail);
+            }
+            None => {
+                // First store of the block in ST order: discharge the ⊥
+                // anchors and stay pinned forever for late ⊥ loads.
+                self.first_st[b] = Some(node);
+                self.nodes.get_mut(&node).expect("live").pins.first_st = true;
+                for p in 0..self.cfg.params.p as usize {
+                    let slot = p * self.cfg.params.b as usize + b;
+                    if let Some(j) = self.bot_anchor[slot].take() {
+                        if self.nodes.contains_key(&j) {
+                            self.queue_edge(j, node, EdgeSet::FORCED);
+                            self.nodes.get_mut(&j).expect("live").pins.bot_anchor = false;
+                            self.gc(j);
+                        }
+                    }
+                }
+            }
+        }
+        self.sto_tail[b] = Some(node);
+        self.nodes.get_mut(&node).expect("live").pins.sto_tail = true;
+    }
+
+    // ----- plumbing ----------------------------------------------------------
+
+    fn new_node(&mut self, op: Op) -> Key {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.nodes.insert(
+            key,
+            ObsNode {
+                op,
+                loc_count: 0,
+                aux: None,
+                pins: Pins::default(),
+                sto_succ: None,
+                heirs: Vec::new(),
+            },
+        );
+        key
+    }
+
+    /// Make `key` the program-order anchor of processor index `pi`,
+    /// emitting the po edge from the previous anchor.
+    fn take_po_anchor(&mut self, key: Key, pi: usize) {
+        if let Some(prev) = self.last_op[pi].replace(key) {
+            self.queue_edge(prev, key, EdgeSet::PO);
+            if let Some(n) = self.nodes.get_mut(&prev) {
+                n.pins.po_anchor = false;
+            }
+            self.gc(prev);
+        }
+        self.nodes.get_mut(&key).expect("live").pins.po_anchor = true;
+    }
+
+    /// The occupant of location `loc` is about to lose that ID; if it is
+    /// its last ID and the node is pinned, grant an auxiliary ID first.
+    fn rescue_if_needed(&mut self, loc: LocId, out: &mut Vec<Symbol>) {
+        let Some(key) = self.loc_owner[(loc - 1) as usize] else {
+            return;
+        };
+        let needs = {
+            let n = self.nodes.get(&key).expect("owner is live");
+            n.loc_count == 1 && n.aux.is_none() && (n.pins.any() || !n.heirs.is_empty())
+        };
+        if needs {
+            let aux = self.grab_aux();
+            self.nodes.get_mut(&key).expect("live").aux = Some(aux);
+            out.push(Symbol::AddId { of: loc, add: aux });
+        }
+    }
+
+    /// Decrement the location count of a node that lost a location.
+    fn drop_loc_ref(&mut self, old: Option<Key>) {
+        let Some(key) = old else { return };
+        let n = self.nodes.get_mut(&key).expect("ex-owner is live");
+        n.loc_count -= 1;
+        if n.loc_count == 0 {
+            // The store's value left its last location: it can no longer
+            // be inherited from, so its ST-order successor no longer needs
+            // pinning on its behalf.
+            if let Some(succ) = n.sto_succ {
+                if let Some(sn) = self.nodes.get_mut(&succ) {
+                    if sn.pins.forced_target_of == Some(key) {
+                        sn.pins.forced_target_of = None;
+                    }
+                }
+                self.gc(succ);
+            }
+        }
+        self.gc(key);
+    }
+
+    fn grab_aux(&mut self) -> IdNum {
+        self.aux_free.pop().expect("auxiliary ID pool exhausted (pin-analysis bound violated)")
+    }
+
+    /// Queue an edge for emission at the next flush, merging annotations.
+    fn queue_edge(&mut self, from: Key, to: Key, ann: EdgeSet) {
+        if let Some(e) = self.edges.iter_mut().find(|(pair, _)| *pair == (from, to)) {
+            e.1 |= ann;
+            return;
+        }
+        self.edges.push(((from, to), ann));
+    }
+
+    /// Emit the queued edges using the nodes' current IDs, then release
+    /// any endpoint whose ID was only kept alive for these edges.
+    fn flush_edges(&mut self, out: &mut Vec<Symbol>) {
+        let edges = std::mem::take(&mut self.edges);
+        for &((from, to), ann) in &edges {
+            let f = self.id_of(from);
+            let t = self.id_of(to);
+            out.push(Symbol::edge(f, t, ann));
+        }
+        for ((from, to), _) in edges {
+            self.gc(from);
+            self.gc(to);
+        }
+    }
+
+    /// Any current ID of a live node (auxiliary preferred, else a location
+    /// it owns).
+    fn id_of(&self, key: Key) -> IdNum {
+        let n = self.nodes.get(&key).expect("node referenced by an edge is live");
+        if let Some(aux) = n.aux {
+            return aux;
+        }
+        debug_assert!(n.loc_count > 0);
+        (self
+            .loc_owner
+            .iter()
+            .position(|o| *o == Some(key))
+            .expect("loc_count > 0") as IdNum)
+            + 1
+    }
+
+    /// A canonical encoding of the observer state, independent of absolute
+    /// node-key values, of statistics/counters, and — through `ids` — of
+    /// the arbitrary identities of auxiliary descriptor IDs (the paired
+    /// checker must be encoded with the *same* [`IdCanon`] so the renaming
+    /// is consistent across the product state). Two observers with the
+    /// same encoding behave identically (up to aux-ID renaming of the
+    /// descriptor output) on all future inputs; the model checker hashes
+    /// product states through this, making the composed state space finite
+    /// and collapsing the aux-permutation orbit.
+    pub fn canonical_encoding(&self, out: &mut Vec<u64>, ids: &mut scv_descriptor::IdCanon) {
+        // Rank live keys by creation order (key order).
+        let mut keys: Vec<Key> = self.nodes.keys().copied().collect();
+        keys.sort_unstable();
+        let rank: HashMap<Key, u64> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        // Dead tokens (e.g. a gc'd sto_succ) get stable fresh numbers in
+        // first-appearance order of this deterministic encoding.
+        let mut dead: HashMap<Key, u64> = HashMap::new();
+        let tok = |k: Option<Key>, dead: &mut HashMap<Key, u64>| -> u64 {
+            match k {
+                None => u64::MAX,
+                Some(k) => match rank.get(&k) {
+                    Some(&r) => r,
+                    None => {
+                        let next = 1_000_000 + dead.len() as u64;
+                        *dead.entry(k).or_insert(next)
+                    }
+                },
+            }
+        };
+        out.push(keys.len() as u64);
+        for o in &self.loc_owner {
+            out.push(tok(*o, &mut dead));
+        }
+        for &k in &keys {
+            let n = &self.nodes[&k];
+            // Deliberately NOT encoded: the node's operation label. The
+            // observer emits a node's label exactly once, at creation;
+            // afterwards its own behaviour depends only on the structural
+            // fields below, so label differences between otherwise-equal
+            // observers are unobservable and encoding them would block
+            // sound state merging.
+            out.push(n.loc_count as u64);
+            out.push(n.aux.map_or(u64::MAX, |a| ids.canon(a)));
+            out.push(
+                (n.pins.po_anchor as u64)
+                    | (n.pins.sto_tail as u64) << 1
+                    | (n.pins.bot_anchor as u64) << 2
+                    | (n.pins.first_st as u64) << 3
+                    | (n.pins.pending_serialization as u64) << 4,
+            );
+            out.push(tok(n.pins.heir_of, &mut dead));
+            out.push(tok(n.pins.forced_target_of, &mut dead));
+            out.push(tok(n.sto_succ, &mut dead));
+            let mut heirs: Vec<(u8, u64)> = n
+                .heirs
+                .iter()
+                .map(|&(p, h)| (p, tok(Some(h), &mut dead)))
+                .collect();
+            heirs.sort_unstable();
+            out.push(heirs.len() as u64);
+            for (p, h) in heirs {
+                out.push((p as u64) << 32 | h);
+            }
+        }
+        for o in &self.last_op {
+            out.push(tok(*o, &mut dead));
+        }
+        for o in &self.sto_tail {
+            out.push(tok(*o, &mut dead));
+        }
+        for o in &self.first_st {
+            out.push(tok(*o, &mut dead));
+        }
+        for o in &self.bot_anchor {
+            out.push(tok(*o, &mut dead));
+        }
+        for pend in &self.pending {
+            out.push(pend.len() as u64);
+            for &k in pend {
+                out.push(tok(Some(k), &mut dead));
+            }
+        }
+        // The free auxiliary pool is deliberately NOT encoded: it is the
+        // complement of the in-use set, and free IDs are anonymous — any
+        // choice the pool makes later is neutral up to the renaming that
+        // `ids` already applies.
+    }
+
+    /// Release the node's auxiliary ID / record once nothing references it.
+    fn gc(&mut self, key: Key) {
+        // Queued edges still reference the node; defer (gc re-runs later).
+        if self.edges.iter().any(|((f, t), _)| *f == key || *t == key) {
+            return;
+        }
+        let Some(n) = self.nodes.get(&key) else { return };
+        if n.pins.any() || !n.heirs.is_empty() {
+            return;
+        }
+        if n.loc_count > 0 {
+            // Still inheritable; no aux needed though.
+            return;
+        }
+        if let Some(aux) = n.aux {
+            // The ID simply becomes reusable; the checker treats the next
+            // use of `aux` as the removal of this node.
+            self.aux_free.push(aux);
+        }
+        self.nodes.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use scv_checker::ScChecker;
+    use scv_descriptor::decode;
+    use scv_graph::{validate_constraint_graph, ConstraintGraph};
+    use scv_protocol::{
+        DirectoryProtocol, Fig4Protocol, LazyCaching, MsiProtocol, Runner, SerialMemory,
+        StoreBufferTso,
+    };
+    use scv_types::Trace;
+
+    /// The observed descriptor's trace (node labels in order) must equal
+    /// the run's trace — property (i) of Definition 3.1.
+    fn assert_trace_equal(d: &Descriptor, run: &Run) {
+        let ops: Vec<Op> = d
+            .symbols
+            .iter()
+            .filter_map(|s| match s {
+                Symbol::Node { label, .. } => *label,
+                _ => None,
+            })
+            .collect();
+        assert_eq!(Trace::from_ops(ops), run.trace());
+    }
+
+    fn random_run<P: Protocol + Clone>(p: &P, steps: usize, seed: u64) -> Run {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut r = Runner::new(p.clone());
+        r.run_random(steps, 0.5, &mut rng);
+        r.into_run()
+    }
+
+    /// Full pipeline check on one run: the observer output must (a) decode
+    /// to a graph satisfying all §3.1 axioms, (b) stream-check to the same
+    /// verdict, and (c) carry the run's exact trace.
+    fn pipeline_accepts<P: Protocol + Clone>(p: &P, steps: usize, seed: u64) {
+        let run = random_run(p, steps, seed);
+        let d = Observer::observe_run(p, &run);
+        assert_trace_equal(&d, &run);
+        let (dg, _) = decode(&d).unwrap_or_else(|e| panic!("{}: decode failed: {e}", p.name()));
+        let cg: ConstraintGraph = dg
+            .to_constraint_graph()
+            .unwrap_or_else(|e| panic!("{}: bad graph: {e}", p.name()));
+        let trace = run.trace();
+        assert_eq!(
+            validate_constraint_graph(&cg, &trace),
+            Ok(()),
+            "{}: axioms violated (seed {seed})",
+            p.name()
+        );
+        assert!(cg.is_acyclic(), "{}: witness graph cyclic (seed {seed})", p.name());
+        assert_eq!(
+            ScChecker::check(&d),
+            Ok(()),
+            "{}: streaming checker rejected (seed {seed})",
+            p.name()
+        );
+    }
+
+    #[test]
+    fn serial_memory_runs_verify() {
+        let p = SerialMemory::new(Params::new(2, 2, 2));
+        for seed in 0..10 {
+            pipeline_accepts(&p, 60, seed);
+        }
+    }
+
+    #[test]
+    fn msi_runs_verify() {
+        let p = MsiProtocol::new(Params::new(2, 2, 2));
+        for seed in 0..10 {
+            pipeline_accepts(&p, 60, seed);
+        }
+        let p = MsiProtocol::new(Params::new(3, 2, 2));
+        for seed in 0..5 {
+            pipeline_accepts(&p, 80, 100 + seed);
+        }
+    }
+
+    #[test]
+    fn directory_runs_verify() {
+        let p = DirectoryProtocol::new(Params::new(2, 2, 2));
+        for seed in 0..10 {
+            pipeline_accepts(&p, 80, seed);
+        }
+    }
+
+    #[test]
+    fn lazy_caching_runs_verify() {
+        let p = LazyCaching::new(Params::new(2, 2, 2), 2, 2);
+        for seed in 0..10 {
+            pipeline_accepts(&p, 80, seed);
+        }
+    }
+
+    #[test]
+    fn fig4_runs_stay_sound() {
+        // The Get-Shared protocol is *not* SC in general — a processor can
+        // re-fetch a stale view of its own earlier store — so the pipeline
+        // may reject; what must hold is soundness: accept ⇒ the trace has
+        // a serial reordering, and every rejected run's trace decodes to a
+        // graph that genuinely violates the axioms or is cyclic.
+        let p = Fig4Protocol::new(Params::new(2, 2, 2), 1);
+        let mut accepted = 0;
+        for seed in 0..20 {
+            let run = random_run(&p, 30, seed);
+            let d = Observer::observe_run(&p, &run);
+            assert_trace_equal(&d, &run);
+            if ScChecker::check(&d).is_ok() {
+                accepted += 1;
+                assert!(
+                    scv_graph::has_serial_reordering(&run.trace()),
+                    "unsound accept (seed {seed}): {}",
+                    run.trace()
+                );
+            }
+        }
+        assert!(accepted > 0, "some runs should verify");
+    }
+
+    #[test]
+    fn tso_litmus_rejected() {
+        // Drive the SB litmus; the observer emits a witness whose forced
+        // edges close a cycle, so the checker rejects.
+        let p = StoreBufferTso::new(Params::new(2, 2, 1), 2);
+        let mut r = Runner::new(p.clone());
+        let take = |r: &mut Runner<StoreBufferTso>, want: &dyn Fn(&Action) -> bool| {
+            let t = r.enabled().into_iter().find(|t| want(&t.action)).expect("enabled");
+            r.take(t);
+        };
+        use scv_types::{BlockId, ProcId, Value};
+        take(&mut r, &|a| {
+            a.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1)))
+        });
+        take(&mut r, &|a| {
+            a.op() == Some(Op::store(ProcId(2), BlockId(2), Value(1)))
+        });
+        take(&mut r, &|a| {
+            a.op() == Some(Op::load(ProcId(1), BlockId(2), Value::BOTTOM))
+        });
+        take(&mut r, &|a| {
+            a.op() == Some(Op::load(ProcId(2), BlockId(1), Value::BOTTOM))
+        });
+        // Drain both buffers so the stores serialize.
+        take(&mut r, &|a| matches!(a, Action::Internal("Drain", 1)));
+        take(&mut r, &|a| matches!(a, Action::Internal("Drain", 2)));
+        let run = r.into_run();
+        assert!(!scv_graph::has_serial_reordering(&run.trace()));
+        let d = Observer::observe_run(&p, &run);
+        assert!(ScChecker::check(&d).is_err(), "checker must reject the SB litmus");
+    }
+
+    #[test]
+    fn tso_random_runs_agree_with_ground_truth() {
+        // On every random TSO run, the checker's verdict must be sound:
+        // if it accepts, the trace has a serial reordering.
+        let p = StoreBufferTso::new(Params::new(2, 1, 2), 2);
+        let mut sc = 0;
+        let mut rejected = 0;
+        for seed in 0..40 {
+            let run = random_run(&p, 16, seed);
+            let d = Observer::observe_run(&p, &run);
+            let verdict = ScChecker::check(&d);
+            let truth = scv_graph::has_serial_reordering(&run.trace());
+            if verdict.is_ok() {
+                assert!(truth, "unsound accept on seed {seed}: {}", run.trace());
+                sc += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        assert!(sc > 0, "some runs should verify");
+        let _ = rejected; // rejection is allowed even for SC traces
+    }
+
+    #[test]
+    fn buggy_msi_random_runs_stay_sound() {
+        let p = MsiProtocol::buggy(Params::new(2, 2, 1));
+        for seed in 0..30 {
+            let run = random_run(&p, 25, seed);
+            let d = Observer::observe_run(&p, &run);
+            if ScChecker::check(&d).is_ok() {
+                assert!(
+                    scv_graph::has_serial_reordering(&run.trace()),
+                    "unsound accept on seed {seed}: {}",
+                    run.trace()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_caching_reorders_and_still_verifies() {
+        // Construct the reordering scenario by hand: P1 and P2 store to
+        // the same block; P2's memory-write runs first.
+        use scv_types::{BlockId, ProcId, Value};
+        let p = LazyCaching::new(Params::new(2, 1, 2), 2, 2);
+        let mut r = Runner::new(p.clone());
+        let take = |r: &mut Runner<LazyCaching>, want: &dyn Fn(&Action) -> bool| {
+            let t = r.enabled().into_iter().find(|t| want(&t.action)).expect("enabled");
+            r.take(t);
+        };
+        take(&mut r, &|a| a.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1))));
+        take(&mut r, &|a| a.op() == Some(Op::store(ProcId(2), BlockId(1), Value(2))));
+        take(&mut r, &|a| matches!(a, Action::Internal("MW", 2)));
+        take(&mut r, &|a| matches!(a, Action::Internal("MW", 1)));
+        // Both processors consume their updates and read the final value.
+        take(&mut r, &|a| matches!(a, Action::Internal("CU", 1)));
+        take(&mut r, &|a| matches!(a, Action::Internal("CU", 1)));
+        take(&mut r, &|a| a.op() == Some(Op::load(ProcId(1), BlockId(1), Value(1))));
+        let run = r.into_run();
+        let d = Observer::observe_run(&p, &run);
+        // The ST order must be P2's store then P1's store (memory-write
+        // order), opposite to trace order — and the descriptor verifies.
+        assert_eq!(ScChecker::check(&d), Ok(()));
+        let (dg, _) = decode(&d).unwrap();
+        let cg = dg.to_constraint_graph().unwrap();
+        // Node numbering: 0 = ST(P1), 1 = ST(P2); STo edge 1 -> 0.
+        assert!(cg.edge(1, 0).unwrap().contains(EdgeSet::STO));
+    }
+
+    #[test]
+    fn observer_ids_stay_in_range_and_bounded() {
+        let p = MsiProtocol::new(Params::new(2, 2, 2));
+        let run = random_run(&p, 120, 7);
+        let d = Observer::observe_run(&p, &run);
+        assert!(d.ids_in_range());
+        let (_, stats) = decode(&d).unwrap();
+        // The active node count never exceeds the ID space.
+        assert!(stats.max_active <= (d.k + 1) as usize);
+    }
+}

@@ -1,0 +1,79 @@
+//! Observer size accounting (§4.4 of the paper).
+//!
+//! The paper bounds the extra state an observer needs beyond the protocol
+//! state: with real-time ST ordering, at most `L` ST nodes and `p·b` LD
+//! nodes are live, each labeled with `lg p + lg b + lg v + 1` bits, plus
+//! `L·lg L` bits of ID bookkeeping:
+//!
+//! ```text
+//! (L + p·b)·(lg p + lg b + lg v + 1) + L·lg L   bits
+//! ```
+//!
+//! [`observer_size_bound`] evaluates the formula; the `tab_size_bounds`
+//! experiment compares it against the measured high-water marks of the
+//! actual observer ([`crate::ObserverStats`]).
+
+use scv_types::Params;
+
+/// The §4.4 size bound, with its components broken out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SizeBound {
+    /// Bandwidth bound on live constraint-graph nodes: `L + p·b`.
+    pub bandwidth: u64,
+    /// Bits per node label: `lg p + lg b + lg v + 1`.
+    pub label_bits: u64,
+    /// ID bookkeeping bits: `L·lg L`.
+    pub id_bits: u64,
+    /// Total extra observer state in bits.
+    pub total_bits: u64,
+}
+
+/// Evaluate the §4.4 upper bound for a protocol with parameters `params`
+/// and `locations` storage locations.
+pub fn observer_size_bound(params: &Params, locations: u32) -> SizeBound {
+    let l = locations as u64;
+    let p = params.p as u64;
+    let b = params.b as u64;
+    let v = params.v as u64;
+    let bandwidth = l + p * b;
+    let label_bits = (Params::lg(p) + Params::lg(b) + Params::lg(v) + 1) as u64;
+    let id_bits = l * Params::lg(l) as u64;
+    SizeBound {
+        bandwidth,
+        label_bits,
+        id_bits,
+        total_bits: bandwidth * label_bits + id_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_hand_computation() {
+        // p = 2, b = 2, v = 2, L = 6: bandwidth = 6 + 4 = 10,
+        // label bits = 1 + 1 + 1 + 1 = 4, id bits = 6 * 3 = 18.
+        let bound = observer_size_bound(&Params::new(2, 2, 2), 6);
+        assert_eq!(bound.bandwidth, 10);
+        assert_eq!(bound.label_bits, 4);
+        assert_eq!(bound.id_bits, 18);
+        assert_eq!(bound.total_bits, 58);
+    }
+
+    #[test]
+    fn grows_monotonically_in_each_parameter() {
+        let base = observer_size_bound(&Params::new(2, 2, 2), 8).total_bits;
+        assert!(observer_size_bound(&Params::new(4, 2, 2), 8).total_bits > base);
+        assert!(observer_size_bound(&Params::new(2, 4, 2), 8).total_bits > base);
+        assert!(observer_size_bound(&Params::new(2, 2, 4), 8).total_bits > base);
+        assert!(observer_size_bound(&Params::new(2, 2, 2), 16).total_bits > base);
+    }
+
+    #[test]
+    fn degenerate_parameters() {
+        // p = b = v = 1, L = 1: bandwidth 2, label bits 1, id bits 0.
+        let bound = observer_size_bound(&Params::new(1, 1, 1), 1);
+        assert_eq!(bound.total_bits, 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! Finite-state memory-system protocols with storage locations and
+//! tracking labels (§2.1 and §4.1 of Condon & Hu, SPAA 2001).
+//!
+//! A [`Protocol`] is a finite-state machine whose actions are either memory
+//! operations (`LD`/`ST`, the trace alphabet) or internal actions
+//! (bus/network/queue activity). Every protocol explicitly declares `L`
+//! *storage locations* — caches, queues, buffers, memory words — and every
+//! transition carries *tracking labels*:
+//!
+//! * a `LD`/`ST` transition names the location it reads or writes (the
+//!   LD/ST tracking function `f`);
+//! * an internal transition lists which locations received *copies* from
+//!   which other locations (the copy tracking functions `c_l`), or were
+//!   invalidated.
+//!
+//! From the tracking labels alone, the observer of `scv-observer` infers
+//! which ST conferred its value on every location ([`StIndexTracker`],
+//! §4.1) and hence which ST every LD inherits from.
+//!
+//! The crate ships the protocol zoo used throughout the reproduction:
+//!
+//! | protocol | SC? | notes |
+//! |---|---|---|
+//! | [`SerialMemory`] | yes | atomic memory; the trivial baseline |
+//! | [`Fig4Protocol`] | **no** (stale Get-Shared copies) | the Get-Shared cache of paper Figure 4 |
+//! | [`MsiProtocol`] | yes | snooping MSI on an atomic bus |
+//! | [`DirectoryProtocol`] | yes | directory home node, response buffers as network locations |
+//! | [`LazyCaching`] | yes | Afek et al.; needs the non-trivial ST order generator of §4.2 |
+//! | [`StoreBufferTso`] | **no** | FIFO store buffers without fences |
+//! | [`MsiProtocol::buggy`] | **no** | MSI with a lost invalidation (fault injection) |
+
+pub mod api;
+pub mod directory;
+pub mod fig4;
+pub mod lazy;
+pub mod litmus;
+pub mod mesi;
+pub mod msi;
+pub mod runner;
+pub mod serial;
+pub mod tso;
+
+pub use api::{Action, CopySrc, LocId, Protocol, StOrderPolicy, Tracking, Transition};
+pub use directory::DirectoryProtocol;
+pub use fig4::Fig4Protocol;
+pub use lazy::LazyCaching;
+pub use mesi::MesiProtocol;
+pub use msi::MsiProtocol;
+pub use runner::{Run, Runner, StIndexTracker, Step};
+pub use serial::SerialMemory;
+pub use tso::StoreBufferTso;

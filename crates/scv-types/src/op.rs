@@ -1,0 +1,180 @@
+//! LD/ST operations — the action set `A = ST(*,*,*) ∪ LD(*,*,*)` of §2.1.
+
+use crate::ids::{BlockId, Params, ProcId, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether an operation is a load or a store.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `LD(P,B,V)`: processor `P` loads value `V` from block `B`.
+    Load,
+    /// `ST(P,B,V)`: processor `P` stores value `V` to block `B`.
+    Store,
+}
+
+/// A memory operation `LD(P,B,V)` or `ST(P,B,V)`.
+///
+/// The value recorded on a load is the value the load *returned*; the trace
+/// therefore fully determines whether a serial reordering exists.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Op {
+    /// Load or store.
+    pub kind: OpKind,
+    /// The processor that executed the operation.
+    pub proc: ProcId,
+    /// The memory block operated on.
+    pub block: BlockId,
+    /// The value stored, or the value the load returned (possibly `⊥`).
+    pub value: Value,
+}
+
+impl Op {
+    /// Construct a load operation `LD(P,B,V)`.
+    #[inline]
+    pub fn load(proc: ProcId, block: BlockId, value: Value) -> Self {
+        Op { kind: OpKind::Load, proc, block, value }
+    }
+
+    /// Construct a store operation `ST(P,B,V)`.
+    ///
+    /// Stores never store `⊥`: only the memory system's initial state holds
+    /// `⊥` (§2.1 defines the store actions over values `1..=v`).
+    #[inline]
+    pub fn store(proc: ProcId, block: BlockId, value: Value) -> Self {
+        debug_assert!(!value.is_bottom(), "ST operations cannot store ⊥");
+        Op { kind: OpKind::Store, proc, block, value }
+    }
+
+    /// Is this a load?
+    #[inline]
+    pub fn is_load(&self) -> bool {
+        self.kind == OpKind::Load
+    }
+
+    /// Is this a store?
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.kind == OpKind::Store
+    }
+
+    /// Does the operation fall within the given parameter bounds?
+    pub fn in_bounds(&self, params: &Params) -> bool {
+        self.proc.0 >= 1
+            && self.proc.0 <= params.p
+            && self.block.0 >= 1
+            && self.block.0 <= params.b
+            && self.value.0 <= params.v
+            && (self.is_load() || !self.value.is_bottom())
+    }
+
+    /// A dense integer encoding of the operation, suitable as an automaton
+    /// alphabet symbol. Loads additionally admit the value `⊥`, hence the
+    /// `v + 1` value alphabet for loads.
+    pub fn encode(&self, params: &Params) -> u32 {
+        let p = self.proc.idx() as u32;
+        let b = self.block.idx() as u32;
+        let v = self.value.0 as u32; // 0 = ⊥
+        let kind = match self.kind {
+            OpKind::Load => 0,
+            OpKind::Store => 1,
+        };
+        ((kind * params.p as u32 + p) * params.b as u32 + b) * (params.v as u32 + 1) + v
+    }
+
+    /// Total number of distinct encodings under [`Op::encode`].
+    pub fn alphabet_size(params: &Params) -> u32 {
+        2 * params.p as u32 * params.b as u32 * (params.v as u32 + 1)
+    }
+
+    /// Inverse of [`Op::encode`].
+    pub fn decode(code: u32, params: &Params) -> Op {
+        let vs = params.v as u32 + 1;
+        let v = code % vs;
+        let rest = code / vs;
+        let b = rest % params.b as u32;
+        let rest = rest / params.b as u32;
+        let p = rest % params.p as u32;
+        let kind = rest / params.p as u32;
+        let kind = if kind == 0 { OpKind::Load } else { OpKind::Store };
+        Op {
+            kind,
+            proc: ProcId::from_idx(p as usize),
+            block: BlockId::from_idx(b as usize),
+            value: Value(v as u8),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            OpKind::Load => "LD",
+            OpKind::Store => "ST",
+        };
+        write!(f, "{}({},{},{})", k, self.proc, self.block, self.value)
+    }
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::new(3, 2, 4)
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        let op = Op::store(ProcId(1), BlockId(2), Value(3));
+        assert_eq!(op.to_string(), "ST(P1,B2,3)");
+        let op = Op::load(ProcId(2), BlockId(1), Value::BOTTOM);
+        assert_eq!(op.to_string(), "LD(P2,B1,⊥)");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive() {
+        let params = params();
+        let mut seen = std::collections::HashSet::new();
+        for code in 0..Op::alphabet_size(&params) {
+            let op = Op::decode(code, &params);
+            assert_eq!(op.encode(&params), code);
+            assert!(seen.insert(op), "encoding must be injective");
+        }
+    }
+
+    #[test]
+    fn encode_in_alphabet_range() {
+        let params = params();
+        for p in params.procs() {
+            for b in params.blocks() {
+                for v in params.values() {
+                    for op in [Op::load(p, b, v), Op::store(p, b, v)] {
+                        assert!(op.encode(&params) < Op::alphabet_size(&params));
+                        assert!(op.in_bounds(&params));
+                    }
+                }
+                let ld_bot = Op::load(p, b, Value::BOTTOM);
+                assert!(ld_bot.encode(&params) < Op::alphabet_size(&params));
+                assert!(ld_bot.in_bounds(&params));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let params = params();
+        assert!(!Op::load(ProcId(4), BlockId(1), Value(1)).in_bounds(&params));
+        assert!(!Op::load(ProcId(1), BlockId(3), Value(1)).in_bounds(&params));
+        assert!(!Op::load(ProcId(1), BlockId(1), Value(5)).in_bounds(&params));
+        // A store of ⊥ is never a legal action.
+        let st_bot = Op { kind: OpKind::Store, proc: ProcId(1), block: BlockId(1), value: Value::BOTTOM };
+        assert!(!st_bot.in_bounds(&params));
+    }
+}

@@ -1,0 +1,198 @@
+//! Reorderings (permutations) of traces and the serial-reordering predicate
+//! of §2.2.
+//!
+//! A reordering of a trace of length `k` is a permutation `Π = π(1)..π(k)`;
+//! the reordered trace is `t_{π(1)}, ..., t_{π(k)}`. `Π` is a *serial
+//! reordering* if it preserves every processor's program order and the
+//! reordered trace is serial. A protocol is sequentially consistent iff all
+//! of its traces have a serial reordering.
+
+use crate::op::Op;
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// A permutation of the positions of a trace. `perm[j] = i` means the `j`-th
+/// operation of the reordered trace is the `i`-th operation (0-based) of the
+/// original trace — i.e. `perm` is the paper's `π` shifted to 0-based
+/// indices.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Reordering(Vec<usize>);
+
+impl Reordering {
+    /// The identity reordering on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Reordering((0..n).collect())
+    }
+
+    /// Build from an explicit permutation vector; panics if `perm` is not a
+    /// permutation of `0..perm.len()`.
+    pub fn new(perm: Vec<usize>) -> Self {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &i in &perm {
+            assert!(i < n && !seen[i], "not a permutation of 0..{n}");
+            seen[i] = true;
+        }
+        Reordering(perm)
+    }
+
+    /// Length of the underlying trace.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is this the empty reordering?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The permutation as a slice (`perm[j]` = original position of the
+    /// `j`-th reordered operation).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// The inverse permutation: `inv[i]` = position of original operation
+    /// `i` in the reordered trace (the paper's `π⁻¹`).
+    pub fn inverse(&self) -> Vec<usize> {
+        let mut inv = vec![0usize; self.0.len()];
+        for (j, &i) in self.0.iter().enumerate() {
+            inv[i] = j;
+        }
+        inv
+    }
+
+    /// Apply the reordering to a trace, producing `T' = t_{π(1)},...,t_{π(k)}`.
+    pub fn apply(&self, trace: &Trace) -> Trace {
+        assert_eq!(self.len(), trace.len(), "reordering/trace length mismatch");
+        Trace::from_ops(self.0.iter().map(|&i| trace[i]))
+    }
+
+    /// Does the reordering preserve per-processor program order? For all
+    /// operations `a < b` of the same processor, `π⁻¹(a) < π⁻¹(b)`.
+    pub fn preserves_program_order(&self, trace: &Trace) -> bool {
+        assert_eq!(self.len(), trace.len(), "reordering/trace length mismatch");
+        let inv = self.inverse();
+        let mut last_pos: Vec<Option<(usize, usize)>> = Vec::new(); // (orig, reordered) per proc idx
+        for i in 0..trace.len() {
+            let p = trace[i].proc.idx();
+            if last_pos.len() <= p {
+                last_pos.resize(p + 1, None);
+            }
+            if let Some((_, prev_j)) = last_pos[p] {
+                if inv[i] < prev_j {
+                    return false;
+                }
+            }
+            last_pos[p] = Some((i, inv[i]));
+        }
+        true
+    }
+
+    /// Is this a *serial reordering* of the trace (§2.2): program order is
+    /// preserved and the reordered trace is serial?
+    pub fn is_serial_reordering(&self, trace: &Trace) -> bool {
+        self.preserves_program_order(trace) && self.apply(trace).is_serial()
+    }
+}
+
+/// Merge per-processor operation streams into a single trace according to an
+/// interleaving choice sequence. `schedule[j]` names the processor (0-based
+/// index into `streams`) whose next unconsumed operation appears at position
+/// `j`. Useful for constructing traces with known serial reorderings.
+pub fn interleave(streams: &[Vec<Op>], schedule: &[usize]) -> Option<Trace> {
+    let mut cursors = vec![0usize; streams.len()];
+    let mut out = Trace::new();
+    for &s in schedule {
+        let cur = cursors.get_mut(s)?;
+        let op = streams.get(s)?.get(*cur)?;
+        out.push(*op);
+        *cur += 1;
+    }
+    if cursors.iter().zip(streams).all(|(c, s)| *c == s.len()) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{BlockId, ProcId, Value};
+
+    fn st(p: u8, b: u8, v: u8) -> Op {
+        Op::store(ProcId(p), BlockId(b), Value(v))
+    }
+    fn ld(p: u8, b: u8, v: u8) -> Op {
+        Op::load(ProcId(p), BlockId(b), Value(v))
+    }
+
+    #[test]
+    fn identity_preserves_program_order() {
+        let t = Trace::from_ops([st(1, 1, 1), ld(2, 1, 1), st(1, 2, 1)]);
+        let r = Reordering::identity(3);
+        assert!(r.preserves_program_order(&t));
+        assert_eq!(r.apply(&t), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn invalid_permutation_rejected() {
+        let _ = Reordering::new(vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let r = Reordering::new(vec![2, 0, 3, 1]);
+        let inv = r.inverse();
+        for (j, &i) in r.as_slice().iter().enumerate() {
+            assert_eq!(inv[i], j);
+        }
+    }
+
+    #[test]
+    fn figure1_sc_reordering() {
+        // Figure 1 (message-passing litmus): P1: ST x=1; ST y=2.
+        // P2: LD y; LD x. The outcome r2=0 (y read as ⊥), r1=1 is SC via
+        // the reordering that slots P2's LD y between P1's two stores.
+        let t = Trace::from_ops([
+            st(1, 1, 1),                                    // P1: ST x=1
+            st(1, 2, 2),                                    // P1: ST y=2
+            Op::load(ProcId(2), BlockId(2), Value::BOTTOM), // P2: LD y -> ⊥
+            ld(2, 1, 1),                                    // P2: LD x -> 1
+        ]);
+        // Reordered: ST x=1, LD y=⊥, ST y=2, LD x=1.
+        let r = Reordering::new(vec![0, 2, 1, 3]);
+        assert!(r.preserves_program_order(&t));
+        assert!(r.apply(&t).is_serial());
+        assert!(r.is_serial_reordering(&t));
+        // The trace itself is not serial (LD y returns ⊥ after ST y).
+        assert!(!t.is_serial());
+    }
+
+    #[test]
+    fn program_order_violation_detected() {
+        let t = Trace::from_ops([st(1, 1, 1), st(1, 1, 2)]);
+        let r = Reordering::new(vec![1, 0]);
+        assert!(!r.preserves_program_order(&t));
+        assert!(!r.is_serial_reordering(&t));
+    }
+
+    #[test]
+    fn interleave_round_trip() {
+        let p1 = vec![st(1, 1, 1), ld(1, 1, 2)];
+        let p2 = vec![st(2, 1, 2)];
+        let t = interleave(&[p1, p2], &[0, 1, 0]).unwrap();
+        assert_eq!(t.ops(), &[st(1, 1, 1), st(2, 1, 2), ld(1, 1, 2)]);
+        assert!(t.is_serial());
+    }
+
+    #[test]
+    fn interleave_rejects_bad_schedules() {
+        let p1 = vec![st(1, 1, 1)];
+        assert!(interleave(&[p1.clone()], &[0, 0]).is_none()); // too many picks
+        assert!(interleave(&[p1.clone()], &[1]).is_none()); // unknown stream
+        assert!(interleave(&[p1], &[]).is_none()); // stream not drained
+    }
+}

@@ -1,0 +1,244 @@
+//! Protocol traces and the serial-trace predicate of §2.2.
+
+use crate::ids::{BlockId, Params, ProcId, Value};
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A protocol trace: the subsequence of LD/ST actions of a protocol run,
+/// in the order they occurred (§2.1).
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Trace(Vec<Op>);
+
+impl Trace {
+    /// The empty trace.
+    pub fn new() -> Self {
+        Trace(Vec::new())
+    }
+
+    /// Build a trace from a sequence of operations.
+    pub fn from_ops(ops: impl IntoIterator<Item = Op>) -> Self {
+        Trace(ops.into_iter().collect())
+    }
+
+    /// Append an operation.
+    pub fn push(&mut self, op: Op) {
+        self.0.push(op);
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The operations as a slice.
+    pub fn ops(&self) -> &[Op] {
+        &self.0
+    }
+
+    /// Iterate over the operations.
+    pub fn iter(&self) -> std::slice::Iter<'_, Op> {
+        self.0.iter()
+    }
+
+    /// Indices (0-based) of the operations issued by processor `p`,
+    /// in trace order — the processor's *program order*.
+    pub fn program_order(&self, p: ProcId) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.0[i].proc == p).collect()
+    }
+
+    /// Indices (0-based) of the ST operations to block `b`, in trace order.
+    pub fn stores_to(&self, b: BlockId) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.0[i].is_store() && self.0[i].block == b)
+            .collect()
+    }
+
+    /// The serial-trace predicate of §2.2: every `LD(*,B,V)` returns the
+    /// value of the most recent prior `ST(*,B,*)`, or `⊥` if there is none.
+    pub fn is_serial(&self) -> bool {
+        // last[b] = value of the most recent store to block id b+1, if any.
+        let mut last: Vec<(BlockId, Value)> = Vec::new();
+        for op in &self.0 {
+            let cur = last.iter().find(|(b, _)| *b == op.block).map(|(_, v)| *v);
+            if op.is_store() {
+                match last.iter_mut().find(|(b, _)| *b == op.block) {
+                    Some(entry) => entry.1 = op.value,
+                    None => last.push((op.block, op.value)),
+                }
+            } else {
+                let expect = cur.unwrap_or(Value::BOTTOM);
+                if op.value != expect {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Do all operations fall within the given parameter bounds?
+    pub fn in_bounds(&self, params: &Params) -> bool {
+        self.0.iter().all(|op| op.in_bounds(params))
+    }
+
+    /// The smallest parameters under which every operation is in bounds.
+    pub fn min_params(&self) -> Params {
+        let mut p = 1u8;
+        let mut b = 1u8;
+        let mut v = 1u8;
+        for op in &self.0 {
+            p = p.max(op.proc.0);
+            b = b.max(op.block.0);
+            v = v.max(op.value.0);
+        }
+        Params::new(p, b, v)
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = Op;
+    fn index(&self, i: usize) -> &Op {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<Op> for Trace {
+    fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
+        Trace(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Op;
+    type IntoIter = std::slice::Iter<'a, Op>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for op in &self.0 {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{self}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u8) -> ProcId {
+        ProcId(i)
+    }
+    fn b(i: u8) -> BlockId {
+        BlockId(i)
+    }
+    fn v(i: u8) -> Value {
+        Value(i)
+    }
+
+    #[test]
+    fn empty_trace_is_serial() {
+        assert!(Trace::new().is_serial());
+    }
+
+    #[test]
+    fn load_of_bottom_before_any_store_is_serial() {
+        let t = Trace::from_ops([Op::load(p(1), b(1), Value::BOTTOM)]);
+        assert!(t.is_serial());
+    }
+
+    #[test]
+    fn load_of_value_before_any_store_is_not_serial() {
+        let t = Trace::from_ops([Op::load(p(1), b(1), v(1))]);
+        assert!(!t.is_serial());
+    }
+
+    #[test]
+    fn load_returns_most_recent_store() {
+        let t = Trace::from_ops([
+            Op::store(p(1), b(1), v(1)),
+            Op::store(p(2), b(1), v(2)),
+            Op::load(p(1), b(1), v(2)),
+        ]);
+        assert!(t.is_serial());
+        let t = Trace::from_ops([
+            Op::store(p(1), b(1), v(1)),
+            Op::store(p(2), b(1), v(2)),
+            Op::load(p(1), b(1), v(1)), // stale
+        ]);
+        assert!(!t.is_serial());
+    }
+
+    #[test]
+    fn blocks_are_independent() {
+        let t = Trace::from_ops([
+            Op::store(p(1), b(1), v(1)),
+            Op::load(p(2), b(2), Value::BOTTOM),
+            Op::load(p(2), b(1), v(1)),
+        ]);
+        assert!(t.is_serial());
+    }
+
+    #[test]
+    fn load_of_bottom_after_store_is_not_serial() {
+        let t = Trace::from_ops([
+            Op::store(p(1), b(1), v(1)),
+            Op::load(p(2), b(1), Value::BOTTOM),
+        ]);
+        assert!(!t.is_serial());
+    }
+
+    #[test]
+    fn program_order_and_stores_to() {
+        let t = Trace::from_ops([
+            Op::store(p(1), b(1), v(1)), // 0
+            Op::store(p(2), b(2), v(2)), // 1
+            Op::load(p(1), b(2), v(2)),  // 2
+            Op::store(p(1), b(2), v(3)), // 3
+        ]);
+        assert_eq!(t.program_order(p(1)), vec![0, 2, 3]);
+        assert_eq!(t.program_order(p(2)), vec![1]);
+        assert_eq!(t.stores_to(b(2)), vec![1, 3]);
+        assert_eq!(t.stores_to(b(1)), vec![0]);
+    }
+
+    #[test]
+    fn min_params_covers_all_ops() {
+        let t = Trace::from_ops([
+            Op::store(p(2), b(3), v(1)),
+            Op::load(p(1), b(1), v(4)),
+        ]);
+        let params = t.min_params();
+        assert_eq!((params.p, params.b, params.v), (2, 3, 4));
+        assert!(t.in_bounds(&params));
+    }
+
+    #[test]
+    fn display_is_comma_separated() {
+        let t = Trace::from_ops([
+            Op::store(p(1), b(1), v(1)),
+            Op::load(p(2), b(1), v(1)),
+        ]);
+        assert_eq!(t.to_string(), "ST(P1,B1,1), LD(P2,B1,1)");
+    }
+}

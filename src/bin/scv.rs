@@ -1,0 +1,261 @@
+//! `scv` — command-line front end for the verification pipeline.
+//!
+//! ```text
+//! scv verify <protocol> [-p N] [-b N] [-v N] [--threads N] [--max-states N]
+//! scv observe <protocol> [--steps N] [--seed N]     # one random run's descriptor
+//! scv monitor <protocol> [--steps N] [--seed N]     # §5 runtime testing mode
+//! scv list                                          # available protocols
+//! ```
+//!
+//! Protocols: serial | msi | msi-buggy | mesi | mesi-buggy | directory |
+//! lazy | tso | fig4.
+
+use sc_verify::prelude::*;
+use sc_verify::testing::{MonitorStep, RunMonitor};
+use std::process::ExitCode;
+
+struct Args {
+    p: u8,
+    b: u8,
+    v: u8,
+    threads: usize,
+    max_states: usize,
+    steps: usize,
+    seed: u64,
+}
+
+impl Args {
+    fn parse(rest: &[String]) -> Result<Args, String> {
+        let mut a = Args {
+            p: 2,
+            b: 1,
+            v: 2,
+            threads: 1,
+            max_states: 2_000_000,
+            steps: 100,
+            seed: 0,
+        };
+        let mut it = rest.iter();
+        while let Some(flag) = it.next() {
+            let mut val = |name: &str| -> Result<u64, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("{name}: {e}"))
+            };
+            match flag.as_str() {
+                "-p" => a.p = val("-p")? as u8,
+                "-b" => a.b = val("-b")? as u8,
+                "-v" => a.v = val("-v")? as u8,
+                "--threads" => a.threads = val("--threads")? as usize,
+                "--max-states" => a.max_states = val("--max-states")? as usize,
+                "--steps" => a.steps = val("--steps")? as usize,
+                "--seed" => a.seed = val("--seed")?,
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(a)
+    }
+
+    fn params(&self) -> Params {
+        Params::new(self.p, self.b, self.v)
+    }
+}
+
+/// Dispatch over the protocol zoo, monomorphizing `f` per protocol type.
+fn with_protocol<R>(
+    name: &str,
+    params: Params,
+    f: &mut dyn FnMut(&str) -> R,
+) -> Result<R, String> {
+    // The closure captures the protocol through thread-locals would be
+    // overkill; just dispatch explicitly below in each command instead.
+    let _ = (params, f);
+    Err(format!("unknown protocol {name}"))
+}
+
+macro_rules! dispatch {
+    ($name:expr, $params:expr, |$p:ident| $body:expr) => {{
+        let params = $params;
+        match $name {
+            "serial" => {
+                let $p = SerialMemory::new(params);
+                $body
+            }
+            "msi" => {
+                let $p = MsiProtocol::new(params);
+                $body
+            }
+            "msi-buggy" => {
+                let $p = MsiProtocol::buggy(params);
+                $body
+            }
+            "mesi" => {
+                let $p = MesiProtocol::new(params);
+                $body
+            }
+            "mesi-buggy" => {
+                let $p = MesiProtocol::buggy(params);
+                $body
+            }
+            "directory" => {
+                let $p = DirectoryProtocol::new(params);
+                $body
+            }
+            "lazy" => {
+                let $p = LazyCaching::new(params, 2, 2);
+                $body
+            }
+            "tso" => {
+                let $p = StoreBufferTso::new(params, 2);
+                $body
+            }
+            "fig4" => {
+                let $p = Fig4Protocol::new(params, 2);
+                $body
+            }
+            other => {
+                eprintln!("unknown protocol `{other}` (try `scv list`)");
+                return ExitCode::from(2);
+            }
+        }
+    }};
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprintln!("usage: scv <verify|observe|monitor|list> [protocol] [flags]");
+        return ExitCode::from(2);
+    };
+    if cmd == "list" {
+        println!("serial       atomic serial memory (SC)");
+        println!("msi          snooping MSI, atomic bus (SC)");
+        println!("msi-buggy    MSI with a lost invalidation (not SC)");
+        println!("mesi         MESI with silent E->M upgrades (SC)");
+        println!("mesi-buggy   MESI with a stale snoop (not SC)");
+        println!("directory    directory protocol with response buffers (SC)");
+        println!("lazy         lazy caching, memory-write ST order (SC)");
+        println!("tso          store buffers without fences (not SC)");
+        println!("fig4         the paper's Get-Shared cache (not SC / not in Γ)");
+        return ExitCode::SUCCESS;
+    }
+    let Some(proto_name) = argv.get(1).map(|s| s.as_str()) else {
+        eprintln!("usage: scv {cmd} <protocol> [flags]");
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(&argv[2..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let _ = with_protocol::<()>; // keep the helper referenced
+
+    match cmd.as_str() {
+        "verify" => dispatch!(proto_name, args.params(), |p| {
+            println!(
+                "verifying {} (p={}, b={}, v={}, L={}) with {} thread(s), cap {} states…",
+                p.name(),
+                args.p,
+                args.b,
+                args.v,
+                p.locations(),
+                args.threads,
+                args.max_states
+            );
+            let out = verify_protocol(
+                p,
+                VerifyOptions {
+                    bfs: BfsOptions { max_states: args.max_states, max_depth: usize::MAX },
+                    threads: args.threads,
+                },
+            );
+            let s = out.stats();
+            match out {
+                Outcome::Verified { .. } => {
+                    println!(
+                        "VERIFIED: sequentially consistent ({} states, {} transitions, depth {}, {:?})",
+                        s.states, s.transitions, s.depth, s.elapsed
+                    );
+                    ExitCode::SUCCESS
+                }
+                Outcome::Violation { run, trace, message, .. } => {
+                    println!("NOT VERIFIED: {message}");
+                    println!("violating run ({} actions):", run.len());
+                    for a in &run {
+                        println!("  {a}");
+                    }
+                    println!("trace: {trace}");
+                    println!(
+                        "independent SC check of the trace: {}",
+                        if has_serial_reordering(&trace) {
+                            "has a serial reordering (protocol is outside Γ for this generator)"
+                        } else {
+                            "NO serial reordering — genuine SC violation"
+                        }
+                    );
+                    ExitCode::FAILURE
+                }
+                Outcome::Bounded { .. } => {
+                    println!(
+                        "INCONCLUSIVE: state cap reached ({} states); raise --max-states",
+                        s.states
+                    );
+                    ExitCode::from(3)
+                }
+            }
+        }),
+        "observe" => dispatch!(proto_name, args.params(), |p| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(args.seed);
+            let mut runner = Runner::new(p.clone());
+            runner.run_random(args.steps, 0.5, &mut rng);
+            let run = runner.into_run();
+            println!("run of {} ({} steps, {} memory ops):", p.name(), run.len(), run.trace().len());
+            for s in &run.steps {
+                println!("  {}", s.action);
+            }
+            let d = Observer::observe_run(&p, &run);
+            println!("\ndescriptor (k = {}):", d.k);
+            println!("{d}");
+            println!("\nchecker verdict: {:?}", ScChecker::check(&d));
+            ExitCode::SUCCESS
+        }),
+        "monitor" => dispatch!(proto_name, args.params(), |p| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(args.seed);
+            let mut runner = Runner::new(p.clone());
+            let mut monitor = RunMonitor::new(&p);
+            for i in 0..args.steps {
+                if !runner.step_random(&mut rng) {
+                    break;
+                }
+                let step = runner.run().steps.last().expect("just stepped");
+                if let MonitorStep::Violation(e) = monitor.feed(step) {
+                    println!("violation at step {i}: {e}");
+                    println!("run so far: {}", runner.run().trace());
+                    return ExitCode::FAILURE;
+                }
+            }
+            match monitor.finish() {
+                Ok(()) => {
+                    println!(
+                        "run of {} steps is consistent with sequential consistency",
+                        runner.run().len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    println!("violation at end of run: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }),
+        other => {
+            eprintln!("unknown command {other}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration: the full observe → describe → check pipeline
+//! against whole-graph references, over random workloads and random
+//! protocol runs — including property-based tests.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_verify::graph::random::{random_witnessed_trace, WorkloadConfig};
+use sc_verify::graph::{baseline::BaselineChecker, baseline::BaselineVerdict, saturated_graph};
+use sc_verify::prelude::*;
+
+/// Every witnessed random trace flows through: saturated graph → encode at
+/// exact bandwidth → streaming checkers agree with the references.
+#[test]
+fn witnessed_traces_verify_at_exact_bandwidth() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let cfg = WorkloadConfig::new(Params::new(3, 2, 3), 60);
+    for _ in 0..20 {
+        let wt = random_witnessed_trace(&cfg, 6, &mut rng);
+        let g = saturated_graph(&wt.trace, &wt.witness);
+        assert_eq!(validate_constraint_graph(&g, &wt.trace), Ok(()));
+        assert!(g.is_acyclic());
+        let k = g.bandwidth().max(1) as u32;
+        let d = encode(&g, k).unwrap();
+        assert_eq!(CycleChecker::check(&d), Ok(()));
+        assert_eq!(ScChecker::check(&d), Ok(()));
+        assert!(matches!(
+            BaselineChecker::check(&wt.trace, &wt.witness),
+            BaselineVerdict::Consistent(_)
+        ));
+    }
+}
+
+/// Protocol runs through the observer: decoded graphs satisfy the axioms,
+/// and the streaming verdict matches the whole-graph verdict.
+fn pipeline_matches_reference<P: Protocol + Clone>(p: P, steps: usize, seeds: std::ops::Range<u64>) {
+    for seed in seeds {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut runner = Runner::new(p.clone());
+        runner.run_random(steps, 0.5, &mut rng);
+        let run = runner.into_run();
+        let d = Observer::observe_run(&p, &run);
+        let streaming = ScChecker::check(&d).is_ok();
+        let whole = match decode(&d) {
+            Err(_) => false,
+            Ok((dg, _)) => match dg.to_constraint_graph() {
+                Err(_) => false,
+                Ok(cg) => {
+                    cg.is_acyclic() && validate_constraint_graph(&cg, &run.trace()).is_ok()
+                }
+            },
+        };
+        assert_eq!(
+            streaming,
+            whole,
+            "{}: streaming vs whole-graph disagree on seed {seed}: {}",
+            p.name(),
+            run.trace()
+        );
+        // Soundness: acceptance implies the trace is SC (checked with the
+        // direct search on short traces).
+        if streaming && run.trace().len() <= 14 {
+            assert!(
+                has_serial_reordering(&run.trace()),
+                "{}: unsound accept on seed {seed}",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn msi_pipeline_matches_reference() {
+    pipeline_matches_reference(MsiProtocol::new(Params::new(2, 2, 2)), 50, 0..10);
+    pipeline_matches_reference(MsiProtocol::buggy(Params::new(2, 2, 2)), 30, 0..10);
+}
+
+#[test]
+fn directory_pipeline_matches_reference() {
+    pipeline_matches_reference(DirectoryProtocol::new(Params::new(2, 2, 2)), 60, 0..10);
+}
+
+#[test]
+fn lazy_pipeline_matches_reference() {
+    pipeline_matches_reference(LazyCaching::new(Params::new(2, 2, 2), 2, 2), 60, 0..10);
+}
+
+#[test]
+fn tso_pipeline_matches_reference() {
+    pipeline_matches_reference(StoreBufferTso::new(Params::new(2, 2, 2), 2), 24, 0..15);
+}
+
+#[test]
+fn fig4_pipeline_matches_reference() {
+    pipeline_matches_reference(Fig4Protocol::new(Params::new(2, 2, 2), 2), 30, 0..15);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property: encode/decode is the identity on saturated witness graphs
+    /// at any bandwidth at or above the graph's.
+    #[test]
+    fn prop_encode_decode_roundtrip(seed in 0u64..10_000, len in 4usize..50, slack in 0u32..4) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = WorkloadConfig::new(Params::new(3, 2, 3), len);
+        let wt = random_witnessed_trace(&cfg, 5, &mut rng);
+        let g = saturated_graph(&wt.trace, &wt.witness);
+        let k = g.bandwidth().max(1) as u32 + slack;
+        let d = encode(&g, k).unwrap();
+        let (dg, stats) = decode(&d).unwrap();
+        prop_assert_eq!(dg.to_constraint_graph().unwrap(), g);
+        prop_assert!(stats.max_active <= (k + 1) as usize);
+    }
+
+    /// Property: the streaming cycle checker agrees with whole-graph
+    /// acyclicity on arbitrary (possibly cyclic) annotated graphs.
+    #[test]
+    fn prop_cycle_checker_agrees(seed in 0u64..10_000, len in 4usize..40, extra in 0usize..4) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = WorkloadConfig::new(Params::new(3, 2, 3), len);
+        let wt = random_witnessed_trace(&cfg, 5, &mut rng);
+        let mut g = saturated_graph(&wt.trace, &wt.witness);
+        // Inject extra random edges; some create cycles.
+        use rand::Rng;
+        for _ in 0..extra {
+            let u = rng.gen_range(0..g.node_count());
+            let v = rng.gen_range(0..g.node_count());
+            g.add_edge(u, v, EdgeSet::FORCED);
+        }
+        let d = naive_descriptor(&g);
+        prop_assert_eq!(CycleChecker::check(&d).is_ok(), g.is_acyclic());
+    }
+
+    /// Property: a corrupted witness (one load's inheritance redirected)
+    /// never makes the baseline checker and the axioms disagree.
+    #[test]
+    fn prop_baseline_and_axioms_agree(seed in 0u64..10_000, len in 6usize..40) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = WorkloadConfig::new(Params::new(2, 2, 2), len);
+        let wt = random_witnessed_trace(&cfg, 4, &mut rng);
+        let g = saturated_graph(&wt.trace, &wt.witness);
+        let baseline_ok = matches!(
+            BaselineChecker::check(&wt.trace, &wt.witness),
+            BaselineVerdict::Consistent(_)
+        );
+        let axioms_ok =
+            validate_constraint_graph(&g, &wt.trace).is_ok() && g.is_acyclic();
+        prop_assert_eq!(baseline_ok, axioms_ok);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the foundational invariants: operation
+//! encodings, serial traces, reorderings, witnesses, and the Lemma 3.1
+//! roundtrip.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sc_verify::graph::baseline::Witness;
+use sc_verify::graph::random::{
+    mutate_one_load, random_serial_trace, random_witnessed_trace, shuffle_preserving_po,
+    WorkloadConfig,
+};
+use sc_verify::graph::serial_search::{count_serial_reorderings, find_serial_reordering};
+use sc_verify::graph::{graph_from_serial_reordering, serial_reordering_from_graph};
+use sc_verify::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Op::encode is a bijection onto 0..alphabet_size.
+    #[test]
+    fn op_encoding_bijective(p in 1u8..6, b in 1u8..5, v in 1u8..5) {
+        let params = Params::new(p, b, v);
+        let n = Op::alphabet_size(&params);
+        let mut seen = std::collections::HashSet::new();
+        for code in 0..n {
+            let op = Op::decode(code, &params);
+            prop_assert_eq!(op.encode(&params), code);
+            prop_assert!(seen.insert(op));
+        }
+        prop_assert_eq!(seen.len() as u32, n);
+    }
+
+    /// Random serial traces are serial; any program-order-preserving
+    /// shuffle of one has a serial reordering mapping it back.
+    #[test]
+    fn shuffles_always_have_witnesses(seed in 0u64..50_000, len in 1usize..60, window in 0usize..12) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = WorkloadConfig::new(Params::new(3, 3, 3), len);
+        let serial = random_serial_trace(&cfg, &mut rng);
+        prop_assert!(serial.is_serial());
+        let (t, r) = shuffle_preserving_po(&serial, window, &mut rng);
+        prop_assert!(r.is_serial_reordering(&t));
+        prop_assert_eq!(r.apply(&t), serial);
+    }
+
+    /// The direct search agrees with the shuffle ground truth, and its
+    /// witness is always checked.
+    #[test]
+    fn search_finds_witness_on_sc_traces(seed in 0u64..50_000, len in 1usize..12) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let wt = random_witnessed_trace(&WorkloadConfig::new(Params::new(2, 2, 2), len), 4, &mut rng);
+        let r = find_serial_reordering(&wt.trace);
+        prop_assert!(r.is_some(), "shuffled serial trace must be SC");
+        prop_assert!(r.unwrap().is_serial_reordering(&wt.trace));
+        // And the count is at least one.
+        prop_assert!(count_serial_reorderings(&wt.trace) >= 1);
+    }
+
+    /// Lemma 3.1 roundtrip: serial reordering → constraint graph →
+    /// (topological order) → serial reordering.
+    #[test]
+    fn lemma31_roundtrip(seed in 0u64..50_000, len in 1usize..40) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let wt = random_witnessed_trace(&WorkloadConfig::new(Params::new(3, 2, 3), len), 5, &mut rng);
+        let g = graph_from_serial_reordering(&wt.trace, &wt.reordering);
+        prop_assert!(g.is_acyclic());
+        prop_assert_eq!(validate_constraint_graph(&g, &wt.trace), Ok(()));
+        let r2 = serial_reordering_from_graph(&g).expect("acyclic");
+        prop_assert!(r2.is_serial_reordering(&wt.trace));
+    }
+
+    /// Witness validation accepts derived witnesses and rejects an
+    /// inheritance redirected to a non-matching store.
+    #[test]
+    fn witness_validation(seed in 0u64..50_000, len in 4usize..40) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let wt = random_witnessed_trace(&WorkloadConfig::new(Params::new(3, 2, 3), len), 5, &mut rng);
+        prop_assert_eq!(wt.witness.validate(&wt.trace), Ok(()));
+        // Redirect one load's inheritance to a store of the wrong value,
+        // if one exists.
+        let mut w: Witness = wt.witness.clone();
+        let victim = (0..wt.trace.len()).find(|&j| {
+            w.inh[j].is_some()
+                && (0..wt.trace.len()).any(|i| {
+                    wt.trace[i].is_store()
+                        && wt.trace[i].block == wt.trace[j].block
+                        && wt.trace[i].value != wt.trace[j].value
+                })
+        });
+        if let Some(j) = victim {
+            let bad = (0..wt.trace.len())
+                .find(|&i| {
+                    wt.trace[i].is_store()
+                        && wt.trace[i].block == wt.trace[j].block
+                        && wt.trace[i].value != wt.trace[j].value
+                })
+                .unwrap();
+            w.inh[j] = Some(bad);
+            prop_assert!(w.validate(&wt.trace).is_err());
+        }
+    }
+
+    /// Mutating one load usually breaks seriality of the underlying
+    /// serial trace — and never panics anything downstream.
+    #[test]
+    fn mutations_are_handled(seed in 0u64..50_000, len in 4usize..30) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let params = Params::new(2, 2, 3);
+        let wt = random_witnessed_trace(&WorkloadConfig::new(params, len), 4, &mut rng);
+        if let Some((mutated, _)) = mutate_one_load(&wt.trace, &params, &mut rng) {
+            // The direct search must terminate with a definite verdict.
+            let verdict = find_serial_reordering(&mutated);
+            if let Some(r) = verdict {
+                prop_assert!(r.is_serial_reordering(&mutated));
+            }
+        }
+    }
+
+    /// Reordering inverse is an involution and apply/inverse agree.
+    #[test]
+    fn reordering_inverse_involution(seed in 0u64..50_000, len in 1usize..30) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cfg = WorkloadConfig::new(Params::new(3, 2, 2), len);
+        let serial = random_serial_trace(&cfg, &mut rng);
+        let (t, r) = shuffle_preserving_po(&serial, 6, &mut rng);
+        let inv = r.inverse();
+        for (j, &i) in r.as_slice().iter().enumerate() {
+            prop_assert_eq!(inv[i], j);
+        }
+        prop_assert_eq!(r.apply(&t).len(), t.len());
+    }
+}

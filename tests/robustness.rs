@@ -1,0 +1,116 @@
+//! Adversarial robustness: the finite-state checkers must never panic on
+//! arbitrary (possibly garbage) descriptor streams, and whenever the full
+//! SC checker *accepts* a stream, the decoded whole graph must genuinely
+//! be an acyclic constraint graph for its trace — streaming acceptance is
+//! sound even for inputs no observer would produce.
+
+use proptest::prelude::*;
+use sc_verify::prelude::*;
+use sc_verify::descriptor::{DecodeError, IdNum};
+
+const K: u32 = 4; // small ID space makes collisions/recycling frequent
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..2, 1u8..3, 1u8..3, 0u8..3).prop_map(|(kind, p, b, v)| {
+        if kind == 0 {
+            Op::load(ProcId(p), BlockId(b), Value(v))
+        } else {
+            Op::store(ProcId(p), BlockId(b), Value(v.max(1)))
+        }
+    })
+}
+
+fn arb_edgeset() -> impl Strategy<Value = EdgeSet> {
+    (1u8..16).prop_map(EdgeSet::from_bits)
+}
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    let id = || 1..=(K + 1) as IdNum;
+    prop_oneof![
+        (id(), proptest::option::of(arb_op()))
+            .prop_map(|(id, label)| Symbol::Node { id, label }),
+        (id(), id(), proptest::option::of(arb_edgeset()))
+            .prop_map(|(from, to, label)| Symbol::Edge { from, to, label }),
+        (id(), id()).prop_map(|(of, add)| Symbol::AddId { of, add }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Neither checker panics; and acceptance by the SC checker implies
+    /// the decoded graph is an acyclic constraint graph for its trace.
+    #[test]
+    fn checkers_are_total_and_sound(symbols in proptest::collection::vec(arb_symbol(), 0..60)) {
+        let mut d = Descriptor::new(K);
+        d.symbols = symbols;
+
+        // Totality: no panics, whatever the stream.
+        let cycle_verdict = CycleChecker::check(&d);
+        let sc_verdict = ScChecker::check(&d);
+
+        // Soundness of the full checker: acceptance implies the decoded
+        // graph is acyclic, every topological order of it is a *serial
+        // reordering* of its trace (the property Lemma 3.1 needs — the
+        // checker is deliberately reachability-loose on constraint 5, like
+        // the paper's contraction rule, so it may accept graphs whose
+        // forced edges are implied by paths rather than present), and the
+        // order-totality and inheritance axioms (constraints 2–4) hold.
+        if sc_verdict.is_ok() {
+            let (dg, _) = decode(&d).expect("accepted stream decodes");
+            let cg = dg.to_constraint_graph().expect("accepted stream is fully labeled");
+            prop_assert!(cg.is_acyclic(), "accepted a cyclic stream: {d}");
+            let trace: Trace = cg.labels().iter().copied().collect();
+            let r = sc_verify::graph::serial_reordering_from_graph(&cg)
+                .expect("acyclic graph has a topological order");
+            prop_assert!(
+                r.preserves_program_order(&trace),
+                "accepted order violates program order: {}", d
+            );
+            prop_assert!(
+                r.apply(&trace).is_serial(),
+                "accepted order is not serial: {}", d
+            );
+            // Constraints 2–4 are enforced exactly, so any axiom failure
+            // on an accepted stream must be a constraint-5 path-vs-edge
+            // looseness, never an order or inheritance defect.
+            if let Err(v) = validate_constraint_graph(&cg, &trace) {
+                use sc_verify::graph::AxiomViolation as AV;
+                prop_assert!(
+                    matches!(v, AV::Forced { .. } | AV::ForcedBottom { .. }),
+                    "accepted a stream violating constraint 2-4: {v} in {}", d
+                );
+            }
+            // The SC checker subsumes the plain cycle checker.
+            prop_assert!(cycle_verdict.is_ok());
+        }
+    }
+
+    /// The decoder is total: it either returns a graph or a structured
+    /// error, never panics, and its stats are within the ID-space bound.
+    #[test]
+    fn decoder_is_total(symbols in proptest::collection::vec(arb_symbol(), 0..80)) {
+        let mut d = Descriptor::new(K);
+        d.symbols = symbols;
+        match decode(&d) {
+            Ok((dg, stats)) => {
+                prop_assert!(stats.max_active <= (K + 1) as usize);
+                prop_assert_eq!(dg.node_count(), d.node_count());
+            }
+            Err(DecodeError::DanglingEdge { .. }) | Err(DecodeError::IdOutOfRange { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected decode error {e}"),
+        }
+    }
+
+    /// Agreement on cycle detection: whenever decode succeeds, the
+    /// streaming cycle checker's verdict matches whole-graph acyclicity.
+    #[test]
+    fn cycle_checker_matches_decode(symbols in proptest::collection::vec(arb_symbol(), 0..60)) {
+        let mut d = Descriptor::new(K);
+        d.symbols = symbols;
+        if let Ok((dg, _)) = decode(&d) {
+            let stream = CycleChecker::check(&d).is_ok();
+            prop_assert_eq!(stream, dg.is_acyclic(), "stream {}", d);
+        }
+    }
+}
