@@ -47,8 +47,8 @@ impl Nfa {
         self.delta.len()
     }
 
-    /// Is the automaton empty of states?
-    pub fn is_empty_automaton(&self) -> bool {
+    /// Whether the automaton has no states.
+    pub fn is_empty(&self) -> bool {
         self.delta.is_empty()
     }
 
@@ -156,7 +156,8 @@ impl Dfa {
     /// Append a state; returns its index.
     pub fn push_state(&mut self, accepting: bool) -> u32 {
         self.accepting.push(accepting);
-        self.delta.extend(std::iter::repeat(0).take(self.alphabet as usize));
+        self.delta
+            .extend(std::iter::repeat_n(0, self.alphabet as usize));
         (self.accepting.len() - 1) as u32
     }
 
@@ -196,9 +197,7 @@ impl Dfa {
         let mut out = Dfa::new(self.alphabet, 0);
         let start = (self.initial, other.initial);
         index.insert(start, 0);
-        out.push_state(
-            self.accepting[start.0 as usize] && other.accepting[start.1 as usize],
-        );
+        out.push_state(self.accepting[start.0 as usize] && other.accepting[start.1 as usize]);
         let mut order = vec![start];
         let mut qi = 0usize;
         while qi < order.len() {
@@ -398,7 +397,10 @@ mod tests {
         let empty = d.intersect(&d.complement());
         assert!(empty.is_empty());
         // The witness for a non-empty language is shortest.
-        let w = d.intersect(&contains_11().determinize()).find_word().unwrap();
+        let w = d
+            .intersect(&contains_11().determinize())
+            .find_word()
+            .unwrap();
         assert_eq!(w, vec![1, 1]);
     }
 

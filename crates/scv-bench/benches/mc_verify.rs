@@ -2,14 +2,18 @@
 //! protocol ⊗ observer ⊗ checker product) and parallel speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scv_mc::{verify_protocol, BfsOptions, Outcome as sc_outcome, VerifyOptions};
+use scv_mc::{verify_protocol, BfsOptions, Outcome as sc_outcome, SearchStrategy, VerifyOptions};
 use scv_protocol::{MsiProtocol, SerialMemory, StoreBufferTso};
 use scv_types::Params;
 
 fn opts(threads: usize) -> VerifyOptions {
     VerifyOptions {
-        bfs: BfsOptions { max_states: 2_000_000, max_depth: usize::MAX },
+        bfs: BfsOptions {
+            max_states: 2_000_000,
+            max_depth: usize::MAX,
+        },
         threads,
+        ..Default::default()
     }
 }
 
@@ -18,8 +22,12 @@ fn opts(threads: usize) -> VerifyOptions {
 /// violation within the cap.
 fn capped(threads: usize, max_states: usize) -> VerifyOptions {
     VerifyOptions {
-        bfs: BfsOptions { max_states, max_depth: usize::MAX },
+        bfs: BfsOptions {
+            max_states,
+            max_depth: usize::MAX,
+        },
         threads,
+        ..Default::default()
     }
 }
 
@@ -50,31 +58,42 @@ fn bench_verify(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("tso_finds_cex", "2_2_1"), |b| {
         b.iter(|| {
-            assert!(!verify_protocol(StoreBufferTso::new(Params::new(2, 2, 1), 1), opts(1))
-                .is_verified())
+            assert!(
+                !verify_protocol(StoreBufferTso::new(Params::new(2, 2, 1), 1), opts(1))
+                    .is_verified()
+            )
         })
     });
     group.finish();
 
-    // E9: parallel BFS speedup on a bounded sweep of MSI's product space.
+    // E9: parallel speedup on a bounded sweep of MSI's product space,
+    // for both parallel engines (work-stealing vs level-synchronous).
     let mut group = c.benchmark_group("fig_par_mc");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(5));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("msi_2_1_2_150k", threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let out = verify_protocol(
-                        MsiProtocol::new(Params::new(2, 1, 2)),
-                        capped(threads, 150_000),
-                    );
-                    assert!(!matches!(out, sc_outcome::Violation { .. }));
-                })
-            },
-        );
+    for (name, strategy) in [
+        ("ws", SearchStrategy::WorkStealing),
+        ("level-sync", SearchStrategy::LevelSync),
+    ] {
+        for threads in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("msi_2_1_2_150k_{name}"), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let out = verify_protocol(
+                            MsiProtocol::new(Params::new(2, 1, 2)),
+                            VerifyOptions {
+                                strategy,
+                                ..capped(threads, 150_000)
+                            },
+                        );
+                        assert!(!matches!(out, sc_outcome::Violation { .. }));
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use scv_observer::{Observer, ObserverConfig};
-use scv_protocol::{
-    DirectoryProtocol, LazyCaching, MsiProtocol, Protocol, Runner, SerialMemory,
-};
+use scv_protocol::{DirectoryProtocol, LazyCaching, MsiProtocol, Protocol, Runner, SerialMemory};
 use scv_types::Params;
 
 const STEPS: usize = 2_000;

@@ -15,7 +15,7 @@ use scv_checker::{CycleChecker, ScChecker};
 use scv_descriptor::decode;
 use scv_graph::baseline::{BaselineChecker, BaselineVerdict};
 use scv_graph::serial_search::has_serial_reordering;
-use scv_mc::{verify_protocol, BfsOptions, Outcome, VerifyOptions};
+use scv_mc::{verify_protocol, BfsOptions, Outcome, SearchStrategy, VerifyOptions};
 use scv_observer::{observer_size_bound, Observer, ObserverConfig};
 use scv_protocol::{
     DirectoryProtocol, Fig4Protocol, LazyCaching, MsiProtocol, Protocol, Runner, SerialMemory,
@@ -37,7 +37,12 @@ fn e1_figure1() {
             Op::load(ProcId(2), BlockId(1), val(r1)),
         ])
     };
-    for (r1, r2) in [(Some(1), Some(2)), (None, None), (Some(1), None), (None, Some(2))] {
+    for (r1, r2) in [
+        (Some(1), Some(2)),
+        (None, None),
+        (Some(1), None),
+        (None, Some(2)),
+    ] {
         let t = outcome(r1, r2);
         let show = |o: Option<u8>| o.map_or("0".into(), |v: u8| v.to_string());
         println!(
@@ -74,8 +79,15 @@ fn e4_size_bounds() {
             let st = obs.stats();
             println!(
                 "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
-                $name, params.p, params.b, params.v, l, bound.bandwidth, bound.total_bits,
-                st.max_live_nodes, st.max_aux_in_use
+                $name,
+                params.p,
+                params.b,
+                params.v,
+                l,
+                bound.bandwidth,
+                bound.total_bits,
+                st.max_live_nodes,
+                st.max_aux_in_use
             );
         }};
     }
@@ -97,8 +109,12 @@ fn e5_verification() {
     println!("| protocol | (p,b,v) | expected | outcome | states | transitions | depth | time |");
     println!("|---|---|---|---|---|---|---|---|");
     let opts = VerifyOptions {
-        bfs: BfsOptions { max_states: 1_500_000, max_depth: usize::MAX },
+        bfs: BfsOptions {
+            max_states: 1_500_000,
+            max_depth: usize::MAX,
+        },
         threads: 4,
+        ..Default::default()
     };
     macro_rules! row {
         ($name:expr, $ps:expr, $expected:expr, $proto:expr) => {{
@@ -116,13 +132,43 @@ fn e5_verification() {
             out
         }};
     }
-    row!("serial-memory", "(2,1,1)", "SC", SerialMemory::new(Params::new(2, 1, 1)));
-    row!("msi", "(2,1,2)", "SC", MsiProtocol::new(Params::new(2, 1, 2)));
-    row!("mesi", "(2,1,2)", "SC", scv_protocol::MesiProtocol::new(Params::new(2, 1, 2)));
-    row!("directory", "(2,1,1)", "SC", DirectoryProtocol::new(Params::new(2, 1, 1)));
-    row!("lazy-caching qo=qi=1", "(2,1,1)", "SC", LazyCaching::new(Params::new(2, 1, 1), 1, 1));
+    row!(
+        "serial-memory",
+        "(2,1,1)",
+        "SC",
+        SerialMemory::new(Params::new(2, 1, 1))
+    );
+    row!(
+        "msi",
+        "(2,1,2)",
+        "SC",
+        MsiProtocol::new(Params::new(2, 1, 2))
+    );
+    row!(
+        "mesi",
+        "(2,1,2)",
+        "SC",
+        scv_protocol::MesiProtocol::new(Params::new(2, 1, 2))
+    );
+    row!(
+        "directory",
+        "(2,1,1)",
+        "SC",
+        DirectoryProtocol::new(Params::new(2, 1, 1))
+    );
+    row!(
+        "lazy-caching qo=qi=1",
+        "(2,1,1)",
+        "SC",
+        LazyCaching::new(Params::new(2, 1, 1), 1, 1)
+    );
     let mut notes: Vec<String> = Vec::new();
-    let out = row!("msi-buggy", "(2,2,1)", "not SC", MsiProtocol::buggy(Params::new(2, 2, 1)));
+    let out = row!(
+        "msi-buggy",
+        "(2,2,1)",
+        "not SC",
+        MsiProtocol::buggy(Params::new(2, 2, 1))
+    );
     if let Outcome::Violation { trace, message, .. } = &out {
         notes.push(format!(
             "msi-buggy counterexample trace: `{trace}` — {message} (independent check, has serial reordering: {})",
@@ -169,7 +215,7 @@ fn e6_crossover() {
             let w = sc_workload(len, window, 42);
             // The word-packed cycle checker supports k+1 <= 64; wider
             // workloads are checked by the slab-based SC checker only.
-            let cyc = if w.bandwidth + 1 <= 64 {
+            let cyc = if w.bandwidth < 64 {
                 let t0 = Instant::now();
                 CycleChecker::check(&w.descriptor).expect("acyclic");
                 format!("{:?}", t0.elapsed())
@@ -229,7 +275,10 @@ fn e7_bandwidth() {
     row!("msi", MsiProtocol::new(params));
     row!("directory", DirectoryProtocol::new(params));
     row!("lazy-caching", LazyCaching::new(params, 2, 2));
-    row!("tso (accepting prefix)", StoreBufferTso::new(Params::new(2, 2, 2), 2));
+    row!(
+        "tso (accepting prefix)",
+        StoreBufferTso::new(Params::new(2, 2, 2), 2)
+    );
     println!();
 }
 
@@ -266,39 +315,137 @@ fn e8_lazy_depth() {
 }
 
 fn e9_parallel() {
-    println!("## E9 — parallel model checking (MSI 2,1,2; 300k-state bounded sweep)\n");
-    println!("| threads | states | time | speedup |");
-    println!("|---|---|---|---|");
+    println!("## E9 — parallel model checking (MSI 2,1,2; 500k-state bounded sweep)\n");
+    println!("| engine | threads | states | time | states/s | speedup | steals | seen batches | peak frontier |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let sweep = VerifyOptions {
+        bfs: BfsOptions {
+            max_states: 500_000,
+            max_depth: usize::MAX,
+        },
+        ..Default::default()
+    };
     let mut t1 = None;
-    for threads in [1usize, 2, 4, 8] {
+    let mut row = |label: &str, opts: VerifyOptions| {
         let t0 = Instant::now();
-        let out = verify_protocol(
-            MsiProtocol::new(Params::new(2, 1, 2)),
-            VerifyOptions {
-                bfs: BfsOptions { max_states: 300_000, max_depth: usize::MAX },
-                threads,
-            },
-        );
+        let out = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), opts);
         let dt = t0.elapsed();
         assert!(!matches!(out, Outcome::Violation { .. }));
+        let s = out.stats();
         let base = *t1.get_or_insert(dt);
         println!(
-            "| {threads} | {} | {dt:?} | {:.2}x |",
-            out.stats().states,
-            base.as_secs_f64() / dt.as_secs_f64()
+            "| {label} | {} | {} | {dt:?} | {:.0} | {:.2}x | {} | {} | {} |",
+            opts.threads,
+            s.states,
+            s.states_per_sec(),
+            base.as_secs_f64() / dt.as_secs_f64(),
+            s.steals,
+            s.seen_batches,
+            s.peak_frontier,
+        );
+    };
+    row(
+        "sequential",
+        VerifyOptions {
+            threads: 1,
+            ..sweep
+        },
+    );
+    for threads in [2usize, 4, 8] {
+        row(
+            "work-stealing",
+            VerifyOptions {
+                threads,
+                strategy: SearchStrategy::WorkStealing,
+                ..sweep
+            },
         );
     }
+    for threads in [2usize, 4, 8] {
+        row(
+            "level-sync",
+            VerifyOptions {
+                threads,
+                strategy: SearchStrategy::LevelSync,
+                ..sweep
+            },
+        );
+    }
+    println!();
+
+    // Time-to-counterexample on the violating products: the asynchronous
+    // engine explores in a schedule-dependent order, so the interesting
+    // guarantees are (a) every engine still finds a violation and (b) how
+    // much of the product each visits before doing so.
+    println!("### E9b — time to counterexample (violating products)\n");
+    println!("| product | engine | threads | states to violation | run length | time |");
+    println!("|---|---|---|---|---|---|");
+    macro_rules! cex_rows {
+        ($name:expr, $mk:expr) => {
+            for (engine, threads, strategy) in [
+                ("sequential", 1usize, SearchStrategy::WorkStealing),
+                ("work-stealing", 4, SearchStrategy::WorkStealing),
+                ("level-sync", 4, SearchStrategy::LevelSync),
+            ] {
+                let t0 = Instant::now();
+                let out = verify_protocol(
+                    $mk,
+                    VerifyOptions {
+                        threads,
+                        strategy,
+                        ..sweep
+                    },
+                );
+                let dt = t0.elapsed();
+                let Outcome::Violation { run, ref stats, .. } = out else {
+                    panic!("{} must violate", $name);
+                };
+                println!(
+                    "| {} | {engine} | {threads} | {} | {} | {dt:?} |",
+                    $name,
+                    stats.states,
+                    run.len()
+                );
+            }
+        };
+    }
+    cex_rows!(
+        "msi-buggy (2,2,1)",
+        MsiProtocol::buggy(Params::new(2, 2, 1))
+    );
+    cex_rows!(
+        "fig4 (2,1,2) s=1",
+        Fig4Protocol::new(Params::new(2, 1, 2), 1)
+    );
     println!();
 }
 
 fn main() {
+    // With no arguments every table is regenerated; passing experiment
+    // names (`experiments e9 e5`) reruns just those.
+    let only: Vec<String> = std::env::args().skip(1).collect();
+    let run = |name: &str| only.is_empty() || only.iter().any(|a| a == name);
     println!("# sc-verify experiment tables (generated)\n");
-    e1_figure1();
-    e4_size_bounds();
-    e5_verification();
-    e6_crossover();
-    e7_bandwidth();
-    e8_lazy_depth();
-    e9_parallel();
+    if run("e1") {
+        e1_figure1();
+    }
+    if run("e4") {
+        e4_size_bounds();
+    }
+    if run("e5") {
+        e5_verification();
+    }
+    if run("e6") {
+        e6_crossover();
+    }
+    if run("e7") {
+        e7_bandwidth();
+    }
+    if run("e8") {
+        e8_lazy_depth();
+    }
+    if run("e9") {
+        e9_parallel();
+    }
     println!("done.");
 }

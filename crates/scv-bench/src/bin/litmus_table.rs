@@ -11,7 +11,11 @@ fn main() {
     let battery = all();
     print!("| protocol |");
     for l in &battery {
-        print!(" {} ({}) |", l.name, if l.sc_allows { "allowed" } else { "forbidden" });
+        print!(
+            " {} ({}) |",
+            l.name,
+            if l.sc_allows { "allowed" } else { "forbidden" }
+        );
     }
     println!();
     print!("|---|");
@@ -32,11 +36,11 @@ fn main() {
             println!();
         }};
     }
-    row!("serial-memory", |p| SerialMemory::new(p), 2);
-    row!("msi", |p| MsiProtocol::new(p), 4);
-    row!("mesi", |p| MesiProtocol::new(p), 4);
-    row!("msi-buggy", |p| MsiProtocol::buggy(p), 6);
-    row!("mesi-buggy", |p| MesiProtocol::buggy(p), 6);
+    row!("serial-memory", SerialMemory::new, 2);
+    row!("msi", MsiProtocol::new, 4);
+    row!("mesi", MesiProtocol::new, 4);
+    row!("msi-buggy", MsiProtocol::buggy, 6);
+    row!("mesi-buggy", MesiProtocol::buggy, 6);
     row!("tso (d=2)", |p| StoreBufferTso::new(p, 2), 4);
     let _ = <SerialMemory as Protocol>::name;
     println!();

@@ -20,21 +20,29 @@ fn main() {
                 }
             }
         }
-        println!("depth {depth}: +{} states (total {})", next.len(), seen.len());
+        println!(
+            "depth {depth}: +{} states (total {})",
+            next.len(),
+            seen.len()
+        );
         frontier = next;
     }
     // Pick a few states at depth 6 and dump their checker/observer state sizes.
     let mut count = 0;
     for (s, d) in &seen {
         if *d == 6 && count < 4 {
-            println!("--- state at depth {d}: chk retained={} enc_len={}", s.chk.retained_count(), {
-                let mut ids = scv_descriptor::IdCanon::new(s.obs.location_count());
-                let mut e = Vec::new();
-                s.obs.canonical_encoding(&mut e, &mut ids);
-                let ol = e.len();
-                s.chk.canonical_encoding(&mut e, &mut ids);
-                format!("obs={} chk={}", ol, e.len() - ol)
-            });
+            println!(
+                "--- state at depth {d}: chk retained={} enc_len={}",
+                s.chk.retained_count(),
+                {
+                    let mut ids = scv_descriptor::IdCanon::new(s.obs.location_count());
+                    let mut e = Vec::new();
+                    s.obs.canonical_encoding(&mut e, &mut ids);
+                    let ol = e.len();
+                    s.chk.canonical_encoding(&mut e, &mut ids);
+                    format!("obs={} chk={}", ol, e.len() - ol)
+                }
+            );
             println!("chk: {:?}", s.chk);
             count += 1;
         }

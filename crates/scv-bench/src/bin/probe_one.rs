@@ -1,26 +1,87 @@
-use scv_mc::{verify_protocol, BfsOptions, VerifyOptions, Outcome};
+use scv_mc::{verify_protocol, BfsOptions, Outcome, VerifyOptions};
 use scv_protocol::*;
 use scv_types::Params;
 use std::time::Instant;
 fn run<P: Protocol + Sync + Clone>(name: &str, p: P, cap: usize, threads: usize)
-where P::State: Send + Sync {
+where
+    P::State: Send + Sync,
+{
     let t0 = Instant::now();
-    let out = verify_protocol(p, VerifyOptions { bfs: BfsOptions { max_states: cap, max_depth: usize::MAX }, threads });
+    let out = verify_protocol(
+        p,
+        VerifyOptions {
+            bfs: BfsOptions {
+                max_states: cap,
+                max_depth: usize::MAX,
+            },
+            threads,
+            ..Default::default()
+        },
+    );
     let s = out.stats();
-    let v = match out { Outcome::Verified{..} => "VERIFIED", Outcome::Violation{..} => "VIOLATION", Outcome::Bounded{..} => "BOUNDED" };
-    println!("{name:<22} {v:<10} states={:<9} depth={} t={:?}", s.states, s.depth, t0.elapsed());
+    let v = match out {
+        Outcome::Verified { .. } => "VERIFIED",
+        Outcome::Violation { .. } => "VIOLATION",
+        Outcome::Bounded { .. } => "BOUNDED",
+    };
+    println!(
+        "{name:<22} {v:<10} states={:<9} depth={} t={:?}",
+        s.states,
+        s.depth,
+        t0.elapsed()
+    );
 }
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_default();
     match which.as_str() {
-        "s211" => run("serial(2,1,1)", SerialMemory::new(Params::new(2,1,1)), 3_000_000, 4),
-        "s212" => run("serial(2,1,2)", SerialMemory::new(Params::new(2,1,2)), 3_000_000, 4),
-        "m211" => run("msi(2,1,1)", MsiProtocol::new(Params::new(2,1,1)), 3_000_000, 4),
-        "e211" => run("mesi(2,1,1)", MesiProtocol::new(Params::new(2,1,1)), 3_000_000, 4),
-        "d211" => run("directory(2,1,1)", DirectoryProtocol::new(Params::new(2,1,1)), 3_000_000, 4),
-        "l211" => run("lazy(2,1,1)q1", LazyCaching::new(Params::new(2,1,1),1,1), 3_000_000, 4),
-        "bug" => run("msi-buggy(2,2,1)", MsiProtocol::buggy(Params::new(2,2,1)), 3_000_000, 1),
-        "tso" => run("tso(2,2,1)d1", StoreBufferTso::new(Params::new(2,2,1),1), 3_000_000, 1),
+        "s211" => run(
+            "serial(2,1,1)",
+            SerialMemory::new(Params::new(2, 1, 1)),
+            3_000_000,
+            4,
+        ),
+        "s212" => run(
+            "serial(2,1,2)",
+            SerialMemory::new(Params::new(2, 1, 2)),
+            3_000_000,
+            4,
+        ),
+        "m211" => run(
+            "msi(2,1,1)",
+            MsiProtocol::new(Params::new(2, 1, 1)),
+            3_000_000,
+            4,
+        ),
+        "e211" => run(
+            "mesi(2,1,1)",
+            MesiProtocol::new(Params::new(2, 1, 1)),
+            3_000_000,
+            4,
+        ),
+        "d211" => run(
+            "directory(2,1,1)",
+            DirectoryProtocol::new(Params::new(2, 1, 1)),
+            3_000_000,
+            4,
+        ),
+        "l211" => run(
+            "lazy(2,1,1)q1",
+            LazyCaching::new(Params::new(2, 1, 1), 1, 1),
+            3_000_000,
+            4,
+        ),
+        "bug" => run(
+            "msi-buggy(2,2,1)",
+            MsiProtocol::buggy(Params::new(2, 2, 1)),
+            3_000_000,
+            1,
+        ),
+        "tso" => run(
+            "tso(2,2,1)d1",
+            StoreBufferTso::new(Params::new(2, 2, 1), 1),
+            3_000_000,
+            1,
+        ),
         _ => eprintln!("usage: probe_one <s211|s212|m211|e211|d211|l211|bug|tso>"),
     }
 }

@@ -5,28 +5,71 @@ use scv_types::Params;
 use std::time::Instant;
 
 fn probe<P: Protocol + Sync + Clone>(name: &str, p: P)
-where P::State: Send + Sync {
+where
+    P::State: Send + Sync,
+{
     let t0 = Instant::now();
-    let out = verify_protocol(p, VerifyOptions { bfs: BfsOptions { max_states: 3_000_000, max_depth: usize::MAX }, threads: 4 });
+    let out = verify_protocol(
+        p,
+        VerifyOptions {
+            bfs: BfsOptions {
+                max_states: 3_000_000,
+                max_depth: usize::MAX,
+            },
+            threads: 4,
+            ..Default::default()
+        },
+    );
     let s = out.stats();
-    let v = match out { Outcome::Verified{..} => "VERIFIED", Outcome::Violation{..} => "VIOLATION", Outcome::Bounded{..} => "BOUNDED" };
-    println!("{name:<28} {v:<10} states={:<9} trans={:<10} depth={} time={:?}", s.states, s.transitions, s.depth, t0.elapsed());
+    let v = match out {
+        Outcome::Verified { .. } => "VERIFIED",
+        Outcome::Violation { .. } => "VIOLATION",
+        Outcome::Bounded { .. } => "BOUNDED",
+    };
+    println!(
+        "{name:<28} {v:<10} states={:<9} trans={:<10} depth={} time={:?}",
+        s.states,
+        s.transitions,
+        s.depth,
+        t0.elapsed()
+    );
 }
 
 fn main() {
-    probe("serial (2,1,1)", SerialMemory::new(Params::new(2,1,1)));
-    probe("serial (2,1,2)", SerialMemory::new(Params::new(2,1,2)));
-    probe("serial (2,2,2)", SerialMemory::new(Params::new(2,2,2)));
-    probe("msi (2,1,1)", MsiProtocol::new(Params::new(2,1,1)));
-    probe("msi (2,1,2)", MsiProtocol::new(Params::new(2,1,2)));
-    probe("msi (2,2,1)", MsiProtocol::new(Params::new(2,2,1)));
-    probe("mesi (2,1,1)", MesiProtocol::new(Params::new(2,1,1)));
-    probe("mesi (2,1,2)", MesiProtocol::new(Params::new(2,1,2)));
-    probe("directory (2,1,1)", DirectoryProtocol::new(Params::new(2,1,1)));
-    probe("directory (2,1,2)", DirectoryProtocol::new(Params::new(2,1,2)));
-    probe("lazy (2,1,1) q=1", LazyCaching::new(Params::new(2,1,1),1,1));
-    probe("msi-buggy (2,2,1)", MsiProtocol::buggy(Params::new(2,2,1)));
-    probe("mesi-buggy (2,2,1)", MesiProtocol::buggy(Params::new(2,2,1)));
-    probe("tso (2,2,1) d=1", StoreBufferTso::new(Params::new(2,2,1),1));
-    probe("fig4 (2,1,2) s=1", Fig4Protocol::new(Params::new(2,1,2),1));
+    probe("serial (2,1,1)", SerialMemory::new(Params::new(2, 1, 1)));
+    probe("serial (2,1,2)", SerialMemory::new(Params::new(2, 1, 2)));
+    probe("serial (2,2,2)", SerialMemory::new(Params::new(2, 2, 2)));
+    probe("msi (2,1,1)", MsiProtocol::new(Params::new(2, 1, 1)));
+    probe("msi (2,1,2)", MsiProtocol::new(Params::new(2, 1, 2)));
+    probe("msi (2,2,1)", MsiProtocol::new(Params::new(2, 2, 1)));
+    probe("mesi (2,1,1)", MesiProtocol::new(Params::new(2, 1, 1)));
+    probe("mesi (2,1,2)", MesiProtocol::new(Params::new(2, 1, 2)));
+    probe(
+        "directory (2,1,1)",
+        DirectoryProtocol::new(Params::new(2, 1, 1)),
+    );
+    probe(
+        "directory (2,1,2)",
+        DirectoryProtocol::new(Params::new(2, 1, 2)),
+    );
+    probe(
+        "lazy (2,1,1) q=1",
+        LazyCaching::new(Params::new(2, 1, 1), 1, 1),
+    );
+    probe(
+        "msi-buggy (2,2,1)",
+        MsiProtocol::buggy(Params::new(2, 2, 1)),
+    );
+    probe(
+        "mesi-buggy (2,2,1)",
+        MesiProtocol::buggy(Params::new(2, 2, 1)),
+    );
+    probe(
+        "tso (2,2,1) d=1",
+        StoreBufferTso::new(Params::new(2, 2, 1), 1),
+    );
+    probe(
+        "fig4 (2,1,2) s=1",
+        Fig4Protocol::new(Params::new(2, 1, 2), 1),
+    );
 }

@@ -39,7 +39,12 @@ pub fn sc_workload(len: usize, window: usize, seed: u64) -> ScWorkload {
     let g = saturated_graph(&wt.trace, &wt.witness);
     let bandwidth = g.bandwidth();
     let descriptor = encode(&g, bandwidth.max(1) as u32).expect("exact bandwidth");
-    ScWorkload { trace: wt.trace, witness: wt.witness, descriptor, bandwidth }
+    ScWorkload {
+        trace: wt.trace,
+        witness: wt.witness,
+        descriptor,
+        bandwidth,
+    }
 }
 
 /// Produce a deterministic random run of a protocol plus its observer

@@ -160,7 +160,7 @@ impl CycleChecker {
         let Some(slot) = self.owner[(id - 1) as usize].take() else {
             return;
         };
-        if self.owner.iter().any(|o| *o == Some(slot)) {
+        if self.owner.contains(&Some(slot)) {
             return; // node still has other IDs
         }
         // Contract: every (H, slot), (slot, J) pair becomes (H, J).
@@ -243,7 +243,11 @@ mod tests {
         Symbol::Node { id, label: None }
     }
     fn edge(from: IdNum, to: IdNum) -> Symbol {
-        Symbol::Edge { from, to, label: None }
+        Symbol::Edge {
+            from,
+            to,
+            label: None,
+        }
     }
 
     fn run(k: u32, syms: &[Symbol]) -> Result<(), CycleError> {
@@ -254,7 +258,10 @@ mod tests {
 
     #[test]
     fn accepts_simple_dag() {
-        assert_eq!(run(2, &[node(1), node(2), edge(1, 2), node(3), edge(2, 3)]), Ok(()));
+        assert_eq!(
+            run(2, &[node(1), node(2), edge(1, 2), node(3), edge(2, 3)]),
+            Ok(())
+        );
     }
 
     #[test]
@@ -282,13 +289,13 @@ mod tests {
         // edge B->? ... concretely: A->B, B->C, then recycle B's ID, then
         // C->A must be rejected because A->B->C persists as A->C.
         let syms = [
-            node(1),        // A
-            node(2),        // B
-            edge(1, 2),     // A -> B
-            node(3),        // C
-            edge(2, 3),     // B -> C
-            node(2),        // D takes B's ID; B contracts away (A->C kept)
-            edge(3, 1),     // C -> A: closes A->C->A
+            node(1),    // A
+            node(2),    // B
+            edge(1, 2), // A -> B
+            node(3),    // C
+            edge(2, 3), // B -> C
+            node(2),    // D takes B's ID; B contracts away (A->C kept)
+            edge(3, 1), // C -> A: closes A->C->A
         ];
         assert_eq!(run(2, &syms), Err(CycleError::CycleClosed { position: 6 }));
     }
@@ -301,7 +308,7 @@ mod tests {
             edge(1, 2),
             node(3),
             edge(2, 3),
-            node(2), // contract middle node
+            node(2),    // contract middle node
             edge(1, 2), // A -> D: fine
         ];
         assert_eq!(run(2, &syms), Ok(()));
@@ -363,7 +370,9 @@ mod tests {
             let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             for i in 0..n {
                 for _ in 0..2 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     let span = 1 + (x >> 33) as usize % 7;
                     if i + span < n {
                         g.add_edge(i, i + span, EdgeSet::PO);

@@ -339,7 +339,12 @@ impl ScChecker {
     }
 
     fn step_inner(&mut self, sym: &Symbol, pos: usize) -> ScVerdict {
-        let reject = |kind: ScErrorKind| Err(ScError { position: Some(pos), kind });
+        let reject = |kind: ScErrorKind| {
+            Err(ScError {
+                position: Some(pos),
+                kind,
+            })
+        };
         let in_range = |id: IdNum| id >= 1 && id <= self.k + 1;
         if !in_range(sym.min_id()) || !in_range(sym.max_id()) {
             return reject(ScErrorKind::IdOutOfRange);
@@ -399,14 +404,24 @@ impl ScChecker {
         if let Some(e) = &self.rejected {
             return Err(e.clone());
         }
-        let reject = |kind: ScErrorKind| Err(ScError { position: None, kind });
+        let reject = |kind: ScErrorKind| {
+            Err(ScError {
+                position: None,
+                kind,
+            })
+        };
 
         // Fold retained nodes into copies of the order tallies.
         let retained: Vec<Handle> = self
             .slots
             .iter()
             .enumerate()
-            .filter_map(|(s, r)| r.as_ref().map(|r| Handle { slot: s as u32, gen: r.gen }))
+            .filter_map(|(s, r)| {
+                r.as_ref().map(|r| Handle {
+                    slot: s as u32,
+                    gen: r.gen,
+                })
+            })
             .collect();
         let mut proc_tally = self.proc_tally.clone();
         let mut block_tally = self.block_tally.clone();
@@ -500,7 +515,15 @@ impl ScChecker {
             .iter()
             .enumerate()
             .filter_map(|(s, r)| {
-                r.as_ref().map(|r| (r.birth, Handle { slot: s as u32, gen: r.gen }))
+                r.as_ref().map(|r| {
+                    (
+                        r.birth,
+                        Handle {
+                            slot: s as u32,
+                            gen: r.gen,
+                        },
+                    )
+                })
             })
             .collect();
         retained.sort_unstable_by_key(|&(b, _)| b);
@@ -509,11 +532,12 @@ impl ScChecker {
             .enumerate()
             .map(|(i, &(_, h))| (h, i as u64))
             .collect();
-        let slot_rank: Map<u32, u64> =
-            retained.iter().enumerate().map(|(i, &(_, h))| (h.slot, i as u64)).collect();
-        let tok = |h: Option<Handle>| -> u64 {
-            h.map_or(u64::MAX, |h| rank[&h])
-        };
+        let slot_rank: Map<u32, u64> = retained
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, h))| (h.slot, i as u64))
+            .collect();
+        let tok = |h: Option<Handle>| -> u64 { h.map_or(u64::MAX, |h| rank[&h]) };
         out.push(retained.len() as u64);
         // Owner table keyed by canonical ID (location IDs are fixed
         // points; auxiliary IDs were renamed by the observer's encoding).
@@ -801,7 +825,15 @@ impl ScChecker {
                     .iter()
                     .enumerate()
                     .filter_map(|(s, n)| {
-                        n.as_ref().map(|n| (Handle { slot: s as u32, gen: n.gen }, n))
+                        n.as_ref().map(|n| {
+                            (
+                                Handle {
+                                    slot: s as u32,
+                                    gen: n.gen,
+                                },
+                                n,
+                            )
+                        })
                     })
                     .filter(|(_, n)| n.is_bottom_load() && n.label.block.0 == block)
                     .map(|(x, _)| x)
@@ -822,11 +854,17 @@ impl ScChecker {
                 .iter()
                 .enumerate()
                 .filter_map(|(s, n)| {
-                    n.as_ref().map(|n| (Handle { slot: s as u32, gen: n.gen }, n))
+                    n.as_ref().map(|n| {
+                        (
+                            Handle {
+                                slot: s as u32,
+                                gen: n.gen,
+                            },
+                            n,
+                        )
+                    })
                 })
-                .filter(|(x, n)| {
-                    *x != h && n.label.proc == r.label.proc && n.reach.get(h.slot)
-                })
+                .filter(|(x, n)| *x != h && n.label.proc == r.label.proc && n.reach.get(h.slot))
                 .map(|(x, _)| x)
                 .collect();
             for g in preds {
@@ -840,7 +878,9 @@ impl ScChecker {
 
         // Scrub references to the dying node from the retained set.
         for s in 0..self.slots.len() {
-            let Some(n) = self.slots[s].as_mut() else { continue };
+            let Some(n) = self.slots[s].as_mut() else {
+                continue;
+            };
             n.reach.clear(h.slot);
             if n.sto_succ == Some(h) {
                 n.sto_succ = None;
@@ -866,7 +906,9 @@ impl ScChecker {
         let mut add = self.rec(v).reach.clone();
         add.set(v.slot);
         for s in 0..self.slots.len() {
-            let Some(n) = self.slots[s].as_mut() else { continue };
+            let Some(n) = self.slots[s].as_mut() else {
+                continue;
+            };
             if s as u32 == u.slot || n.reach.get(u.slot) {
                 n.reach.or_with(&add);
             }
@@ -881,7 +923,12 @@ impl ScChecker {
     // ----- annotation handling ---------------------------------------------
 
     fn apply_annotations(&mut self, u: Handle, v: Handle, ann: EdgeSet, pos: usize) -> ScVerdict {
-        let reject = |kind: ScErrorKind| Err(ScError { position: Some(pos), kind });
+        let reject = |kind: ScErrorKind| {
+            Err(ScError {
+                position: Some(pos),
+                kind,
+            })
+        };
 
         if ann.contains(EdgeSet::PO) {
             let (lu, lv, bu, bv) = {
@@ -1051,7 +1098,13 @@ mod tests {
     }
 
     fn figure3_trace() -> Trace {
-        Trace::from_ops([st(1, 1, 1), ld(2, 1, 1), st(1, 1, 2), ld(2, 1, 1), ld(2, 1, 2)])
+        Trace::from_ops([
+            st(1, 1, 1),
+            ld(2, 1, 1),
+            st(1, 1, 2),
+            ld(2, 1, 1),
+            ld(2, 1, 2),
+        ])
     }
 
     /// The paper's hand-written 3-bandwidth descriptor for Figure 3.
@@ -1096,7 +1149,8 @@ mod tests {
         // Figure 3's descriptor without the forced edge (4,3): node 4's
         // obligation (triple ST1, LD4, ST3) is never met.
         let mut d = figure3_descriptor();
-        d.symbols.retain(|s| !matches!(s, Symbol::Edge { from: 4, to: 3, .. }));
+        d.symbols
+            .retain(|s| !matches!(s, Symbol::Edge { from: 4, to: 3, .. }));
         let err = ScChecker::check(&d).unwrap_err();
         assert_eq!(err.kind, ScErrorKind::ForcedUnsatisfied);
     }
@@ -1117,10 +1171,7 @@ mod tests {
     #[test]
     fn rejects_missing_inheritance_at_end() {
         let mut d = Descriptor::new(2);
-        d.symbols = vec![
-            Symbol::node(1, st(1, 1, 1)),
-            Symbol::node(2, ld(2, 1, 1)),
-        ];
+        d.symbols = vec![Symbol::node(1, st(1, 1, 1)), Symbol::node(2, ld(2, 1, 1))];
         let err = ScChecker::check(&d).unwrap_err();
         assert!(matches!(err.kind, ScErrorKind::Inheritance(_)));
         assert_eq!(err.position, None);
@@ -1234,10 +1285,7 @@ mod tests {
     fn bottom_load_requires_forced_edge_to_first_store() {
         // LD(P2,B1,⊥) then ST(P1,B1,1): without the forced edge, reject.
         let mut d = Descriptor::new(2);
-        d.symbols = vec![
-            Symbol::node(1, ldb(2, 1)),
-            Symbol::node(2, st(1, 1, 1)),
-        ];
+        d.symbols = vec![Symbol::node(1, ldb(2, 1)), Symbol::node(2, st(1, 1, 1))];
         let err = ScChecker::check(&d).unwrap_err();
         assert_eq!(err.kind, ScErrorKind::BottomUnsatisfied);
         // With the forced edge, accept.
@@ -1253,10 +1301,7 @@ mod tests {
     #[test]
     fn bottom_load_vacuous_without_stores() {
         let mut d = Descriptor::new(2);
-        d.symbols = vec![
-            Symbol::node(1, ldb(2, 1)),
-            Symbol::node(2, ldb(1, 1)),
-        ];
+        d.symbols = vec![Symbol::node(1, ldb(2, 1)), Symbol::node(2, ldb(1, 1))];
         assert_eq!(ScChecker::check(&d), Ok(()));
     }
 
@@ -1312,7 +1357,11 @@ mod tests {
         d.symbols = vec![
             Symbol::node(1, st(1, 1, 1)),
             Symbol::node(2, st(1, 1, 2)),
-            Symbol::Edge { from: 1, to: 2, label: None },
+            Symbol::Edge {
+                from: 1,
+                to: 2,
+                label: None,
+            },
         ];
         let err = ScChecker::check(&d).unwrap_err();
         assert_eq!(err.kind, ScErrorKind::UnlabeledEdge);
@@ -1329,12 +1378,7 @@ mod tests {
                 vec![0, 1, 2],
             ),
             (
-                Trace::from_ops([
-                    st(1, 1, 1),
-                    st(1, 2, 2),
-                    ldb(2, 2),
-                    ld(2, 1, 1),
-                ]),
+                Trace::from_ops([st(1, 1, 1), st(1, 2, 2), ldb(2, 2), ld(2, 1, 1)]),
                 vec![0, 2, 1, 3],
             ),
         ];
@@ -1368,7 +1412,10 @@ mod tests {
         let mut c = ScChecker::new(d.k);
         for s in &d.symbols {
             c.step(s).unwrap();
-            assert!(c.retained_count() <= (k as usize + 1) + 8, "retained blow-up");
+            assert!(
+                c.retained_count() <= (k as usize + 1) + 8,
+                "retained blow-up"
+            );
         }
         c.finish().unwrap();
     }
@@ -1405,8 +1452,7 @@ mod tests {
                     g = g2;
                 }
             }
-            let reference_ok =
-                validate_constraint_graph(&g, &wt.trace).is_ok() && g.is_acyclic();
+            let reference_ok = validate_constraint_graph(&g, &wt.trace).is_ok() && g.is_acyclic();
             let k = g.bandwidth().max(1) as u32;
             let d = encode(&g, k).unwrap();
             let streaming_ok = ScChecker::check(&d).is_ok();

@@ -96,7 +96,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::DanglingEdge { position } => {
-                write!(f, "edge descriptor at symbol {position} references an unassigned ID")
+                write!(
+                    f,
+                    "edge descriptor at symbol {position} references an unassigned ID"
+                )
             }
             DecodeError::IdOutOfRange { position } => {
                 write!(f, "symbol {position} uses an ID outside 1..=k+1")
@@ -220,7 +223,11 @@ mod tests {
             Symbol::Node { id: 1, label: None },
             Symbol::AddId { of: 1, add: 2 },
             Symbol::Node { id: 3, label: None },
-            Symbol::Edge { from: 3, to: 2, label: None },
+            Symbol::Edge {
+                from: 3,
+                to: 2,
+                label: None,
+            },
         ];
         let (g, _) = decode(&d).unwrap();
         assert_eq!(g.edges, vec![(1, 0, EdgeSet::EMPTY)]);
@@ -231,7 +238,11 @@ mod tests {
         let mut d = Descriptor::new(2);
         d.symbols = vec![
             Symbol::Node { id: 1, label: None },
-            Symbol::Edge { from: 1, to: 2, label: None },
+            Symbol::Edge {
+                from: 1,
+                to: 2,
+                label: None,
+            },
         ];
         assert_eq!(decode(&d), Err(DecodeError::DanglingEdge { position: 1 }));
     }
@@ -254,10 +265,17 @@ mod tests {
         d.symbols = vec![
             Symbol::node(1, st(1, 1, 1)),
             Symbol::node(2, st(1, 1, 2)),
-            Symbol::Edge { from: 1, to: 2, label: None },
+            Symbol::Edge {
+                from: 1,
+                to: 2,
+                label: None,
+            },
         ];
         let (g, _) = decode(&d).unwrap();
-        assert_eq!(g.to_constraint_graph(), Err(DecodeError::UnlabeledEdge(0, 1)));
+        assert_eq!(
+            g.to_constraint_graph(),
+            Err(DecodeError::UnlabeledEdge(0, 1))
+        );
     }
 
     #[test]
@@ -279,8 +297,16 @@ mod tests {
         d.symbols = vec![
             Symbol::Node { id: 1, label: None },
             Symbol::Node { id: 2, label: None },
-            Symbol::Edge { from: 1, to: 2, label: None },
-            Symbol::Edge { from: 2, to: 1, label: None },
+            Symbol::Edge {
+                from: 1,
+                to: 2,
+                label: None,
+            },
+            Symbol::Edge {
+                from: 2,
+                to: 1,
+                label: None,
+            },
         ];
         let (g, _) = decode(&d).unwrap();
         assert!(!g.is_acyclic());

@@ -27,7 +27,11 @@ impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EncodeError::BandwidthExceeded { node, k } => {
-                write!(f, "node {} needs an ID but the graph is not {k}-bandwidth bounded", node + 1)
+                write!(
+                    f,
+                    "node {} needs an ID but the graph is not {k}-bandwidth bounded",
+                    node + 1
+                )
             }
         }
     }
@@ -64,11 +68,18 @@ pub fn encode(g: &ConstraintGraph, k: u32) -> Result<Descriptor, EncodeError> {
             return Err(EncodeError::BandwidthExceeded { node: v, k });
         };
         id_of[v] = Some(id);
-        d.symbols.push(Symbol::Node { id, label: Some(g.label(v)) });
+        d.symbols.push(Symbol::Node {
+            id,
+            label: Some(g.label(v)),
+        });
 
         // A self-loop is listed immediately after the node itself.
         if let Some(ann) = g.edge(v, v) {
-            d.symbols.push(Symbol::Edge { from: id, to: id, label: Some(ann) });
+            d.symbols.push(Symbol::Edge {
+                from: id,
+                to: id,
+                label: Some(ann),
+            });
         }
 
         // Edges between v and earlier nodes, ordered by earlier endpoint.
@@ -93,7 +104,11 @@ pub fn encode(g: &ConstraintGraph, k: u32) -> Result<Descriptor, EncodeError> {
             } else {
                 (id, uid, g.edge(v, u).expect("out-edge exists"))
             };
-            d.symbols.push(Symbol::Edge { from, to, label: Some(ann) });
+            d.symbols.push(Symbol::Edge {
+                from,
+                to,
+                label: Some(ann),
+            });
         }
 
         // Recycle IDs of nodes whose last incident edge has now been listed
@@ -120,9 +135,13 @@ pub fn naive_descriptor(g: &ConstraintGraph) -> Descriptor {
     let n = g.node_count();
     let mut d = Descriptor::new((n.max(1) - 1) as u32);
     for v in 0..n {
-        d.symbols.push(Symbol::Node { id: (v + 1) as IdNum, label: Some(g.label(v)) });
+        d.symbols.push(Symbol::Node {
+            id: (v + 1) as IdNum,
+            label: Some(g.label(v)),
+        });
         if let Some(ann) = g.edge(v, v) {
-            d.symbols.push(Symbol::edge((v + 1) as IdNum, (v + 1) as IdNum, ann));
+            d.symbols
+                .push(Symbol::edge((v + 1) as IdNum, (v + 1) as IdNum, ann));
         }
         let mut incident: Vec<(usize, bool)> = Vec::new();
         for &u in g.in_sources(v) {
@@ -144,7 +163,8 @@ pub fn naive_descriptor(g: &ConstraintGraph) -> Descriptor {
             } else {
                 (v + 1, u + 1, g.edge(v, u).expect("out-edge exists"))
             };
-            d.symbols.push(Symbol::edge(from as IdNum, to as IdNum, ann));
+            d.symbols
+                .push(Symbol::edge(from as IdNum, to as IdNum, ann));
         }
     }
     d

@@ -27,7 +27,10 @@ pub struct IdCanon {
 impl IdCanon {
     /// IDs `1..=base` are fixed (returned as-is); higher IDs are renamed.
     pub fn new(base: IdNum) -> Self {
-        IdCanon { base, map: HashMap::new() }
+        IdCanon {
+            base,
+            map: HashMap::new(),
+        }
     }
 
     /// Canonical number for `id`: itself if `id <= base`, otherwise

@@ -28,7 +28,10 @@ pub struct IdTable {
 impl IdTable {
     /// A table over the ID space `1..=k+1`.
     pub fn new(k: u32) -> Self {
-        IdTable { owner: vec![None; (k + 1) as usize], nodes_seen: 0 }
+        IdTable {
+            owner: vec![None; (k + 1) as usize],
+            nodes_seen: 0,
+        }
     }
 
     /// Size of the ID space (`k+1`).
@@ -98,7 +101,7 @@ impl IdTable {
 
     /// Does node `i` hold any ID?
     pub fn holds_any(&self, i: usize) -> bool {
-        self.owner.iter().any(|o| *o == Some(i))
+        self.owner.contains(&Some(i))
     }
 
     #[inline]
@@ -135,7 +138,7 @@ mod tests {
         let mut t = IdTable::new(2); // IDs 1..=3
         t.define_node(1); // node 0
         t.define_node(2); // node 1
-        // Node 0 gains ID 3.
+                          // Node 0 gains ID 3.
         let (gainer, ev) = t.add_id(1, 3);
         assert_eq!((gainer, ev), (Some(0), None));
         assert_eq!(t.id_set(0), vec![1, 3]);

@@ -20,7 +20,11 @@ pub enum Symbol {
     Node { id: IdNum, label: Option<Op> },
     /// An edge descriptor `(from, to)`, optionally labeled with edge
     /// annotations.
-    Edge { from: IdNum, to: IdNum, label: Option<EdgeSet> },
+    Edge {
+        from: IdNum,
+        to: IdNum,
+        label: Option<EdgeSet>,
+    },
     /// `add-ID(of, add)`: the node currently holding `of` additionally
     /// gains the ID `add` (which is removed from any other node).
     AddId { of: IdNum, add: IdNum },
@@ -29,12 +33,19 @@ pub enum Symbol {
 impl Symbol {
     /// Shorthand for a labeled node descriptor.
     pub fn node(id: IdNum, op: Op) -> Symbol {
-        Symbol::Node { id, label: Some(op) }
+        Symbol::Node {
+            id,
+            label: Some(op),
+        }
     }
 
     /// Shorthand for a labeled edge descriptor.
     pub fn edge(from: IdNum, to: IdNum, ann: EdgeSet) -> Symbol {
-        Symbol::Edge { from, to, label: Some(ann) }
+        Symbol::Edge {
+            from,
+            to,
+            label: Some(ann),
+        }
     }
 
     /// The largest ID mentioned by the symbol.
@@ -60,9 +71,20 @@ impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Symbol::Node { id, label: None } => write!(f, "{id}"),
-            Symbol::Node { id, label: Some(op) } => write!(f, "{id}, {op}"),
-            Symbol::Edge { from, to, label: None } => write!(f, "({from},{to})"),
-            Symbol::Edge { from, to, label: Some(a) } => write!(f, "({from},{to}), {a}"),
+            Symbol::Node {
+                id,
+                label: Some(op),
+            } => write!(f, "{id}, {op}"),
+            Symbol::Edge {
+                from,
+                to,
+                label: None,
+            } => write!(f, "({from},{to})"),
+            Symbol::Edge {
+                from,
+                to,
+                label: Some(a),
+            } => write!(f, "({from},{to}), {a}"),
             Symbol::AddId { of, add } => write!(f, "add-ID({of},{add})"),
         }
     }
@@ -81,7 +103,10 @@ pub struct Descriptor {
 impl Descriptor {
     /// An empty descriptor with the given bandwidth bound.
     pub fn new(k: u32) -> Self {
-        Descriptor { k, symbols: Vec::new() }
+        Descriptor {
+            k,
+            symbols: Vec::new(),
+        }
     }
 
     /// Number of node descriptors (= number of nodes of the graph).
@@ -132,7 +157,12 @@ mod tests {
         assert_eq!(Symbol::AddId { of: 2, add: 3 }.to_string(), "add-ID(2,3)");
         assert_eq!(Symbol::Node { id: 4, label: None }.to_string(), "4");
         assert_eq!(
-            Symbol::Edge { from: 4, to: 1, label: None }.to_string(),
+            Symbol::Edge {
+                from: 4,
+                to: 1,
+                label: None
+            }
+            .to_string(),
             "(4,1)"
         );
     }
@@ -153,7 +183,11 @@ mod tests {
     fn node_count_counts_only_nodes() {
         let mut d = Descriptor::new(3);
         d.symbols.push(Symbol::Node { id: 1, label: None });
-        d.symbols.push(Symbol::Edge { from: 1, to: 1, label: None });
+        d.symbols.push(Symbol::Edge {
+            from: 1,
+            to: 1,
+            label: None,
+        });
         d.symbols.push(Symbol::AddId { of: 1, add: 2 });
         d.symbols.push(Symbol::Node { id: 2, label: None });
         assert_eq!(d.node_count(), 2);

@@ -28,7 +28,11 @@ pub enum AxiomViolation {
     Inheritance { detail: String },
     /// Constraint 5(a): a (store, load, next-store) triple lacks its forced
     /// edge (directly or via a program-order path to a later inheritor).
-    Forced { store: usize, load: usize, next_store: usize },
+    Forced {
+        store: usize,
+        load: usize,
+        next_store: usize,
+    },
     /// Constraint 5(b): a `LD(P,B,⊥)` lacks a forced path to the first ST
     /// in the block's ST order.
     ForcedBottom { load: usize, first_store: usize },
@@ -41,7 +45,11 @@ impl fmt::Display for AxiomViolation {
             AxiomViolation::ProgramOrder { detail } => write!(f, "program order: {detail}"),
             AxiomViolation::StOrder { detail } => write!(f, "ST order: {detail}"),
             AxiomViolation::Inheritance { detail } => write!(f, "inheritance: {detail}"),
-            AxiomViolation::Forced { store, load, next_store } => write!(
+            AxiomViolation::Forced {
+                store,
+                load,
+                next_store,
+            } => write!(
                 f,
                 "forced: triple (ST {}, LD {}, ST {}) lacks a forced edge",
                 store + 1,
@@ -102,7 +110,11 @@ fn check_total_order(
     let pos = |x: usize| members.iter().position(|&m| m == x);
     for &(a, b) in edges {
         if !is_member(a) || !is_member(b) {
-            return Err(format!("{what}: edge ({},{}) leaves the member set", a + 1, b + 1));
+            return Err(format!(
+                "{what}: edge ({},{}) leaves the member set",
+                a + 1,
+                b + 1
+            ));
         }
         let (ia, ib) = (pos(a).unwrap(), pos(b).unwrap());
         if succ[ia].is_some() {
@@ -115,7 +127,9 @@ fn check_total_order(
         has_pred[ib] = true;
     }
     let mut starts = (0..u).filter(|&i| !has_pred[i]);
-    let start = starts.next().ok_or_else(|| format!("{what}: no start node (cycle)"))?;
+    let start = starts
+        .next()
+        .ok_or_else(|| format!("{what}: no start node (cycle)"))?;
     if starts.next().is_some() {
         return Err(format!("{what}: disconnected order"));
     }
@@ -178,10 +192,7 @@ pub fn validate_constraint_graph(g: &ConstraintGraph, trace: &Trace) -> Result<(
     // Constraint 3: per-block ST order; collect the validated chains.
     let sto_edges: Vec<(usize, usize)> = g.edges_with(EdgeSet::STO).collect();
     for &(u, v) in &sto_edges {
-        if !trace[u].is_store()
-            || !trace[v].is_store()
-            || trace[u].block != trace[v].block
-        {
+        if !trace[u].is_store() || !trace[v].is_store() || trace[u].block != trace[v].block {
             return Err(AxiomViolation::StOrder {
                 detail: format!("edge ({},{}) is not between STs to one block", u + 1, v + 1),
             });
@@ -189,8 +200,11 @@ pub fn validate_constraint_graph(g: &ConstraintGraph, trace: &Trace) -> Result<(
     }
     let mut st_chains: Vec<(scv_types::BlockId, Vec<usize>)> = Vec::new();
     {
-        let mut blocks: Vec<scv_types::BlockId> =
-            trace.iter().filter(|o| o.is_store()).map(|o| o.block).collect();
+        let mut blocks: Vec<scv_types::BlockId> = trace
+            .iter()
+            .filter(|o| o.is_store())
+            .map(|o| o.block)
+            .collect();
         blocks.sort();
         blocks.dedup();
         for b in blocks {
@@ -267,7 +281,11 @@ pub fn validate_constraint_graph(g: &ConstraintGraph, trace: &Trace) -> Result<(
                     cur = po_succ[jp];
                 }
                 if !ok {
-                    return Err(AxiomViolation::Forced { store: i, load: j, next_store: k });
+                    return Err(AxiomViolation::Forced {
+                        store: i,
+                        load: j,
+                        next_store: k,
+                    });
                 }
             }
         }
@@ -293,7 +311,10 @@ pub fn validate_constraint_graph(g: &ConstraintGraph, trace: &Trace) -> Result<(
                 cur = po_succ[jp];
             }
             if !ok {
-                return Err(AxiomViolation::ForcedBottom { load: j, first_store: first });
+                return Err(AxiomViolation::ForcedBottom {
+                    load: j,
+                    first_store: first,
+                });
             }
         }
     }
@@ -317,7 +338,13 @@ mod tests {
     }
 
     fn figure3_trace() -> Trace {
-        Trace::from_ops([st(1, 1, 1), ld(2, 1, 1), st(1, 1, 2), ld(2, 1, 1), ld(2, 1, 2)])
+        Trace::from_ops([
+            st(1, 1, 1),
+            ld(2, 1, 1),
+            st(1, 1, 2),
+            ld(2, 1, 1),
+            ld(2, 1, 2),
+        ])
     }
 
     fn figure3_graph() -> ConstraintGraph {
@@ -362,7 +389,11 @@ mod tests {
         g.add_edge(3, 4, EdgeSet::PO);
         assert!(matches!(
             validate_constraint_graph(&g, &t),
-            Err(AxiomViolation::Forced { store: 0, next_store: 2, .. })
+            Err(AxiomViolation::Forced {
+                store: 0,
+                next_store: 2,
+                ..
+            })
         ));
     }
 
@@ -452,7 +483,10 @@ mod tests {
         // No forced edge from the ⊥ load to the first store: violation.
         assert!(matches!(
             validate_constraint_graph(&g, &t),
-            Err(AxiomViolation::ForcedBottom { load: 0, first_store: 1 })
+            Err(AxiomViolation::ForcedBottom {
+                load: 0,
+                first_store: 1
+            })
         ));
         g.add_edge(0, 1, EdgeSet::FORCED);
         assert_eq!(validate_constraint_graph(&g, &t), Ok(()));
@@ -479,6 +513,9 @@ mod tests {
     fn labels_mismatch_detected() {
         let t = figure3_trace();
         let g = ConstraintGraph::with_nodes([st(1, 1, 1)]);
-        assert_eq!(validate_constraint_graph(&g, &t), Err(AxiomViolation::LabelsMismatch));
+        assert_eq!(
+            validate_constraint_graph(&g, &t),
+            Err(AxiomViolation::LabelsMismatch)
+        );
     }
 }

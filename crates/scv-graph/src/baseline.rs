@@ -44,7 +44,10 @@ impl Witness {
     /// from the last ST to its block preceding it in the serial trace, and
     /// the ST order is the order of STs in the serial trace.
     pub fn from_serial_reordering(trace: &Trace, r: &Reordering) -> Witness {
-        assert!(r.is_serial_reordering(trace), "witness requires a serial reordering");
+        assert!(
+            r.is_serial_reordering(trace),
+            "witness requires a serial reordering"
+        );
         let n = trace.len();
         let n_blocks = trace.iter().map(|op| op.block.idx() + 1).max().unwrap_or(0);
         let mut inh = vec![None; n];
@@ -279,7 +282,10 @@ mod tests {
         // is... none (0 is last). The cycle appears instead through po+STo:
         // po 0->1 and STo 1->0 is a 2-cycle.
         let t = Trace::from_ops([st(1, 1, 1), st(1, 1, 2), ld(2, 1, 1)]);
-        let w = Witness { inh: vec![None, None, Some(0)], st_order: vec![vec![1, 0]] };
+        let w = Witness {
+            inh: vec![None, None, Some(0)],
+            st_order: vec![vec![1, 0]],
+        };
         assert_eq!(w.validate(&t), Ok(()));
         match BaselineChecker::check(&t, &w) {
             BaselineVerdict::Cyclic(cycle) => {
@@ -327,14 +333,23 @@ mod tests {
         // later read of that ST... simplest: P1 stores then loads ⊥.
         // po edge ST -> LD and forced edge LD -> ST: 2-cycle.
         let t = Trace::from_ops([st(1, 1, 1), Op::load(ProcId(1), BlockId(1), Value::BOTTOM)]);
-        let w = Witness { inh: vec![None, None], st_order: vec![vec![0]] };
-        assert!(matches!(BaselineChecker::check(&t, &w), BaselineVerdict::Cyclic(_)));
+        let w = Witness {
+            inh: vec![None, None],
+            st_order: vec![vec![0]],
+        };
+        assert!(matches!(
+            BaselineChecker::check(&t, &w),
+            BaselineVerdict::Cyclic(_)
+        ));
     }
 
     #[test]
     fn st_order_permutation_mismatch_detected() {
         let t = Trace::from_ops([st(1, 1, 1), st(2, 1, 2)]);
-        let w = Witness { inh: vec![None, None], st_order: vec![vec![0]] };
+        let w = Witness {
+            inh: vec![None, None],
+            st_order: vec![vec![0]],
+        };
         assert!(matches!(
             BaselineChecker::check(&t, &w),
             BaselineVerdict::InvalidWitness(WitnessError::BadStOrder(0))

@@ -16,8 +16,15 @@ pub fn to_dot(g: &ConstraintGraph) -> String {
     for v in 0..g.node_count() {
         let op = g.label(v);
         let shape = if op.is_store() { "box" } else { "ellipse" };
-        writeln!(out, "  n{} [label=\"{}: {}\", shape={}];", v + 1, v + 1, op, shape)
-            .expect("write to string");
+        writeln!(
+            out,
+            "  n{} [label=\"{}: {}\", shape={}];",
+            v + 1,
+            v + 1,
+            op,
+            shape
+        )
+        .expect("write to string");
     }
     for (u, v, ann) in g.edges() {
         let style = if ann.contains(EdgeSet::STO) {
@@ -50,8 +57,13 @@ pub fn to_dot_with_cycle(g: &ConstraintGraph, cycle: &[usize]) -> String {
     let closing = out.rfind('}').expect("well-formed dot");
     out.truncate(closing);
     for w in cycle.windows(2) {
-        writeln!(out, "  n{} -> n{} [color=red, penwidth=2, label=\"cycle\"];", w[0] + 1, w[1] + 1)
-            .expect("write to string");
+        writeln!(
+            out,
+            "  n{} -> n{} [color=red, penwidth=2, label=\"cycle\"];",
+            w[0] + 1,
+            w[1] + 1
+        )
+        .expect("write to string");
     }
     out.push_str("}\n");
     out

@@ -74,7 +74,10 @@ impl ConstraintGraph {
     /// (constraint 1 requires at least one annotation per edge).
     pub fn add_edge(&mut self, u: usize, v: usize, ann: EdgeSet) {
         assert!(!ann.is_empty(), "constraint-graph edges must be annotated");
-        assert!(u < self.node_count() && v < self.node_count(), "edge endpoint out of range");
+        assert!(
+            u < self.node_count() && v < self.node_count(),
+            "edge endpoint out of range"
+        );
         if let Some(entry) = self.adj[u].iter_mut().find(|(t, _)| *t as usize == v) {
             entry.1 |= ann;
             return;
@@ -121,10 +124,7 @@ impl ConstraintGraph {
     /// (Kahn's algorithm).
     pub fn topological_order(&self) -> Option<Vec<usize>> {
         let n = self.node_count();
-        let mut indeg = vec![0u32; n];
-        for v in 0..n {
-            indeg[v] = self.radj[v].len() as u32;
-        }
+        let mut indeg: Vec<u32> = (0..n).map(|v| self.radj[v].len() as u32).collect();
         let mut queue: VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {

@@ -52,8 +52,7 @@ pub fn graph_from_serial_reordering(trace: &Trace, reordering: &Reordering) -> C
             }
             last_st_of_block[b] = Some(a);
         } else if !op.value.is_bottom() {
-            let src = last_st_of_block[b]
-                .expect("serial trace: non-⊥ load must follow a store");
+            let src = last_st_of_block[b].expect("serial trace: non-⊥ load must follow a store");
             debug_assert_eq!(trace[src].value, op.value);
             g.add_edge(src, a, EdgeSet::INH);
         }

@@ -29,11 +29,7 @@ pub fn find_serial_reordering(trace: &Trace) -> Option<Reordering> {
         }
         procs[p].push(i);
     }
-    let n_blocks = trace
-        .iter()
-        .map(|op| op.block.idx() + 1)
-        .max()
-        .unwrap_or(0);
+    let n_blocks = trace.iter().map(|op| op.block.idx() + 1).max().unwrap_or(0);
 
     // Memoized DFS over (cursors, memory) states known to be dead ends.
     let mut dead: HashSet<(Vec<u16>, Vec<Value>)> = HashSet::new();

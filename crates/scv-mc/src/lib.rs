@@ -8,9 +8,16 @@
 //!
 //! * [`TransitionSystem`] — a generic labeled transition system with a
 //!   safety predicate;
-//! * [`bfs`] / [`bfs_parallel`] — breadth-first reachability with
-//!   counterexample extraction (the parallel version uses crossbeam scoped
-//!   threads over a sharded seen-set, per the hpc-parallel playbook);
+//! * [`bfs`] — sequential breadth-first reachability with counterexample
+//!   extraction (paths are depth-minimal);
+//! * [`ws_search`] — the default parallel engine: asynchronous
+//!   work-stealing search over chunked per-worker deques with a striped,
+//!   batch-claimed seen-set ([`StripedSeen`]) and per-worker successor
+//!   arenas; see the [`ws`] module docs for the architecture and its
+//!   termination/counterexample arguments;
+//! * [`bfs_parallel`] — the older level-synchronous parallel BFS, kept
+//!   selectable via [`SearchStrategy::LevelSync`] for differential
+//!   testing against the work-stealing engine;
 //! * [`VerifySystem`] — the product system whose states pair a protocol
 //!   state with the observer and checker states (hashed through their
 //!   canonical encodings, which keeps the product finite);
@@ -20,7 +27,14 @@
 //!   offending run, or [`Outcome::Bounded`] if a limit was hit first.
 
 pub mod mc;
+pub mod seen;
 pub mod verify;
+pub mod ws;
 
-pub use mc::{bfs, bfs_parallel, BfsOptions, Counterexample, McStats, SearchResult, TransitionSystem};
+pub use mc::{
+    bfs, bfs_parallel, BfsOptions, Counterexample, McStats, SearchResult, SearchStrategy,
+    TransitionSystem,
+};
+pub use seen::StripedSeen;
 pub use verify::{verify_protocol, Outcome, VerifyOptions, VerifySystem};
+pub use ws::{ws_search, ws_search_detailed, WorkerStats};

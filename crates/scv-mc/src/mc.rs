@@ -1,9 +1,9 @@
 //! Generic explicit-state reachability: sequential and parallel BFS.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::hash::{BuildHasher, Hash, RandomState};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// 128-bit state fingerprints for the seen-set.
@@ -15,22 +15,21 @@ use std::time::{Duration, Instant};
 /// 128 bits the probability across even 10⁹ states is ~10⁻²⁰, far below
 /// any practical concern (the same trade Holzmann's bitstate hashing makes
 /// far more aggressively).
-struct Fingerprinter {
+pub(crate) struct Fingerprinter {
     a: RandomState,
     b: RandomState,
 }
 
 impl Fingerprinter {
-    fn new() -> Self {
-        Fingerprinter { a: RandomState::new(), b: RandomState::new() }
+    pub(crate) fn new() -> Self {
+        Fingerprinter {
+            a: RandomState::new(),
+            b: RandomState::new(),
+        }
     }
 
-    fn fp<S: Hash>(&self, s: &S) -> u128 {
-        let mut ha = self.a.build_hasher();
-        s.hash(&mut ha);
-        let mut hb = self.b.build_hasher();
-        s.hash(&mut hb);
-        (ha.finish() as u128) << 64 | hb.finish() as u128
+    pub(crate) fn fp<S: Hash>(&self, s: &S) -> u128 {
+        (self.a.hash_one(s) as u128) << 64 | self.b.hash_one(s) as u128
     }
 }
 
@@ -50,6 +49,34 @@ pub trait TransitionSystem {
     /// A safety violation in `s`, if any (checked on every reachable
     /// state, including the initial one).
     fn violation(&self, s: &Self::State) -> Option<String>;
+
+    /// Append all successors of `s` to `out` instead of allocating a
+    /// fresh `Vec`. The work-stealing engine calls this with a reused
+    /// per-worker buffer; implementations that can generate successors
+    /// in place should override it (the default delegates to
+    /// [`TransitionSystem::successors`]).
+    fn successors_into(&self, s: &Self::State, out: &mut Vec<(Self::Label, Self::State)>) {
+        out.extend(self.successors(s));
+    }
+}
+
+/// Which search engine to run when `threads > 1`.
+///
+/// Both engines implement the same [`TransitionSystem`] contract and
+/// return the same verdicts; keeping the old level-synchronous path
+/// selectable enables differential testing (`tests/parallel_mc.rs` runs
+/// every protocol under both).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Asynchronous work-stealing search ([`crate::ws::ws_search`]):
+    /// chunked per-worker deques, batch-granular stealing, batched
+    /// seen-set claiming. The default.
+    #[default]
+    WorkStealing,
+    /// Level-synchronous parallel BFS ([`bfs_parallel`]): a barrier per
+    /// BFS level, one seen-set lock per successor. Kept for differential
+    /// testing and as the reference for depth-minimal exploration order.
+    LevelSync,
 }
 
 /// Search limits.
@@ -63,7 +90,10 @@ pub struct BfsOptions {
 
 impl Default for BfsOptions {
     fn default() -> Self {
-        BfsOptions { max_states: 1_000_000, max_depth: usize::MAX }
+        BfsOptions {
+            max_states: 1_000_000,
+            max_depth: usize::MAX,
+        }
     }
 }
 
@@ -78,6 +108,29 @@ pub struct McStats {
     pub depth: usize,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// Worker threads used (1 for the sequential searcher).
+    pub workers: usize,
+    /// Successful chunk steals across all workers (work-stealing engine
+    /// only; 0 elsewhere).
+    pub steals: usize,
+    /// Seen-set lock acquisitions, i.e. batch inserts (work-stealing
+    /// engine only; 0 elsewhere).
+    pub seen_batches: usize,
+    /// Peak number of states queued for expansion at any instant
+    /// (work-stealing engine only; 0 elsewhere).
+    pub peak_frontier: usize,
+}
+
+impl McStats {
+    /// Distinct states visited per second of wall-clock time.
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A violating run: the labels from the initial state to the bad state,
@@ -122,7 +175,10 @@ impl<L> SearchResult<L> {
 pub fn bfs<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::Label> {
     let start = Instant::now();
     let fper = Fingerprinter::new();
-    let mut stats = McStats::default();
+    let mut stats = McStats {
+        workers: 1,
+        ..Default::default()
+    };
     let init = sys.initial();
     let mut index: HashMap<u128, u32> = HashMap::new();
     let mut parents: Vec<Option<(u32, T::Label)>> = Vec::new();
@@ -144,7 +200,13 @@ pub fn bfs<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::La
 
     if let Some(msg) = sys.violation(&init) {
         stats.elapsed = start.elapsed();
-        return SearchResult::Unsafe(Counterexample { path: Vec::new(), message: msg }, stats);
+        return SearchResult::Unsafe(
+            Counterexample {
+                path: Vec::new(),
+                message: msg,
+            },
+            stats,
+        );
     }
     frontier.push((init, 0));
 
@@ -168,7 +230,10 @@ pub fn bfs<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::La
                 if let Some(msg) = sys.violation(&t) {
                     stats.elapsed = start.elapsed();
                     return SearchResult::Unsafe(
-                        Counterexample { path: rebuild(&parents, ti), message: msg },
+                        Counterexample {
+                            path: rebuild(&parents, ti),
+                            message: msg,
+                        },
                         stats,
                     );
                 }
@@ -221,11 +286,24 @@ where
 
     let init = sys.initial();
     if let Some(msg) = sys.violation(&init) {
-        let stats = McStats { states: 1, elapsed: start.elapsed(), ..Default::default() };
-        return SearchResult::Unsafe(Counterexample { path: Vec::new(), message: msg }, stats);
+        let stats = McStats {
+            states: 1,
+            elapsed: start.elapsed(),
+            ..Default::default()
+        };
+        return SearchResult::Unsafe(
+            Counterexample {
+                path: Vec::new(),
+                message: msg,
+            },
+            stats,
+        );
     }
     let init_fp = fper.fp(&init);
-    shards[shard_of(init_fp)].lock().insert(init_fp, None);
+    shards[shard_of(init_fp)]
+        .lock()
+        .unwrap()
+        .insert(init_fp, None);
 
     let n_states = AtomicU64::new(1);
     let n_trans = AtomicU64::new(0);
@@ -238,10 +316,9 @@ where
 
     while !frontier.is_empty() && depth < opts.max_depth && !stop.load(Ordering::Relaxed) {
         depth += 1;
-        let chunks: Vec<&[(T::State, u128)]> = frontier
-            .chunks(frontier.len().div_ceil(threads))
-            .collect();
-        let next: Vec<Vec<(T::State, u128)>> = crossbeam::thread::scope(|scope| {
+        let chunks: Vec<&[(T::State, u128)]> =
+            frontier.chunks(frontier.len().div_ceil(threads)).collect();
+        let next: Vec<Vec<(T::State, u128)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
@@ -252,7 +329,7 @@ where
                     let found = &found;
                     let fper = &fper;
                     let shard_of = &shard_of;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut local = Vec::new();
                         for (s, sfp) in chunk {
                             if stop.load(Ordering::Relaxed) {
@@ -262,16 +339,15 @@ where
                                 n_trans.fetch_add(1, Ordering::Relaxed);
                                 let tfp = fper.fp(&t);
                                 {
-                                    let mut m = shards[shard_of(tfp)].lock();
+                                    let mut m = shards[shard_of(tfp)].lock().unwrap();
                                     if m.contains_key(&tfp) {
                                         continue;
                                     }
                                     m.insert(tfp, Some((*sfp, label)));
                                 }
-                                let total =
-                                    n_states.fetch_add(1, Ordering::Relaxed) + 1;
+                                let total = n_states.fetch_add(1, Ordering::Relaxed) + 1;
                                 if let Some(msg) = sys.violation(&t) {
-                                    *found.lock() = Some((tfp, msg));
+                                    *found.lock().unwrap() = Some((tfp, msg));
                                     stop.store(true, Ordering::Relaxed);
                                     break;
                                 }
@@ -286,9 +362,11 @@ where
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("scope");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect::<Vec<_>>()
+        });
         frontier = next.into_iter().flatten().collect();
         if stop.load(Ordering::Relaxed) {
             truncated = true;
@@ -301,14 +379,21 @@ where
         transitions: n_trans.load(Ordering::Relaxed) as usize,
         depth,
         elapsed: start.elapsed(),
+        workers: threads,
+        ..Default::default()
     };
-    let found = found.lock().take();
+    let found = found.lock().unwrap().take();
     if let Some((bad, msg)) = found {
         // Reconstruct the label path through the shard parent maps.
         let mut path = Vec::new();
         let mut cur = bad;
         loop {
-            let parent = shards[shard_of(cur)].lock().get(&cur).cloned().flatten();
+            let parent = shards[shard_of(cur)]
+                .lock()
+                .unwrap()
+                .get(&cur)
+                .cloned()
+                .flatten();
             match parent {
                 Some((p, l)) => {
                     path.push(l);
@@ -363,7 +448,10 @@ mod tests {
 
     #[test]
     fn violation_found_with_shortest_path() {
-        let sys = Counter { n: 97, bad: Some(5) };
+        let sys = Counter {
+            n: 97,
+            bad: Some(5),
+        };
         match bfs(&sys, BfsOptions::default()) {
             SearchResult::Unsafe(ce, _) => {
                 assert_eq!(ce.message, "hit 5");
@@ -387,14 +475,26 @@ mod tests {
     #[test]
     fn state_limit_reports_bounded() {
         let sys = Counter { n: 1000, bad: None };
-        let r = bfs(&sys, BfsOptions { max_states: 10, max_depth: usize::MAX });
+        let r = bfs(
+            &sys,
+            BfsOptions {
+                max_states: 10,
+                max_depth: usize::MAX,
+            },
+        );
         assert!(matches!(r, SearchResult::Bounded(_)));
     }
 
     #[test]
     fn depth_limit_reports_bounded() {
         let sys = Counter { n: 1000, bad: None };
-        let r = bfs(&sys, BfsOptions { max_states: usize::MAX, max_depth: 3 });
+        let r = bfs(
+            &sys,
+            BfsOptions {
+                max_states: usize::MAX,
+                max_depth: 3,
+            },
+        );
         assert!(matches!(r, SearchResult::Bounded(_)));
     }
 
@@ -409,7 +509,10 @@ mod tests {
 
     #[test]
     fn parallel_finds_violations() {
-        let sys = Counter { n: 977, bad: Some(123) };
+        let sys = Counter {
+            n: 977,
+            bad: Some(123),
+        };
         match bfs_parallel(&sys, BfsOptions::default(), 4) {
             SearchResult::Unsafe(ce, _) => {
                 let mut s = 0u32;
@@ -427,7 +530,10 @@ mod tests {
 
     #[test]
     fn violating_initial_state_caught() {
-        let sys = Counter { n: 10, bad: Some(0) };
+        let sys = Counter {
+            n: 10,
+            bad: Some(0),
+        };
         match bfs(&sys, BfsOptions::default()) {
             SearchResult::Unsafe(ce, _) => assert!(ce.path.is_empty()),
             r => panic!("expected Unsafe, got {r:?}"),

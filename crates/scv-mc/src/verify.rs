@@ -1,7 +1,10 @@
 //! The §3.4 verification method as a transition system: protocol ⊗
 //! observer ⊗ checker.
 
-use crate::mc::{bfs, bfs_parallel, BfsOptions, McStats, SearchResult, TransitionSystem};
+use crate::mc::{
+    bfs, bfs_parallel, BfsOptions, McStats, SearchResult, SearchStrategy, TransitionSystem,
+};
+use crate::ws::ws_search;
 use scv_checker::ScChecker;
 use scv_observer::{Observer, ObserverConfig};
 use scv_protocol::{Action, Protocol, Step};
@@ -49,7 +52,13 @@ impl<PS> VerifyState<PS> {
         let mut enc = Vec::with_capacity(128);
         obs.canonical_encoding(&mut enc, &mut ids);
         chk.canonical_encoding(&mut enc, &mut ids);
-        VerifyState { proto, obs, chk, error, enc }
+        VerifyState {
+            proto,
+            obs,
+            chk,
+            error,
+            enc,
+        }
     }
 }
 
@@ -84,15 +93,29 @@ where
     }
 
     fn successors(&self, s: &Self::State) -> Vec<(Action, Self::State)> {
-        if s.error.is_some() {
-            return Vec::new(); // rejection is absorbing
-        }
         let mut out = Vec::new();
+        self.successors_into(s, &mut out);
+        out
+    }
+
+    // The work-stealing engine expands through this with a reused
+    // per-worker buffer, so steady-state product exploration does not
+    // allocate a successor vector per state.
+    fn successors_into(&self, s: &Self::State, out: &mut Vec<(Action, Self::State)>) {
+        if s.error.is_some() {
+            return; // rejection is absorbing
+        }
         for t in self.protocol.transitions(&s.proto) {
             let mut obs = s.obs.clone();
             let mut chk = s.chk.clone();
             let mut syms = Vec::new();
-            obs.step(&Step { action: t.action, tracking: t.tracking.clone() }, &mut syms);
+            obs.step(
+                &Step {
+                    action: t.action,
+                    tracking: t.tracking.clone(),
+                },
+                &mut syms,
+            );
             let mut error = None;
             for sym in &syms {
                 if let Err(e) = chk.step(sym) {
@@ -102,7 +125,6 @@ where
             }
             out.push((t.action, VerifyState::seal(t.next, obs, chk, error)));
         }
-        out
     }
 
     fn violation(&self, s: &Self::State) -> Option<String> {
@@ -138,11 +160,25 @@ pub struct VerifyOptions {
     pub bfs: BfsOptions,
     /// Worker threads (1 = sequential).
     pub threads: usize,
+    /// Parallel engine to use when `threads > 1` (ignored otherwise).
+    pub strategy: SearchStrategy,
+    /// Work-stealing batch granularity: states per deque chunk and
+    /// fingerprints claimed per seen-set lock acquisition (ignored by the
+    /// level-synchronous engine).
+    pub batch_size: usize,
 }
 
 impl Default for VerifyOptions {
     fn default() -> Self {
-        VerifyOptions { bfs: BfsOptions { max_states: 200_000, max_depth: usize::MAX }, threads: 1 }
+        VerifyOptions {
+            bfs: BfsOptions {
+                max_states: 200_000,
+                max_depth: usize::MAX,
+            },
+            threads: 1,
+            strategy: SearchStrategy::default(),
+            batch_size: 128,
+        }
     }
 }
 
@@ -201,7 +237,12 @@ where
 {
     let sys = VerifySystem::new(protocol);
     let result = if opts.threads > 1 {
-        bfs_parallel(&sys, opts.bfs, opts.threads)
+        match opts.strategy {
+            SearchStrategy::WorkStealing => {
+                ws_search(&sys, opts.bfs, opts.threads, opts.batch_size)
+            }
+            SearchStrategy::LevelSync => bfs_parallel(&sys, opts.bfs, opts.threads),
+        }
     } else {
         bfs(&sys, opts.bfs)
     };
@@ -228,8 +269,12 @@ mod tests {
 
     fn opts(max_states: usize) -> VerifyOptions {
         VerifyOptions {
-            bfs: BfsOptions { max_states, max_depth: usize::MAX },
+            bfs: BfsOptions {
+                max_states,
+                max_depth: usize::MAX,
+            },
             threads: 1,
+            ..Default::default()
         }
     }
 
@@ -246,8 +291,15 @@ mod tests {
     #[ignore = "exhaustive proof (~120k product states): run with `cargo test --release -- --ignored`"]
     fn serial_memory_2_1_1_verifies_exhaustively() {
         let out = verify_protocol(SerialMemory::new(Params::new(2, 1, 1)), opts(400_000));
-        assert!(out.is_verified(), "serial memory must verify: {:?}", out.stats());
-        assert!(out.stats().states > 50_000, "the product is genuinely large");
+        assert!(
+            out.is_verified(),
+            "serial memory must verify: {:?}",
+            out.stats()
+        );
+        assert!(
+            out.stats().states > 50_000,
+            "the product is genuinely large"
+        );
     }
 
     #[test]
@@ -259,7 +311,11 @@ mod tests {
     #[test]
     fn serial_memory_2_1_2_safe_within_cap() {
         let out = verify_protocol(SerialMemory::new(Params::new(2, 1, 2)), opts(60_000));
-        assert!(safe_within(&out), "no violation may appear: {:?}", out.stats());
+        assert!(
+            safe_within(&out),
+            "no violation may appear: {:?}",
+            out.stats()
+        );
     }
 
     #[test]
@@ -271,7 +327,11 @@ mod tests {
     #[test]
     fn lazy_caching_safe_within_cap() {
         let out = verify_protocol(LazyCaching::new(Params::new(2, 1, 1), 1, 1), opts(60_000));
-        assert!(safe_within(&out), "lazy caching must not violate: {:?}", out.stats());
+        assert!(
+            safe_within(&out),
+            "lazy caching must not violate: {:?}",
+            out.stats()
+        );
     }
 
     #[test]
@@ -292,7 +352,10 @@ mod tests {
 
     #[test]
     fn tso_violates() {
-        let out = verify_protocol(StoreBufferTso::new(Params::new(2, 2, 1), 1), opts(2_000_000));
+        let out = verify_protocol(
+            StoreBufferTso::new(Params::new(2, 2, 1), 1),
+            opts(2_000_000),
+        );
         match out {
             Outcome::Violation { trace, .. } => {
                 assert!(!scv_graph::has_serial_reordering(&trace));
@@ -321,14 +384,24 @@ mod tests {
     #[test]
     fn parallel_agrees_with_sequential() {
         // Verdicts must agree on a violation hunt (counterexamples are
-        // found quickly in parallel too).
+        // found quickly in parallel too), under both parallel engines.
         let seq = verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), opts(2_000_000));
-        let par = verify_protocol(
-            MsiProtocol::buggy(Params::new(2, 2, 1)),
-            VerifyOptions { bfs: BfsOptions { max_states: 2_000_000, max_depth: usize::MAX }, threads: 4 },
-        );
         assert!(matches!(seq, Outcome::Violation { .. }));
-        assert!(matches!(par, Outcome::Violation { .. }));
+        for strategy in [SearchStrategy::WorkStealing, SearchStrategy::LevelSync] {
+            let par = verify_protocol(
+                MsiProtocol::buggy(Params::new(2, 2, 1)),
+                VerifyOptions {
+                    bfs: BfsOptions {
+                        max_states: 2_000_000,
+                        max_depth: usize::MAX,
+                    },
+                    threads: 4,
+                    strategy,
+                    ..Default::default()
+                },
+            );
+            assert!(matches!(par, Outcome::Violation { .. }), "{strategy:?}");
+        }
     }
 
     #[test]

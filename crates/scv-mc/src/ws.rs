@@ -1,0 +1,598 @@
+//! Asynchronous work-stealing reachability search.
+//!
+//! The level-synchronous parallel BFS ([`crate::mc::bfs_parallel`], kept
+//! for differential testing) pays three taxes that EXPERIMENTS.md E9
+//! measured as absorbing *all* parallelism at product-state granularity
+//! (tens of microseconds per state): a full-frontier barrier every level,
+//! one seen-set mutex acquisition per successor, and allocator traffic for
+//! every level's frontier vectors. This engine removes each:
+//!
+//! * **No barrier.** Work lives in fixed-size *chunks* of states on
+//!   per-worker deques. Workers pop locally from the back (LIFO — hot
+//!   caches), and steal whole chunks from the *front* of a victim's deque
+//!   (FIFO — steals take the oldest, largest-subtree work, the classic
+//!   Cilk/crossbeam discipline at batch granularity). Deques are
+//!   mutex-guarded `VecDeque`s: operations are chunk-granular, so each
+//!   lock acquisition amortizes over an entire chunk of states —
+//!   contention is structurally negligible, no lock-free deque needed.
+//! * **Batched seen-set claiming.** Successor fingerprints are buffered
+//!   per seen-set stripe and inserted through
+//!   [`StripedSeen::insert_batch`] — one lock acquisition per batch
+//!   (up to `batch` fingerprints), not per state.
+//! * **Arena-style reuse.** Each worker owns long-lived successor and
+//!   stripe buffers that are drained and reused, so steady-state
+//!   expansion does per-successor pushes into pre-grown vectors instead
+//!   of allocating fresh frontier vectors every level.
+//!
+//! **Termination detection** uses a pending-chunk count plus a steal
+//! epoch: `pending` counts every chunk from the moment it is enqueued
+//! until its last successor is flushed, so `pending == 0` proves global
+//! quiescence (no queued chunk, no in-flight expansion, no buffered
+//! successor); the `epoch` counter, bumped on every enqueue, lets idle
+//! workers wait cheaply and re-scan victims only when new work has
+//! actually appeared. Workers also count idle sweeps in
+//! [`WorkerStats::idle_spins`], making scheduler health observable.
+//!
+//! **Counterexamples** survive the asynchrony: each worker logs
+//! `(child-fp, parent-fp, label)` for every state *it* admitted (the
+//! seen-set admits each state exactly once, so logs never conflict), and
+//! on a violation the per-worker logs are merged and the fingerprint
+//! chain walked back to the initial state. Paths are valid runs but —
+//! unlike sequential BFS — not necessarily shortest.
+//!
+//! **Verdict determinism.** `Safe`/`Bounded`/`Unsafe` agree with
+//! sequential BFS whenever the limits are not the deciding factor: an
+//! exhaustive search visits exactly the reachable set regardless of
+//! schedule (same `states` count), and a violation reachable within the
+//! limits is found by *some* worker before quiescence. Only searches
+//! truncated by `max_states`/`max_depth` may differ in which frontier
+//! they saw — identical to the level-synchronous engine's behaviour.
+//! `tests/parallel_mc.rs` pins this battery down across the protocol zoo.
+
+use crate::mc::{
+    BfsOptions, Counterexample, Fingerprinter, McStats, SearchResult, TransitionSystem,
+};
+use crate::seen::StripedSeen;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-worker counters, exposed for benches and the soak test.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStats {
+    /// States this worker expanded (generated successors of).
+    pub expanded: usize,
+    /// Transitions this worker explored.
+    pub transitions: usize,
+    /// New states this worker admitted into the seen-set.
+    pub admitted: usize,
+    /// Chunks successfully stolen from other workers.
+    pub steals: usize,
+    /// Seen-set lock acquisitions (batch inserts).
+    pub seen_batches: usize,
+    /// Idle sweeps that found no local or stealable work.
+    pub idle_spins: usize,
+}
+
+/// A buffered successor awaiting its stripe's batch insert.
+struct PendingSucc<T: TransitionSystem> {
+    fp: u128,
+    parent_fp: u128,
+    depth: usize,
+    label: T::Label,
+    state: T::State,
+}
+
+type Chunk<T> = Vec<(<T as TransitionSystem>::State, u128, usize)>;
+
+struct Shared<'a, T: TransitionSystem> {
+    sys: &'a T,
+    opts: BfsOptions,
+    fper: Fingerprinter,
+    seen: StripedSeen,
+    queues: Vec<Mutex<VecDeque<Chunk<T>>>>,
+    /// Chunks enqueued but not yet fully expanded-and-flushed.
+    pending: AtomicUsize,
+    /// Bumped on every enqueue; idle workers re-scan when it moves.
+    epoch: AtomicU64,
+    stop: AtomicBool,
+    states: AtomicU64,
+    depth_max: AtomicUsize,
+    state_limited: AtomicBool,
+    depth_limited: AtomicBool,
+    queued_items: AtomicUsize,
+    peak_frontier: AtomicUsize,
+    found: Mutex<Option<(u128, String)>>,
+    chunk_size: usize,
+    batch: usize,
+}
+
+impl<T: TransitionSystem> Shared<'_, T> {
+    fn push_chunk(&self, worker: usize, chunk: Chunk<T>) {
+        let items = chunk.len();
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let q = self.queued_items.fetch_add(items, Ordering::Relaxed) + items;
+        self.peak_frontier.fetch_max(q, Ordering::Relaxed);
+        self.queues[worker].lock().unwrap().push_back(chunk);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Pop from the back of our own deque, else steal from the front of
+    /// another worker's (round-robin sweep from our right neighbour).
+    fn obtain_chunk(&self, worker: usize, stats: &mut WorkerStats) -> Option<Chunk<T>> {
+        if let Some(chunk) = self.queues[worker].lock().unwrap().pop_back() {
+            self.queued_items.fetch_sub(chunk.len(), Ordering::Relaxed);
+            return Some(chunk);
+        }
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (worker + i) % n;
+            if let Some(chunk) = self.queues[victim].lock().unwrap().pop_front() {
+                self.queued_items.fetch_sub(chunk.len(), Ordering::Relaxed);
+                stats.steals += 1;
+                return Some(chunk);
+            }
+        }
+        None
+    }
+}
+
+/// One worker's append-only `(child, parent, label)` fingerprint log —
+/// merged across workers only when a violation needs a counterexample.
+type ParentLog<L> = Vec<(u128, u128, L)>;
+
+/// One worker's long-lived scratch space (the "successor arena"): every
+/// vector here is drained and reused across chunks, so steady-state
+/// expansion performs no frontier allocation at all.
+struct Scratch<T: TransitionSystem> {
+    succs: Vec<(T::Label, T::State)>,
+    stripes: Vec<Vec<PendingSucc<T>>>,
+    fp_scratch: Vec<u128>,
+    flag_scratch: Vec<bool>,
+    out_chunk: Chunk<T>,
+    parent_log: ParentLog<T::Label>,
+}
+
+fn worker_loop<T: TransitionSystem>(
+    shared: &Shared<'_, T>,
+    id: usize,
+) -> (WorkerStats, ParentLog<T::Label>) {
+    let mut stats = WorkerStats::default();
+    let mut scratch = Scratch::<T> {
+        succs: Vec::new(),
+        stripes: (0..shared.seen.shard_count()).map(|_| Vec::new()).collect(),
+        fp_scratch: Vec::new(),
+        flag_scratch: Vec::new(),
+        out_chunk: Vec::with_capacity(shared.chunk_size),
+        parent_log: Vec::new(),
+    };
+
+    'main: loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some(chunk) = shared.obtain_chunk(id, &mut stats) else {
+            if shared.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            // Quiesce until new work appears (epoch moves) or everything
+            // drains. Spin briefly, then yield the core.
+            stats.idle_spins += 1;
+            let seen_epoch = shared.epoch.load(Ordering::Acquire);
+            let mut spins = 0u32;
+            while shared.epoch.load(Ordering::Acquire) == seen_epoch
+                && shared.pending.load(Ordering::SeqCst) != 0
+                && !shared.stop.load(Ordering::Relaxed)
+            {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            continue;
+        };
+
+        for (state, fp, depth) in &chunk {
+            if shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            stats.expanded += 1;
+            // Temporarily detach the successor buffer so `flush_stripe`
+            // can borrow the rest of the scratch space mid-iteration.
+            let mut succs = std::mem::take(&mut scratch.succs);
+            succs.clear();
+            shared.sys.successors_into(state, &mut succs);
+            stats.transitions += succs.len();
+            for (label, succ) in succs.drain(..) {
+                let sfp = shared.fper.fp(&succ);
+                let stripe = shared.seen.shard_of(sfp);
+                scratch.stripes[stripe].push(PendingSucc {
+                    fp: sfp,
+                    parent_fp: *fp,
+                    depth: depth + 1,
+                    label,
+                    state: succ,
+                });
+                if scratch.stripes[stripe].len() >= shared.batch {
+                    flush_stripe(shared, id, stripe, &mut scratch, &mut stats);
+                    if shared.stop.load(Ordering::Relaxed) {
+                        break 'main;
+                    }
+                }
+            }
+            scratch.succs = succs;
+        }
+        // End of chunk: flush every dirty stripe, hand off any full output
+        // chunk, and only then retire the input chunk from `pending`.
+        for stripe in 0..scratch.stripes.len() {
+            if !scratch.stripes[stripe].is_empty() {
+                flush_stripe(shared, id, stripe, &mut scratch, &mut stats);
+                if shared.stop.load(Ordering::Relaxed) {
+                    break 'main;
+                }
+            }
+        }
+        if !scratch.out_chunk.is_empty() {
+            let chunk = std::mem::replace(
+                &mut scratch.out_chunk,
+                Vec::with_capacity(shared.chunk_size),
+            );
+            shared.push_chunk(id, chunk);
+        }
+        shared.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+    (stats, scratch.parent_log)
+}
+
+/// Batch-insert one stripe's buffered successors, then admit the new ones:
+/// log parents, check the safety predicate, enforce limits, and enqueue
+/// for expansion.
+fn flush_stripe<T: TransitionSystem>(
+    shared: &Shared<'_, T>,
+    worker: usize,
+    stripe: usize,
+    scratch: &mut Scratch<T>,
+    stats: &mut WorkerStats,
+) {
+    scratch.fp_scratch.clear();
+    scratch.flag_scratch.clear();
+    scratch
+        .fp_scratch
+        .extend(scratch.stripes[stripe].iter().map(|p| p.fp));
+    shared
+        .seen
+        .insert_batch(stripe, &scratch.fp_scratch, &mut scratch.flag_scratch);
+    stats.seen_batches += 1;
+
+    let mut max_depth_seen = 0usize;
+    for (i, pending) in scratch.stripes[stripe].drain(..).enumerate() {
+        if !scratch.flag_scratch[i] {
+            continue;
+        }
+        stats.admitted += 1;
+        let total = shared.states.fetch_add(1, Ordering::Relaxed) + 1;
+        max_depth_seen = max_depth_seen.max(pending.depth);
+        scratch
+            .parent_log
+            .push((pending.fp, pending.parent_fp, pending.label));
+        if let Some(msg) = shared.sys.violation(&pending.state) {
+            let mut found = shared.found.lock().unwrap();
+            if found.is_none() {
+                *found = Some((pending.fp, msg));
+            }
+            shared.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        if total as usize >= shared.opts.max_states {
+            shared.state_limited.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::Relaxed);
+            break;
+        }
+        if pending.depth >= shared.opts.max_depth {
+            // Visited but not expanded — the depth frontier is non-empty,
+            // exactly the level-synchronous engine's Bounded condition.
+            shared.depth_limited.store(true, Ordering::Relaxed);
+            continue;
+        }
+        scratch
+            .out_chunk
+            .push((pending.state, pending.fp, pending.depth));
+        if scratch.out_chunk.len() >= shared.chunk_size {
+            // New work stays on the owner's deque (classic work-stealing:
+            // distribution happens only through steals).
+            let chunk = std::mem::replace(
+                &mut scratch.out_chunk,
+                Vec::with_capacity(shared.chunk_size),
+            );
+            shared.push_chunk(worker, chunk);
+        }
+    }
+    shared
+        .depth_max
+        .fetch_max(max_depth_seen, Ordering::Relaxed);
+}
+
+/// Work-stealing search; same contract as [`crate::mc::bfs`] /
+/// [`crate::mc::bfs_parallel`]. Returns the aggregate result plus
+/// per-worker statistics.
+pub fn ws_search_detailed<T>(
+    sys: &T,
+    opts: BfsOptions,
+    threads: usize,
+    batch: usize,
+) -> (SearchResult<T::Label>, Vec<WorkerStats>)
+where
+    T: TransitionSystem + Sync,
+    T::Label: Send,
+{
+    let start = Instant::now();
+    let threads = threads.max(1);
+    let batch = batch.clamp(1, 4096);
+    let fper = Fingerprinter::new();
+
+    let init = sys.initial();
+    if let Some(msg) = sys.violation(&init) {
+        let stats = McStats {
+            states: 1,
+            workers: threads,
+            elapsed: start.elapsed(),
+            ..Default::default()
+        };
+        return (
+            SearchResult::Unsafe(
+                Counterexample {
+                    path: Vec::new(),
+                    message: msg,
+                },
+                stats,
+            ),
+            vec![WorkerStats::default(); threads],
+        );
+    }
+    let init_fp = fper.fp(&init);
+
+    let shared = Shared::<T> {
+        sys,
+        opts,
+        seen: StripedSeen::new((threads * 4).max(16)),
+        fper,
+        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(0),
+        epoch: AtomicU64::new(0),
+        stop: AtomicBool::new(false),
+        states: AtomicU64::new(1),
+        depth_max: AtomicUsize::new(0),
+        state_limited: AtomicBool::new(false),
+        depth_limited: AtomicBool::new(false),
+        queued_items: AtomicUsize::new(0),
+        peak_frontier: AtomicUsize::new(0),
+        found: Mutex::new(None),
+        chunk_size: batch,
+        batch,
+    };
+    shared.seen.insert(init_fp);
+    if opts.max_depth == 0 {
+        // Nothing may be expanded; mirror the level-synchronous verdict.
+        let has_succs = !sys.successors(&init).is_empty();
+        let stats = McStats {
+            states: 1,
+            workers: threads,
+            elapsed: start.elapsed(),
+            ..Default::default()
+        };
+        let result = if has_succs {
+            SearchResult::Bounded(stats)
+        } else {
+            SearchResult::Safe(stats)
+        };
+        return (result, vec![WorkerStats::default(); threads]);
+    }
+    shared.push_chunk(0, vec![(init, init_fp, 0usize)]);
+
+    let per_worker: Vec<(WorkerStats, ParentLog<T::Label>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|id| {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(shared, id))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let mut worker_stats = Vec::with_capacity(threads);
+    let mut stats = McStats {
+        states: shared.states.load(Ordering::Relaxed) as usize,
+        depth: shared.depth_max.load(Ordering::Relaxed),
+        workers: threads,
+        peak_frontier: shared.peak_frontier.load(Ordering::Relaxed),
+        ..Default::default()
+    };
+    for (ws, _) in &per_worker {
+        stats.transitions += ws.transitions;
+        stats.steals += ws.steals;
+        stats.seen_batches += ws.seen_batches;
+        worker_stats.push(*ws);
+    }
+    stats.elapsed = start.elapsed();
+
+    let found = shared.found.lock().unwrap().take();
+    if let Some((bad_fp, message)) = found {
+        let mut parents: HashMap<u128, (u128, T::Label)> = HashMap::new();
+        for (_, log) in per_worker {
+            for (child, parent, label) in log {
+                parents.insert(child, (parent, label));
+            }
+        }
+        let mut path = Vec::new();
+        let mut cur = bad_fp;
+        while let Some((parent, label)) = parents.get(&cur) {
+            path.push(label.clone());
+            cur = *parent;
+        }
+        path.reverse();
+        return (
+            SearchResult::Unsafe(Counterexample { path, message }, stats),
+            worker_stats,
+        );
+    }
+    let truncated = shared.state_limited.load(Ordering::Relaxed)
+        || shared.depth_limited.load(Ordering::Relaxed);
+    let result = if truncated {
+        SearchResult::Bounded(stats)
+    } else {
+        SearchResult::Safe(stats)
+    };
+    (result, worker_stats)
+}
+
+/// Work-stealing search (aggregate-stats entry point).
+pub fn ws_search<T>(
+    sys: &T,
+    opts: BfsOptions,
+    threads: usize,
+    batch: usize,
+) -> SearchResult<T::Label>
+where
+    T: TransitionSystem + Sync,
+    T::Label: Send,
+{
+    ws_search_detailed(sys, opts, threads, batch).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter modulo n that "violates" at a designated value (the same
+    /// fixture as the mc.rs unit tests).
+    struct Counter {
+        n: u32,
+        bad: Option<u32>,
+    }
+
+    impl TransitionSystem for Counter {
+        type State = u32;
+        type Label = &'static str;
+
+        fn initial(&self) -> u32 {
+            0
+        }
+        fn successors(&self, s: &u32) -> Vec<(&'static str, u32)> {
+            vec![("inc", (s + 1) % self.n), ("dbl", (s * 2) % self.n)]
+        }
+        fn violation(&self, s: &u32) -> Option<String> {
+            (Some(*s) == self.bad).then(|| format!("hit {s}"))
+        }
+    }
+
+    fn replay(path: &[&str], n: u32) -> u32 {
+        let mut s = 0u32;
+        for l in path {
+            s = match *l {
+                "inc" => (s + 1) % n,
+                _ => (s * 2) % n,
+            };
+        }
+        s
+    }
+
+    #[test]
+    fn exhaustive_search_agrees_with_bfs() {
+        let sys = Counter { n: 977, bad: None };
+        for threads in [1, 2, 4] {
+            let (r, ws) = ws_search_detailed(&sys, BfsOptions::default(), threads, 8);
+            assert!(r.is_safe(), "threads={threads}");
+            assert_eq!(r.stats().states, 977, "threads={threads}");
+            let expanded: usize = ws.iter().map(|w| w.expanded).sum();
+            assert_eq!(expanded, 977, "every admitted state is expanded");
+        }
+    }
+
+    #[test]
+    fn violation_found_and_path_replays() {
+        let sys = Counter {
+            n: 977,
+            bad: Some(123),
+        };
+        for threads in [1, 2, 4] {
+            match ws_search(&sys, BfsOptions::default(), threads, 4) {
+                SearchResult::Unsafe(ce, _) => {
+                    assert_eq!(replay(&ce.path, 977), 123, "threads={threads}");
+                }
+                r => panic!("expected Unsafe at threads={threads}, got {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn violating_initial_state_caught() {
+        let sys = Counter {
+            n: 10,
+            bad: Some(0),
+        };
+        match ws_search(&sys, BfsOptions::default(), 2, 8) {
+            SearchResult::Unsafe(ce, _) => assert!(ce.path.is_empty()),
+            r => panic!("expected Unsafe, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn state_limit_reports_bounded() {
+        let sys = Counter {
+            n: 100_000,
+            bad: None,
+        };
+        let r = ws_search(
+            &sys,
+            BfsOptions {
+                max_states: 50,
+                max_depth: usize::MAX,
+            },
+            2,
+            4,
+        );
+        assert!(matches!(r, SearchResult::Bounded(_)), "{r:?}");
+    }
+
+    #[test]
+    fn depth_limit_reports_bounded() {
+        let sys = Counter { n: 1000, bad: None };
+        let r = ws_search(
+            &sys,
+            BfsOptions {
+                max_states: usize::MAX,
+                max_depth: 3,
+            },
+            2,
+            4,
+        );
+        assert!(matches!(r, SearchResult::Bounded(_)), "{r:?}");
+        let r = ws_search(
+            &sys,
+            BfsOptions {
+                max_states: usize::MAX,
+                max_depth: 0,
+            },
+            2,
+            4,
+        );
+        assert!(matches!(r, SearchResult::Bounded(_)), "{r:?}");
+    }
+
+    #[test]
+    fn unreachable_violation_is_safe() {
+        // bad = 981 > n is never reached.
+        let sys = Counter {
+            n: 977,
+            bad: Some(981),
+        };
+        let r = ws_search(&sys, BfsOptions::default(), 3, 16);
+        assert!(r.is_safe());
+    }
+}

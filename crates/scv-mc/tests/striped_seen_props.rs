@@ -1,0 +1,163 @@
+//! Property battery: [`StripedSeen`] against a `HashSet<u128>` model.
+//!
+//! The striped table is the concurrency-critical core of the
+//! work-stealing engine — a membership bug silently truncates or inflates
+//! the explored state space, which no protocol-level test would reliably
+//! catch. These properties drive the table through both its entry points
+//! (single [`StripedSeen::insert`] and the batch-claiming
+//! [`StripedSeen::insert_batch`] path the engine actually uses) across
+//! shard counts of one, a power of two, and a non-power-of-two, and check
+//! every return value against the reference set semantics.
+//!
+//! The vendored proptest is deterministic (cases seeded from the test
+//! name), so failures reproduce exactly.
+
+use proptest::prelude::*;
+use scv_mc::StripedSeen;
+use std::collections::HashSet;
+
+/// The model-side view of a fingerprint: the table reserves 0 as its
+/// empty-slot sentinel and remaps it to 1 by design.
+fn canon(fp: u128) -> u128 {
+    if fp == 0 {
+        1
+    } else {
+        fp
+    }
+}
+
+/// Fingerprints drawn from a tiny pool (forcing duplicates, including the
+/// sentinel-adjacent values 0 and 1) half the time, and from the full
+/// 128-bit space the other half.
+fn fp_any() -> impl Strategy<Value = u128> {
+    prop_oneof![
+        (0u64..6, 0u64..6).prop_map(|hl| ((hl.0 as u128) << 64) | hl.1 as u128),
+        (0u64..u64::MAX, 0u64..u64::MAX).prop_map(|hl| ((hl.0 as u128) << 64) | hl.1 as u128),
+    ]
+}
+
+/// Shard counts covering the degenerate (1), power-of-two (8), and
+/// non-power-of-two (7) layouts.
+fn shard_counts() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(7usize), Just(8usize)]
+}
+
+proptest! {
+    #[test]
+    fn single_inserts_match_hashset(
+        shards in shard_counts(),
+        fps in proptest::collection::vec(fp_any(), 0..300),
+    ) {
+        let seen = StripedSeen::new(shards);
+        let mut model: HashSet<u128> = HashSet::new();
+        for &fp in &fps {
+            prop_assert_eq!(seen.insert(fp), model.insert(canon(fp)), "insert({fp:#x})");
+            prop_assert!(seen.contains(fp), "contains({fp:#x}) right after insert");
+        }
+        prop_assert_eq!(seen.len(), model.len());
+        for &fp in &model {
+            prop_assert!(seen.contains(fp), "model member {fp:#x} missing");
+        }
+    }
+
+    #[test]
+    fn batch_inserts_match_hashset(
+        shards in shard_counts(),
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(fp_any(), 0..40),
+            0..10,
+        ),
+    ) {
+        let seen = StripedSeen::new(shards);
+        prop_assert_eq!(seen.shard_count(), shards);
+        let mut model: HashSet<u128> = HashSet::new();
+        for round in &rounds {
+            // Group by stripe exactly as a worker does before flushing.
+            let mut by_shard: Vec<Vec<u128>> = vec![Vec::new(); seen.shard_count()];
+            for &fp in round {
+                by_shard[seen.shard_of(fp)].push(fp);
+            }
+            for (shard, group) in by_shard.iter().enumerate() {
+                if group.is_empty() {
+                    continue;
+                }
+                let mut flags = Vec::new();
+                let claimed = seen.insert_batch(shard, group, &mut flags);
+                prop_assert_eq!(flags.len(), group.len(), "one flag per fingerprint");
+                let mut expected_new = 0usize;
+                for (i, &fp) in group.iter().enumerate() {
+                    let is_new = model.insert(canon(fp));
+                    prop_assert_eq!(flags[i], is_new, "flag for {fp:#x} at index {i}");
+                    expected_new += is_new as usize;
+                }
+                prop_assert_eq!(claimed, expected_new);
+            }
+        }
+        prop_assert_eq!(seen.len(), model.len());
+        for &fp in &model {
+            prop_assert!(seen.contains(fp));
+        }
+    }
+
+    #[test]
+    fn mixed_single_and_batch_paths_agree(
+        shards in shard_counts(),
+        singles in proptest::collection::vec(fp_any(), 0..60),
+        batched in proptest::collection::vec(fp_any(), 0..60),
+    ) {
+        // Interleave both entry points over overlapping fingerprints; the
+        // table must behave as one set regardless of which path admitted
+        // a fingerprint first.
+        let seen = StripedSeen::new(shards);
+        let mut model: HashSet<u128> = HashSet::new();
+        let mut si = singles.iter();
+        let mut by_shard: Vec<Vec<u128>> = vec![Vec::new(); seen.shard_count()];
+        for &fp in &batched {
+            by_shard[seen.shard_of(fp)].push(fp);
+            if let Some(&s) = si.next() {
+                prop_assert_eq!(seen.insert(s), model.insert(canon(s)));
+            }
+        }
+        for (shard, group) in by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut flags = Vec::new();
+            seen.insert_batch(shard, group, &mut flags);
+            for (i, &fp) in group.iter().enumerate() {
+                prop_assert_eq!(flags[i], model.insert(canon(fp)));
+            }
+        }
+        for &s in si {
+            prop_assert_eq!(seen.insert(s), model.insert(canon(s)));
+        }
+        prop_assert_eq!(seen.len(), model.len());
+    }
+}
+
+proptest! {
+    // Fewer, larger cases: push a single stripe far past its initial
+    // capacity so the in-lock growth path is exercised under both entry
+    // points.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn growth_under_batch_load(base in 1u64..1_000_000) {
+        let seen = StripedSeen::new(1);
+        let mut model: HashSet<u128> = HashSet::new();
+        let fps: Vec<u128> = (0..3000u64)
+            .map(|i| ((base.wrapping_mul(i + 1) as u128) << 64) | i as u128)
+            .collect();
+        for chunk in fps.chunks(257) {
+            let mut flags = Vec::new();
+            seen.insert_batch(0, chunk, &mut flags);
+            for (i, &fp) in chunk.iter().enumerate() {
+                prop_assert_eq!(flags[i], model.insert(canon(fp)));
+            }
+        }
+        prop_assert_eq!(seen.len(), model.len());
+        for &fp in &fps {
+            prop_assert!(seen.contains(fp));
+        }
+    }
+}

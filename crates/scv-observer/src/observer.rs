@@ -213,7 +213,11 @@ impl Observer {
             let pend = std::mem::take(&mut self.pending[b]);
             for key in pend {
                 if self.nodes.contains_key(&key) {
-                    self.nodes.get_mut(&key).expect("live").pins.pending_serialization = false;
+                    self.nodes
+                        .get_mut(&key)
+                        .expect("live")
+                        .pins
+                        .pending_serialization = false;
                     self.serialize_store(b, key);
                 }
             }
@@ -250,7 +254,11 @@ impl Observer {
         match self.cfg.policy {
             StOrderPolicy::RealTime => self.serialize_store(b, key),
             StOrderPolicy::Serialization { .. } => {
-                self.nodes.get_mut(&key).expect("live").pins.pending_serialization = true;
+                self.nodes
+                    .get_mut(&key)
+                    .expect("live")
+                    .pins
+                    .pending_serialization = true;
                 self.pending[b].push(key);
             }
         }
@@ -345,8 +353,11 @@ impl Observer {
                         if pending {
                             let bi = b as usize;
                             self.pending[bi].retain(|&k| k != g);
-                            self.nodes.get_mut(&g).expect("live").pins.pending_serialization =
-                                false;
+                            self.nodes
+                                .get_mut(&g)
+                                .expect("live")
+                                .pins
+                                .pending_serialization = false;
                             self.serialize_store(bi, g);
                         }
                     }
@@ -356,7 +367,10 @@ impl Observer {
                     self.rescue_if_needed(dst, out);
                     let old = self.loc_owner[(dst - 1) as usize].take();
                     if old.is_some() {
-                        out.push(Symbol::AddId { of: self.null_id(), add: dst });
+                        out.push(Symbol::AddId {
+                            of: self.null_id(),
+                            add: dst,
+                        });
                     }
                     self.drop_loc_ref(old);
                 }
@@ -373,9 +387,8 @@ impl Observer {
             Some(tail) => {
                 self.queue_edge(tail, node, EdgeSet::STO);
                 // Forced edges for the tail's waiting heirs; they unpin.
-                let heirs = std::mem::take(
-                    &mut self.nodes.get_mut(&tail).expect("tail is live").heirs,
-                );
+                let heirs =
+                    std::mem::take(&mut self.nodes.get_mut(&tail).expect("tail is live").heirs);
                 for (_, j) in heirs {
                     if self.nodes.contains_key(&j) {
                         self.queue_edge(j, node, EdgeSet::FORCED);
@@ -388,7 +401,11 @@ impl Observer {
                 // value sits in some location: keep the successor
                 // addressable for their forced edges.
                 if self.nodes.get(&tail).expect("live").loc_count > 0 {
-                    self.nodes.get_mut(&node).expect("live").pins.forced_target_of = Some(tail);
+                    self.nodes
+                        .get_mut(&node)
+                        .expect("live")
+                        .pins
+                        .forced_target_of = Some(tail);
                 }
                 self.nodes.get_mut(&tail).expect("live").pins.sto_tail = false;
                 self.gc(tail);
@@ -485,7 +502,9 @@ impl Observer {
     }
 
     fn grab_aux(&mut self) -> IdNum {
-        self.aux_free.pop().expect("auxiliary ID pool exhausted (pin-analysis bound violated)")
+        self.aux_free
+            .pop()
+            .expect("auxiliary ID pool exhausted (pin-analysis bound violated)")
     }
 
     /// Queue an edge for emission at the next flush, merging annotations.
@@ -515,7 +534,10 @@ impl Observer {
     /// Any current ID of a live node (auxiliary preferred, else a location
     /// it owns).
     fn id_of(&self, key: Key) -> IdNum {
-        let n = self.nodes.get(&key).expect("node referenced by an edge is live");
+        let n = self
+            .nodes
+            .get(&key)
+            .expect("node referenced by an edge is live");
         if let Some(aux) = n.aux {
             return aux;
         }
@@ -541,8 +563,11 @@ impl Observer {
         // Rank live keys by creation order (key order).
         let mut keys: Vec<Key> = self.nodes.keys().copied().collect();
         keys.sort_unstable();
-        let rank: HashMap<Key, u64> =
-            keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let rank: HashMap<Key, u64> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u64))
+            .collect();
         // Dead tokens (e.g. a gc'd sto_succ) get stable fresh numbers in
         // first-appearance order of this deterministic encoding.
         let mut dead: HashMap<Key, u64> = HashMap::new();
@@ -623,7 +648,9 @@ impl Observer {
         if self.edges.iter().any(|((f, t), _)| *f == key || *t == key) {
             return;
         }
-        let Some(n) = self.nodes.get(&key) else { return };
+        let Some(n) = self.nodes.get(&key) else {
+            return;
+        };
         if n.pins.any() || !n.heirs.is_empty() {
             return;
         }
@@ -693,7 +720,11 @@ mod tests {
             "{}: axioms violated (seed {seed})",
             p.name()
         );
-        assert!(cg.is_acyclic(), "{}: witness graph cyclic (seed {seed})", p.name());
+        assert!(
+            cg.is_acyclic(),
+            "{}: witness graph cyclic (seed {seed})",
+            p.name()
+        );
         assert_eq!(
             ScChecker::check(&d),
             Ok(()),
@@ -770,7 +801,11 @@ mod tests {
         let p = StoreBufferTso::new(Params::new(2, 2, 1), 2);
         let mut r = Runner::new(p.clone());
         let take = |r: &mut Runner<StoreBufferTso>, want: &dyn Fn(&Action) -> bool| {
-            let t = r.enabled().into_iter().find(|t| want(&t.action)).expect("enabled");
+            let t = r
+                .enabled()
+                .into_iter()
+                .find(|t| want(&t.action))
+                .expect("enabled");
             r.take(t);
         };
         use scv_types::{BlockId, ProcId, Value};
@@ -792,7 +827,10 @@ mod tests {
         let run = r.into_run();
         assert!(!scv_graph::has_serial_reordering(&run.trace()));
         let d = Observer::observe_run(&p, &run);
-        assert!(ScChecker::check(&d).is_err(), "checker must reject the SB litmus");
+        assert!(
+            ScChecker::check(&d).is_err(),
+            "checker must reject the SB litmus"
+        );
     }
 
     #[test]
@@ -842,17 +880,27 @@ mod tests {
         let p = LazyCaching::new(Params::new(2, 1, 2), 2, 2);
         let mut r = Runner::new(p.clone());
         let take = |r: &mut Runner<LazyCaching>, want: &dyn Fn(&Action) -> bool| {
-            let t = r.enabled().into_iter().find(|t| want(&t.action)).expect("enabled");
+            let t = r
+                .enabled()
+                .into_iter()
+                .find(|t| want(&t.action))
+                .expect("enabled");
             r.take(t);
         };
-        take(&mut r, &|a| a.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1))));
-        take(&mut r, &|a| a.op() == Some(Op::store(ProcId(2), BlockId(1), Value(2))));
+        take(&mut r, &|a| {
+            a.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1)))
+        });
+        take(&mut r, &|a| {
+            a.op() == Some(Op::store(ProcId(2), BlockId(1), Value(2)))
+        });
         take(&mut r, &|a| matches!(a, Action::Internal("MW", 2)));
         take(&mut r, &|a| matches!(a, Action::Internal("MW", 1)));
         // Both processors consume their updates and read the final value.
         take(&mut r, &|a| matches!(a, Action::Internal("CU", 1)));
         take(&mut r, &|a| matches!(a, Action::Internal("CU", 1)));
-        take(&mut r, &|a| a.op() == Some(Op::load(ProcId(1), BlockId(1), Value(1))));
+        take(&mut r, &|a| {
+            a.op() == Some(Op::load(ProcId(1), BlockId(1), Value(1)))
+        });
         let run = r.into_run();
         let d = Observer::observe_run(&p, &run);
         // The ST order must be P2's store then P1's store (memory-write

@@ -65,7 +65,10 @@ pub struct Tracking {
 impl Tracking {
     /// Tracking for a `LD`/`ST` transition touching location `l`.
     pub fn mem(l: LocId) -> Self {
-        Tracking { loc: Some(l), copies: Vec::new() }
+        Tracking {
+            loc: Some(l),
+            copies: Vec::new(),
+        }
     }
 
     /// Tracking for an internal transition with the given ordered copies.

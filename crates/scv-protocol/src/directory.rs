@@ -136,12 +136,20 @@ impl Protocol for DirectoryProtocol {
                 let mut next = s.clone();
                 let v = s.resp[p.idx()];
                 *self.line_mut(&mut next, p, b) = (
-                    if wait == DirLine::WaitS { DirLine::S } else { DirLine::M },
+                    if wait == DirLine::WaitS {
+                        DirLine::S
+                    } else {
+                        DirLine::M
+                    },
                     v,
                 );
                 out.push(Transition {
                     action: Action::Internal(
-                        if wait == DirLine::WaitS { "FillS" } else { "FillM" },
+                        if wait == DirLine::WaitS {
+                            "FillS"
+                        } else {
+                            "FillM"
+                        },
                         self.cache_loc(p, b),
                     ),
                     next,
@@ -191,17 +199,17 @@ impl Protocol for DirectoryProtocol {
                     let mut next = s.clone();
                     if let DirEntry::Shared(mask) = next.dir[b.idx()] {
                         let m = mask & !(1 << p.idx());
-                        next.dir[b.idx()] =
-                            if m == 0 { DirEntry::Uncached } else { DirEntry::Shared(m) };
+                        next.dir[b.idx()] = if m == 0 {
+                            DirEntry::Uncached
+                        } else {
+                            DirEntry::Shared(m)
+                        };
                     }
                     *self.line_mut(&mut next, p, b) = (DirLine::I, val);
                     out.push(Transition {
                         action: Action::Internal("Evict", self.cache_loc(p, b)),
                         next,
-                        tracking: Tracking::copies(vec![(
-                            self.cache_loc(p, b),
-                            CopySrc::Invalid,
-                        )]),
+                        tracking: Tracking::copies(vec![(self.cache_loc(p, b), CopySrc::Invalid)]),
                     });
                 }
                 // Requests (only from I, one outstanding per processor).
@@ -224,8 +232,7 @@ impl Protocol for DirectoryProtocol {
                             copies.push((self.mem_loc(b), CopySrc::Loc(self.cache_loc(q, b))));
                             next.mem[b.idx()] = self.line(s, q, b).1;
                             self.line_mut(&mut next, q, b).0 = DirLine::S;
-                            next.dir[b.idx()] =
-                                DirEntry::Shared((1 << q.idx()) | (1 << p.idx()));
+                            next.dir[b.idx()] = DirEntry::Shared((1 << q.idx()) | (1 << p.idx()));
                         }
                         DirEntry::Shared(mask) => {
                             next.dir[b.idx()] = DirEntry::Shared(mask | (1 << p.idx()));
@@ -334,7 +341,10 @@ mod tests {
         let proto = DirectoryProtocol::new(Params::new(2, 1, 2));
         assert_eq!(
             step.tracking.copies,
-            vec![(proto.cache_loc(p1, BlockId(1)), CopySrc::Loc(proto.resp_loc(p1)))]
+            vec![(
+                proto.cache_loc(p1, BlockId(1)),
+                CopySrc::Loc(proto.resp_loc(p1))
+            )]
         );
     }
 

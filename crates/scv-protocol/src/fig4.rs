@@ -238,7 +238,11 @@ mod tests {
         let mut state = proto.initial();
         state[0] = Some((1, Value(2))); // P1 holds B1:2
         let ts = proto.transitions(&state);
-        let loads: Vec<Op> = ts.iter().filter_map(|t| t.action.op()).filter(|o| o.is_load()).collect();
+        let loads: Vec<Op> = ts
+            .iter()
+            .filter_map(|t| t.action.op())
+            .filter(|o| o.is_load())
+            .collect();
         assert_eq!(loads, vec![Op::load(ProcId(1), BlockId(1), Value(2))]);
     }
 
@@ -258,15 +262,16 @@ mod tests {
                 })
                 .unwrap()
         };
-        let pick_gs = |r: &Runner<Fig4Protocol>, p: u8, src_loc: LocId| {
-            r.enabled()
+        let pick_gs =
+            |r: &Runner<Fig4Protocol>, p: u8, src_loc: LocId| {
+                r.enabled()
                 .into_iter()
                 .find(|t| {
                     matches!(t.action, Action::Internal("Get-Shared", pb) if (pb >> 8) == p as u32)
                         && t.tracking.copies.iter().any(|(_, s)| *s == CopySrc::Loc(src_loc))
                 })
                 .unwrap()
-        };
+            };
         let pick_load = |r: &Runner<Fig4Protocol>, p: u8, v: u8| {
             r.enabled()
                 .into_iter()

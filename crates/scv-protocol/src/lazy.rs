@@ -105,11 +105,17 @@ impl LazyCaching {
     }
 
     fn out_len(&self, s: &LazyState, p: ProcId) -> usize {
-        self.out_slice(s, p).iter().take_while(|e| e.is_some()).count()
+        self.out_slice(s, p)
+            .iter()
+            .take_while(|e| e.is_some())
+            .count()
     }
 
     fn in_len(&self, s: &LazyState, p: ProcId) -> usize {
-        self.in_slice(s, p).iter().take_while(|e| e.is_some()).count()
+        self.in_slice(s, p)
+            .iter()
+            .take_while(|e| e.is_some())
+            .count()
     }
 
     /// May `p` load right now? Out-queue empty, no starred in-queue entry.
@@ -279,10 +285,7 @@ impl Protocol for LazyCaching {
                     out.push(Transition {
                         action: Action::Internal("CI", self.cache_loc(p, b)),
                         next,
-                        tracking: Tracking::copies(vec![(
-                            self.cache_loc(p, b),
-                            CopySrc::Invalid,
-                        )]),
+                        tracking: Tracking::copies(vec![(self.cache_loc(p, b), CopySrc::Invalid)]),
                     });
                 }
             }
@@ -325,10 +328,7 @@ mod tests {
             let t = r
                 .enabled()
                 .into_iter()
-                .find(|t| {
-                    t.action.op()
-                        == Some(Op::store(ProcId(pid), BlockId(1), Value(v)))
-                })
+                .find(|t| t.action.op() == Some(Op::store(ProcId(pid), BlockId(1), Value(v))))
                 .unwrap();
             r.take(t);
         };

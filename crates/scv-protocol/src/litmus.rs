@@ -157,9 +157,7 @@ pub fn realizable<P: Protocol>(protocol: &P, target: &Trace, internal_budget: us
                     }
                 }
                 Action::Internal(..) => {
-                    if fuel > 0
-                        && dfs(protocol, t.next, target, matched, fuel - 1, budget, seen)
-                    {
+                    if fuel > 0 && dfs(protocol, t.next, target, matched, fuel - 1, budget, seen) {
                         return true;
                     }
                 }
@@ -296,7 +294,10 @@ mod tests {
         let fwd = Trace::from_ops([st(1, 1, 1), ld(2, 1, 1)]);
         let bwd = Trace::from_ops([ld(2, 1, 1), st(1, 1, 1)]);
         assert!(realizable(&p, &fwd, 2));
-        assert!(!realizable(&p, &bwd, 2), "cannot read 1 before it is stored");
+        assert!(
+            !realizable(&p, &bwd, 2),
+            "cannot read 1 before it is stored"
+        );
     }
 
     #[test]

@@ -49,13 +49,19 @@ pub struct MesiProtocol {
 impl MesiProtocol {
     /// A correct MESI protocol.
     pub fn new(params: Params) -> Self {
-        MesiProtocol { params, buggy: false }
+        MesiProtocol {
+            params,
+            buggy: false,
+        }
     }
 
     /// MESI where BusRd can miss a concurrent M holder and wrongly grant E
     /// (double-exclusivity bug).
     pub fn buggy(params: Params) -> Self {
-        MesiProtocol { params, buggy: true }
+        MesiProtocol {
+            params,
+            buggy: true,
+        }
     }
 
     /// Is this the fault-injected variant?
@@ -77,7 +83,12 @@ impl MesiProtocol {
         s.lines[p.idx() * self.params.b as usize + b.idx()]
     }
 
-    fn line_mut<'a>(&self, s: &'a mut MesiState, p: ProcId, b: BlockId) -> &'a mut (MesiLine, Value) {
+    fn line_mut<'a>(
+        &self,
+        s: &'a mut MesiState,
+        p: ProcId,
+        b: BlockId,
+    ) -> &'a mut (MesiLine, Value) {
         &mut s.lines[p.idx() * self.params.b as usize + b.idx()]
     }
 
@@ -220,7 +231,11 @@ impl Protocol for MesiProtocol {
                             .find(|(_, l)| *l == MesiLine::M)
                             .map(|(q, _)| *q)
                             .filter(|_| !self.buggy);
-                        let granted = if visible.is_empty() { MesiLine::E } else { MesiLine::S };
+                        let granted = if visible.is_empty() {
+                            MesiLine::E
+                        } else {
+                            MesiLine::S
+                        };
                         let fill = match owner {
                             Some(q) => {
                                 let qv = self.line(s, q, b).1;
@@ -241,7 +256,11 @@ impl Protocol for MesiProtocol {
                                 self.line_mut(&mut next, *q, b).0 = MesiLine::S;
                             }
                         }
-                        let granted = if owner.is_some() { MesiLine::S } else { granted };
+                        let granted = if owner.is_some() {
+                            MesiLine::S
+                        } else {
+                            granted
+                        };
                         *self.line_mut(&mut next, p, b) = (granted, fill);
                         out.push(Transition {
                             action: Action::Internal("BusRd", self.cache_loc(p, b)),
@@ -268,11 +287,11 @@ impl Protocol for MesiProtocol {
                             }
                         };
                         for (q, l) in &holders {
-                            if *l != MesiLine::M || !self.buggy {
-                                if self.line(&next, *q, b).0 != MesiLine::I {
-                                    self.line_mut(&mut next, *q, b).0 = MesiLine::I;
-                                    copies.push((self.cache_loc(*q, b), CopySrc::Invalid));
-                                }
+                            if (*l != MesiLine::M || !self.buggy)
+                                && self.line(&next, *q, b).0 != MesiLine::I
+                            {
+                                self.line_mut(&mut next, *q, b).0 = MesiLine::I;
+                                copies.push((self.cache_loc(*q, b), CopySrc::Invalid));
                             }
                         }
                         *self.line_mut(&mut next, p, b) = (MesiLine::M, fill);
@@ -379,7 +398,10 @@ mod tests {
                     .filter(|&p| r.state().lines[p.idx() * 2 + b.idx()].0 == MesiLine::S)
                     .count();
                 assert!(writers <= 1, "two exclusive holders");
-                assert!(writers == 0 || others == 0, "exclusive coexists with shared");
+                assert!(
+                    writers == 0 || others == 0,
+                    "exclusive coexists with shared"
+                );
             }
         }
     }

@@ -44,14 +44,20 @@ pub struct MsiProtocol {
 impl MsiProtocol {
     /// A correct MSI protocol.
     pub fn new(params: Params) -> Self {
-        MsiProtocol { params, buggy: false }
+        MsiProtocol {
+            params,
+            buggy: false,
+        }
     }
 
     /// MSI with a lost invalidation: on a bus invalidation for `B`
     /// requested by `P`, the highest-numbered other sharer keeps its stale
     /// S copy.
     pub fn buggy(params: Params) -> Self {
-        MsiProtocol { params, buggy: true }
+        MsiProtocol {
+            params,
+            buggy: true,
+        }
     }
 
     /// Is this the fault-injected variant?
@@ -79,7 +85,9 @@ impl MsiProtocol {
 
     /// The current owner (M holder) of `b`, if any.
     fn owner(&self, s: &MsiState, b: BlockId) -> Option<ProcId> {
-        self.params.procs().find(|&q| self.line(s, q, b).0 == Line::M)
+        self.params
+            .procs()
+            .find(|&q| self.line(s, q, b).0 == Line::M)
     }
 
     /// Other processors holding `b` in S.
@@ -186,10 +194,7 @@ impl Protocol for MsiProtocol {
                     out.push(Transition {
                         action: Action::Internal("EvictS", self.cache_loc(p, b)),
                         next,
-                        tracking: Tracking::copies(vec![(
-                            self.cache_loc(p, b),
-                            CopySrc::Invalid,
-                        )]),
+                        tracking: Tracking::copies(vec![(self.cache_loc(p, b), CopySrc::Invalid)]),
                     });
                     // BusUpgr: S -> M, invalidating other sharers.
                     let mut next = s.clone();
@@ -297,9 +302,7 @@ mod tests {
             for b in Params::new(3, 2, 2).blocks() {
                 let owners = Params::new(3, 2, 2)
                     .procs()
-                    .filter(|&p| {
-                        s.lines[p.idx() * 2 + b.idx()].0 == Line::M
-                    })
+                    .filter(|&p| s.lines[p.idx() * 2 + b.idx()].0 == Line::M)
                     .count();
                 let sharers = Params::new(3, 2, 2)
                     .procs()
@@ -361,8 +364,9 @@ mod tests {
         let proto = MsiProtocol::new(Params::new(3, 1, 1));
         let mut s = proto.initial();
         // P2 and P3 share block 1.
-        s.lines[1 * 1 + 0].0 = Line::S;
-        s.lines[2 * 1 + 0].0 = Line::S;
+        // Row-major (proc, block) indexing with b = 1: proc i is slot i.
+        s.lines[1].0 = Line::S;
+        s.lines[2].0 = Line::S;
         // P1 issues BusRdX.
         let t = proto
             .transitions(&s)

@@ -54,7 +54,10 @@ pub struct StIndexTracker {
 impl StIndexTracker {
     /// A tracker for `locations` locations, all initially 0.
     pub fn new(locations: u32) -> Self {
-        StIndexTracker { idx: vec![0; locations as usize], trace_ops: 0 }
+        StIndexTracker {
+            idx: vec![0; locations as usize],
+            trace_ops: 0,
+        }
     }
 
     /// The current ST index of location `l`.
@@ -115,7 +118,11 @@ impl<P: Protocol> Runner<P> {
     /// Start a runner in the protocol's initial state.
     pub fn new(protocol: P) -> Self {
         let state = protocol.initial();
-        Runner { protocol, state, run: Run::default() }
+        Runner {
+            protocol,
+            state,
+            run: Run::default(),
+        }
     }
 
     /// The protocol being driven.
@@ -146,7 +153,10 @@ impl<P: Protocol> Runner<P> {
     /// Take a specific transition.
     pub fn take(&mut self, t: Transition<P::State>) {
         self.state = t.next;
-        self.run.steps.push(Step { action: t.action, tracking: t.tracking });
+        self.run.steps.push(Step {
+            action: t.action,
+            tracking: t.tracking,
+        });
     }
 
     /// Take a uniformly random enabled transition; returns `false` if the

@@ -91,16 +91,18 @@ mod tests {
         // 2 procs x 2 blocks x (1 load + 3 stores) = 16.
         assert_eq!(ts.len(), 16);
         // Initial loads return ⊥.
-        assert!(ts.iter().any(
-            |t| matches!(t.action, Action::Mem(op) if op.is_load() && op.value.is_bottom())
-        ));
+        assert!(ts
+            .iter()
+            .any(|t| matches!(t.action, Action::Mem(op) if op.is_load() && op.value.is_bottom())));
     }
 
     #[test]
     fn tracking_labels_name_memory_words() {
         let p = SerialMemory::new(Params::new(1, 3, 1));
         for t in p.transitions(&p.initial()) {
-            let Action::Mem(op) = t.action else { panic!("no internals") };
+            let Action::Mem(op) = t.action else {
+                panic!("no internals")
+            };
             assert_eq!(t.tracking.loc, Some((op.block.idx() + 1) as u32));
         }
     }

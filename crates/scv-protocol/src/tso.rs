@@ -64,7 +64,10 @@ impl StoreBufferTso {
     }
 
     fn buf_len(&self, s: &TsoState, p: ProcId) -> usize {
-        self.buf_slice(s, p).iter().take_while(|e| e.is_some()).count()
+        self.buf_slice(s, p)
+            .iter()
+            .take_while(|e| e.is_some())
+            .count()
     }
 
     /// Index of the newest buffered entry for `b` at `p`, if any

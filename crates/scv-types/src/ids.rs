@@ -4,20 +4,19 @@
 //! that printed operations match the paper's notation (`ST(P1,B2,1)`), and so
 //! that [`Value::BOTTOM`] (the initial value `⊥`) can be represented as 0.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A processor identifier `P` with `1 <= P <= p`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcId(pub u8);
 
 /// A memory-block identifier `B` with `1 <= B <= b`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub u8);
 
 /// A data value `V` with `1 <= V <= v`, or [`Value::BOTTOM`] (`⊥`, encoded
 /// as 0), the initial value of every block.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Value(pub u8);
 
 impl ProcId {
@@ -102,7 +101,7 @@ impl fmt::Debug for Value {
 }
 
 /// The size parameters `(p, b, v)` of a protocol (section 2.1).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Params {
     /// Number of processors.
     pub p: u8,

@@ -1,11 +1,10 @@
 //! LD/ST operations — the action set `A = ST(*,*,*) ∪ LD(*,*,*)` of §2.1.
 
 use crate::ids::{BlockId, Params, ProcId, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether an operation is a load or a store.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum OpKind {
     /// `LD(P,B,V)`: processor `P` loads value `V` from block `B`.
     Load,
@@ -17,7 +16,7 @@ pub enum OpKind {
 ///
 /// The value recorded on a load is the value the load *returned*; the trace
 /// therefore fully determines whether a serial reordering exists.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Op {
     /// Load or store.
     pub kind: OpKind,
@@ -33,7 +32,12 @@ impl Op {
     /// Construct a load operation `LD(P,B,V)`.
     #[inline]
     pub fn load(proc: ProcId, block: BlockId, value: Value) -> Self {
-        Op { kind: OpKind::Load, proc, block, value }
+        Op {
+            kind: OpKind::Load,
+            proc,
+            block,
+            value,
+        }
     }
 
     /// Construct a store operation `ST(P,B,V)`.
@@ -43,7 +47,12 @@ impl Op {
     #[inline]
     pub fn store(proc: ProcId, block: BlockId, value: Value) -> Self {
         debug_assert!(!value.is_bottom(), "ST operations cannot store ⊥");
-        Op { kind: OpKind::Store, proc, block, value }
+        Op {
+            kind: OpKind::Store,
+            proc,
+            block,
+            value,
+        }
     }
 
     /// Is this a load?
@@ -96,7 +105,11 @@ impl Op {
         let rest = rest / params.b as u32;
         let p = rest % params.p as u32;
         let kind = rest / params.p as u32;
-        let kind = if kind == 0 { OpKind::Load } else { OpKind::Store };
+        let kind = if kind == 0 {
+            OpKind::Load
+        } else {
+            OpKind::Store
+        };
         Op {
             kind,
             proc: ProcId::from_idx(p as usize),
@@ -174,7 +187,12 @@ mod tests {
         assert!(!Op::load(ProcId(1), BlockId(3), Value(1)).in_bounds(&params));
         assert!(!Op::load(ProcId(1), BlockId(1), Value(5)).in_bounds(&params));
         // A store of ⊥ is never a legal action.
-        let st_bot = Op { kind: OpKind::Store, proc: ProcId(1), block: BlockId(1), value: Value::BOTTOM };
+        let st_bot = Op {
+            kind: OpKind::Store,
+            proc: ProcId(1),
+            block: BlockId(1),
+            value: Value::BOTTOM,
+        };
         assert!(!st_bot.in_bounds(&params));
     }
 }

@@ -9,13 +9,12 @@
 
 use crate::op::Op;
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
 
 /// A permutation of the positions of a trace. `perm[j] = i` means the `j`-th
 /// operation of the reordered trace is the `i`-th operation (0-based) of the
 /// original trace — i.e. `perm` is the paper's `π` shifted to 0-based
 /// indices.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Reordering(Vec<usize>);
 
 impl Reordering {
@@ -191,8 +190,8 @@ mod tests {
     #[test]
     fn interleave_rejects_bad_schedules() {
         let p1 = vec![st(1, 1, 1)];
-        assert!(interleave(&[p1.clone()], &[0, 0]).is_none()); // too many picks
-        assert!(interleave(&[p1.clone()], &[1]).is_none()); // unknown stream
+        assert!(interleave(std::slice::from_ref(&p1), &[0, 0]).is_none()); // too many picks
+        assert!(interleave(std::slice::from_ref(&p1), &[1]).is_none()); // unknown stream
         assert!(interleave(&[p1], &[]).is_none()); // stream not drained
     }
 }

@@ -2,13 +2,12 @@
 
 use crate::ids::{BlockId, Params, ProcId, Value};
 use crate::op::Op;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
 
 /// A protocol trace: the subsequence of LD/ST actions of a protocol run,
 /// in the order they occurred (§2.1).
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Trace(Vec<Op>);
 
 impl Trace {
@@ -224,10 +223,7 @@ mod tests {
 
     #[test]
     fn min_params_covers_all_ops() {
-        let t = Trace::from_ops([
-            Op::store(p(2), b(3), v(1)),
-            Op::load(p(1), b(1), v(4)),
-        ]);
+        let t = Trace::from_ops([Op::store(p(2), b(3), v(1)), Op::load(p(1), b(1), v(4))]);
         let params = t.min_params();
         assert_eq!((params.p, params.b, params.v), (2, 3, 4));
         assert!(t.in_bounds(&params));
@@ -235,10 +231,7 @@ mod tests {
 
     #[test]
     fn display_is_comma_separated() {
-        let t = Trace::from_ops([
-            Op::store(p(1), b(1), v(1)),
-            Op::load(p(2), b(1), v(1)),
-        ]);
+        let t = Trace::from_ops([Op::store(p(1), b(1), v(1)), Op::load(p(2), b(1), v(1))]);
         assert_eq!(t.to_string(), "ST(P1,B1,1), LD(P2,B1,1)");
     }
 }

@@ -20,7 +20,13 @@ fn main() {
     let proto = MsiProtocol::buggy(Params::new(2, 2, 1));
     let outcome = verify_protocol(proto.clone(), VerifyOptions::default());
 
-    let Outcome::Violation { run, trace, message, stats } = outcome else {
+    let Outcome::Violation {
+        run,
+        trace,
+        message,
+        stats,
+    } = outcome
+    else {
         panic!("the buggy protocol must be caught");
     };
     println!(
@@ -46,7 +52,10 @@ fn main() {
             .find(|t| t.action == *a)
             .expect("counterexample replays");
         state = t.next.clone();
-        steps.push(Step { action: t.action, tracking: t.tracking });
+        steps.push(Step {
+            action: t.action,
+            tracking: t.tracking,
+        });
     }
     let run_obj = sc_verify::protocol::Run { steps };
     let d = Observer::observe_run(&proto, &run_obj);
@@ -60,7 +69,11 @@ fn main() {
     match decode(&d) {
         Ok((dg, _)) => match dg.to_constraint_graph() {
             Ok(cg) => {
-                println!("\ndecoded witness graph: {} nodes, {} edges", cg.node_count(), cg.edge_count());
+                println!(
+                    "\ndecoded witness graph: {} nodes, {} edges",
+                    cg.node_count(),
+                    cg.edge_count()
+                );
                 match cg.find_cycle() {
                     Some(cycle) => {
                         println!("constraint-graph cycle (1-based trace positions):");

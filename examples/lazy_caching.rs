@@ -46,10 +46,26 @@ fn main() {
         &|a| a.op() == Some(Op::store(ProcId(2), BlockId(1), Value(2))),
         "P2 queues ST x=2",
     );
-    take(&mut r, &|a| matches!(a, Action::Internal("MW", 2)), "P2's store hits memory FIRST");
-    take(&mut r, &|a| matches!(a, Action::Internal("MW", 1)), "P1's store hits memory second");
-    take(&mut r, &|a| matches!(a, Action::Internal("CU", 2)), "P2 applies update (x=2)");
-    take(&mut r, &|a| matches!(a, Action::Internal("CU", 2)), "P2 applies update (x=1)");
+    take(
+        &mut r,
+        &|a| matches!(a, Action::Internal("MW", 2)),
+        "P2's store hits memory FIRST",
+    );
+    take(
+        &mut r,
+        &|a| matches!(a, Action::Internal("MW", 1)),
+        "P1's store hits memory second",
+    );
+    take(
+        &mut r,
+        &|a| matches!(a, Action::Internal("CU", 2)),
+        "P2 applies update (x=2)",
+    );
+    take(
+        &mut r,
+        &|a| matches!(a, Action::Internal("CU", 2)),
+        "P2 applies update (x=1)",
+    );
     take(
         &mut r,
         &|a| a.op() == Some(Op::load(ProcId(2), BlockId(1), Value(1))),
@@ -57,7 +73,10 @@ fn main() {
     );
     let run = r.into_run();
 
-    println!("\nobserver output ({} locations, memory word is the serialization location):", proto.locations());
+    println!(
+        "\nobserver output ({} locations, memory word is the serialization location):",
+        proto.locations()
+    );
     let d = Observer::observe_run(&proto, &run);
     for sym in &d.symbols {
         println!("  {sym}");
@@ -98,8 +117,11 @@ fn main() {
     let outcome = verify_protocol(
         small,
         VerifyOptions {
-            bfs: BfsOptions { max_states: 150_000, max_depth: usize::MAX },
-            threads: 1,
+            bfs: BfsOptions {
+                max_states: 150_000,
+                max_depth: usize::MAX,
+            },
+            ..Default::default()
         },
     );
     let s = outcome.stats();

@@ -47,9 +47,15 @@ fn figure3() {
     let d3 = encode(&g, 3).expect("figure 3 is 3-bandwidth bounded");
     println!("3-bandwidth descriptor (ID 1 recycled for node 5):\n  {d3}");
     println!();
-    println!("streaming SC checker on the 3-bandwidth descriptor: {:?}", ScChecker::check(&d3));
+    println!(
+        "streaming SC checker on the 3-bandwidth descriptor: {:?}",
+        ScChecker::check(&d3)
+    );
     println!();
 }
+
+type Fig4Pick =
+    Box<dyn Fn(&sc_verify::protocol::Transition<<Fig4Protocol as Protocol>::State>) -> bool>;
 
 fn figure4() {
     println!("=== Figure 4: tracking labels and ST indexes ===\n");
@@ -58,7 +64,7 @@ fn figure4() {
     let mut tracker = StIndexTracker::new(runner.protocol().locations());
 
     // The exact run of the figure.
-    let script: Vec<Box<dyn Fn(&sc_verify::protocol::Transition<_>) -> bool>> = vec![
+    let script: Vec<Fig4Pick> = vec![
         Box::new(|t| {
             t.action.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1)))
                 && t.tracking.loc == Some(1)
@@ -89,8 +95,8 @@ fn figure4() {
         println!(
             "  {:<18} tracking {:?}",
             t.action.to_string(),
-            if t.tracking.loc.is_some() {
-                format!("f = location {}", t.tracking.loc.unwrap())
+            if let Some(loc) = t.tracking.loc {
+                format!("f = location {loc}")
             } else {
                 format!("copies {:?}", t.tracking.copies)
             }

@@ -44,8 +44,11 @@ fn main() {
     println!();
 
     let cap = |n: usize| VerifyOptions {
-        bfs: BfsOptions { max_states: n, max_depth: usize::MAX },
-        threads: 1,
+        bfs: BfsOptions {
+            max_states: n,
+            max_depth: usize::MAX,
+        },
+        ..Default::default()
     };
 
     // The smallest serial memory: exhaustively VERIFIED (the product

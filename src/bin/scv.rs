@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! scv verify <protocol> [-p N] [-b N] [-v N] [--threads N] [--max-states N]
+//!                       [--strategy ws|level-sync] [--batch N]
 //! scv observe <protocol> [--steps N] [--seed N]     # one random run's descriptor
 //! scv monitor <protocol> [--steps N] [--seed N]     # §5 runtime testing mode
 //! scv list                                          # available protocols
@@ -20,6 +21,8 @@ struct Args {
     v: u8,
     threads: usize,
     max_states: usize,
+    strategy: SearchStrategy,
+    batch: usize,
     steps: usize,
     seed: u64,
 }
@@ -32,6 +35,8 @@ impl Args {
             v: 2,
             threads: 1,
             max_states: 2_000_000,
+            strategy: SearchStrategy::default(),
+            batch: 128,
             steps: 100,
             seed: 0,
         };
@@ -49,6 +54,17 @@ impl Args {
                 "-v" => a.v = val("-v")? as u8,
                 "--threads" => a.threads = val("--threads")? as usize,
                 "--max-states" => a.max_states = val("--max-states")? as usize,
+                "--batch" => a.batch = val("--batch")? as usize,
+                "--strategy" => {
+                    let v = it.next().ok_or("--strategy needs a value".to_string())?;
+                    a.strategy = match v.as_str() {
+                        "ws" | "work-stealing" => SearchStrategy::WorkStealing,
+                        "level-sync" | "levelsync" => SearchStrategy::LevelSync,
+                        other => {
+                            return Err(format!("unknown strategy `{other}` (ws | level-sync)"))
+                        }
+                    };
+                }
                 "--steps" => a.steps = val("--steps")? as usize,
                 "--seed" => a.seed = val("--seed")?,
                 other => return Err(format!("unknown flag {other}")),
@@ -63,11 +79,7 @@ impl Args {
 }
 
 /// Dispatch over the protocol zoo, monomorphizing `f` per protocol type.
-fn with_protocol<R>(
-    name: &str,
-    params: Params,
-    f: &mut dyn FnMut(&str) -> R,
-) -> Result<R, String> {
+fn with_protocol<R>(name: &str, params: Params, f: &mut dyn FnMut(&str) -> R) -> Result<R, String> {
     // The closure captures the protocol through thread-locals would be
     // overkill; just dispatch explicitly below in each command instead.
     let _ = (params, f);
@@ -156,20 +168,26 @@ fn main() -> ExitCode {
     match cmd.as_str() {
         "verify" => dispatch!(proto_name, args.params(), |p| {
             println!(
-                "verifying {} (p={}, b={}, v={}, L={}) with {} thread(s), cap {} states…",
+                "verifying {} (p={}, b={}, v={}, L={}) with {} thread(s) [{:?}], cap {} states…",
                 p.name(),
                 args.p,
                 args.b,
                 args.v,
                 p.locations(),
                 args.threads,
+                args.strategy,
                 args.max_states
             );
             let out = verify_protocol(
                 p,
                 VerifyOptions {
-                    bfs: BfsOptions { max_states: args.max_states, max_depth: usize::MAX },
+                    bfs: BfsOptions {
+                        max_states: args.max_states,
+                        max_depth: usize::MAX,
+                    },
                     threads: args.threads,
+                    strategy: args.strategy,
+                    batch_size: args.batch,
                 },
             );
             let s = out.stats();
@@ -181,7 +199,12 @@ fn main() -> ExitCode {
                     );
                     ExitCode::SUCCESS
                 }
-                Outcome::Violation { run, trace, message, .. } => {
+                Outcome::Violation {
+                    run,
+                    trace,
+                    message,
+                    ..
+                } => {
                     println!("NOT VERIFIED: {message}");
                     println!("violating run ({} actions):", run.len());
                     for a in &run {
@@ -213,7 +236,12 @@ fn main() -> ExitCode {
             let mut runner = Runner::new(p.clone());
             runner.run_random(args.steps, 0.5, &mut rng);
             let run = runner.into_run();
-            println!("run of {} ({} steps, {} memory ops):", p.name(), run.len(), run.trace().len());
+            println!(
+                "run of {} ({} steps, {} memory ops):",
+                p.name(),
+                run.len(),
+                run.trace().len()
+            );
             for s in &run.steps {
                 println!("  {}", s.action);
             }

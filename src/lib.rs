@@ -30,7 +30,7 @@
 //! // Violation, bounded or not.
 //! let opts = VerifyOptions {
 //!     bfs: BfsOptions { max_states: 3_000, max_depth: usize::MAX },
-//!     threads: 1,
+//!     ..Default::default()
 //! };
 //! let outcome = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), opts);
 //! assert!(!matches!(outcome, Outcome::Violation { .. }));
@@ -40,7 +40,7 @@
 //! // reordering:
 //! let opts = VerifyOptions {
 //!     bfs: BfsOptions { max_states: 2_000_000, max_depth: usize::MAX },
-//!     threads: 1,
+//!     ..Default::default()
 //! };
 //! match verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), opts) {
 //!     Outcome::Violation { trace, .. } => assert!(!has_serial_reordering(&trace)),
@@ -79,11 +79,13 @@ pub mod prelude {
     pub use scv_graph::{
         has_serial_reordering, validate_constraint_graph, ConstraintGraph, EdgeSet,
     };
-    pub use scv_mc::{verify_protocol, BfsOptions, Outcome, VerifyOptions, VerifySystem};
+    pub use scv_mc::{
+        verify_protocol, BfsOptions, McStats, Outcome, SearchStrategy, VerifyOptions, VerifySystem,
+    };
     pub use scv_observer::{observer_size_bound, Observer, ObserverConfig};
     pub use scv_protocol::{
-        Action, DirectoryProtocol, Fig4Protocol, LazyCaching, MesiProtocol, MsiProtocol, Protocol, Run,
-        Runner, SerialMemory, StoreBufferTso,
+        Action, DirectoryProtocol, Fig4Protocol, LazyCaching, MesiProtocol, MsiProtocol, Protocol,
+        Run, Runner, SerialMemory, StoreBufferTso,
     };
     pub use scv_types::{BlockId, Op, Params, ProcId, Reordering, Trace, Value};
 }

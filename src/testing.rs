@@ -40,7 +40,12 @@ impl RunMonitor {
     pub fn new<P: Protocol>(protocol: &P) -> Self {
         let observer = Observer::new(ObserverConfig::from_protocol(protocol));
         let checker = ScChecker::new(observer.k());
-        RunMonitor { observer, checker, steps: 0, failed: None }
+        RunMonitor {
+            observer,
+            checker,
+            steps: 0,
+            failed: None,
+        }
     }
 
     /// Number of steps consumed.
@@ -145,7 +150,11 @@ mod tests {
         let mut runner = Runner::new(p.clone());
         let mut monitor = RunMonitor::new(&p);
         let mut take = |want: &dyn Fn(&Action) -> bool| {
-            let t = runner.enabled().into_iter().find(|t| want(&t.action)).expect("enabled");
+            let t = runner
+                .enabled()
+                .into_iter()
+                .find(|t| want(&t.action))
+                .expect("enabled");
             runner.take(t);
         };
         take(&|a| a.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1))));
@@ -174,7 +183,11 @@ mod tests {
         let mut runner = Runner::new(p.clone());
         let mut monitor = RunMonitor::new(&p);
         let mut take = |want: &dyn Fn(&Action) -> bool| {
-            let t = runner.enabled().into_iter().find(|t| want(&t.action)).expect("enabled");
+            let t = runner
+                .enabled()
+                .into_iter()
+                .find(|t| want(&t.action))
+                .expect("enabled");
             runner.take(t);
         };
         take(&|a| a.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1))));

@@ -30,7 +30,11 @@ fn figure3_is_a_valid_acyclic_constraint_graph() {
     let g = figure3_graph();
     assert!(g.is_acyclic());
     assert_eq!(validate_constraint_graph(&g, &figure3_trace()), Ok(()));
-    assert_eq!(g.bandwidth(), 3, "the paper notes 3-node-bandwidth boundedness");
+    assert_eq!(
+        g.bandwidth(),
+        3,
+        "the paper notes 3-node-bandwidth boundedness"
+    );
 }
 
 #[test]
@@ -56,7 +60,11 @@ fn recycled_descriptor_string_matches_paper() {
 #[test]
 fn descriptors_roundtrip_and_verify() {
     let g = figure3_graph();
-    for d in [naive_descriptor(&g), encode(&g, 3).unwrap(), encode(&g, 10).unwrap()] {
+    for d in [
+        naive_descriptor(&g),
+        encode(&g, 3).unwrap(),
+        encode(&g, 10).unwrap(),
+    ] {
         let (dg, _) = decode(&d).unwrap();
         assert_eq!(dg.to_constraint_graph().unwrap(), g);
         assert_eq!(CycleChecker::check(&d), Ok(()));
@@ -83,6 +91,7 @@ fn forced_edge_is_load_bearing() {
     // this inheritance. Removing it must make the checker reject.
     let g = figure3_graph();
     let mut d = encode(&g, 3).unwrap();
-    d.symbols.retain(|s| !matches!(s, Symbol::Edge { from: 4, to: 3, .. }));
+    d.symbols
+        .retain(|s| !matches!(s, Symbol::Edge { from: 4, to: 3, .. }));
     assert!(ScChecker::check(&d).is_err());
 }

@@ -6,12 +6,13 @@ use sc_verify::prelude::*;
 use sc_verify::protocol::{CopySrc, StIndexTracker, Step, Tracking};
 
 type Fig4Transition = sc_verify::protocol::Transition<<Fig4Protocol as Protocol>::State>;
+type Pick = Box<dyn Fn(&Fig4Transition) -> bool>;
 
 /// Drive the exact run of Figure 4(a) and return the steps.
 fn figure4_run() -> (Fig4Protocol, Run) {
     let proto = Fig4Protocol::paper();
     let mut runner = Runner::new(proto.clone());
-    let picks: Vec<Box<dyn Fn(&Fig4Transition) -> bool>> = vec![
+    let picks: Vec<Pick> = vec![
         Box::new(|t| {
             t.action.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1)))
                 && t.tracking.loc == Some(1)
@@ -58,7 +59,10 @@ fn tracking_labels_match_figure_4b() {
     assert_eq!(run.steps[1].tracking, Tracking::mem(4));
     // The Get-Shared has c_3 = 1 and c_i = i elsewhere (unchanged
     // locations are simply not listed).
-    assert_eq!(run.steps[2].tracking, Tracking::copies(vec![(3, CopySrc::Loc(1))]));
+    assert_eq!(
+        run.steps[2].tracking,
+        Tracking::copies(vec![(3, CopySrc::Loc(1))])
+    );
     assert_eq!(run.steps[3].tracking, Tracking::mem(1));
 }
 
@@ -88,10 +92,7 @@ fn observer_mirrors_the_copies_with_add_id() {
     // no inheritance edges (no loads happened).
     let (dg, _) = decode(&d).unwrap();
     assert_eq!(dg.node_count(), 3);
-    assert!(dg
-        .edges
-        .iter()
-        .all(|&(_, _, a)| !a.contains(EdgeSet::INH)));
+    assert!(dg.edges.iter().all(|&(_, _, a)| !a.contains(EdgeSet::INH)));
 }
 
 #[test]

@@ -1,0 +1,339 @@
+//! Deterministic-search battery for the parallel model checker.
+//!
+//! Every protocol in the zoo is verified under every thread count in
+//! {1, 2, 4, 8} and under both parallel engines (the default asynchronous
+//! work-stealing search and the legacy level-synchronous BFS, kept
+//! exactly for this differential test). The checked invariant is
+//! *verdict-variant determinism*: whenever the search limits are not the
+//! deciding factor, every schedule must produce the same `Outcome`
+//! variant —
+//!
+//! * safe protocols capped far below their product size: always
+//!   `Bounded` (never a spurious `Violation`);
+//! * protocols with reachable violations and generous caps: always
+//!   `Violation` (never a missed bug);
+//! * exhaustive searches (the `#[ignore]`d release-mode tests): always
+//!   `Verified`, with the per-engine conservation laws holding exactly
+//!   (Σ expanded == states, Σ admitted + 1 == states) and every engine's
+//!   reachable-class count within a small tolerance of sequential BFS's.
+//!
+//! Why a tolerance and not exact equality: product states are deduplicated
+//! by canonical encoding, and that equality is deliberately *not a
+//! congruence* — two enc-equal concrete states can have successor sets
+//! that differ as encodings (the encoding quotients away bookkeeping, such
+//! as observer auxiliary-ID choices, that does leak into which successor
+//! representatives get admitted). Sequential FIFO BFS always picks the
+//! same representatives, so its count is deterministic; any asynchronous
+//! schedule may merge classes slightly differently and land within a few
+//! percent. The verdict is unaffected — every representative of a
+//! violating class still violates.
+//!
+//! Every counterexample any engine produces is independently validated by
+//! replaying it through [`sc_verify::testing::RunMonitor`] — the paper's
+//! §5 online monitor, a codepath entirely separate from the model
+//! checker's product construction. Work-stealing counterexamples are not
+//! necessarily shortest (asynchronous order), but they must still replay
+//! to a genuine violation.
+
+use sc_verify::prelude::*;
+use sc_verify::testing::{MonitorStep, RunMonitor};
+
+/// The full (threads, strategy) matrix. At `threads == 1` both strategies
+/// collapse to the sequential searcher, so it appears once.
+fn matrix() -> Vec<(usize, SearchStrategy)> {
+    let mut m = vec![(1, SearchStrategy::WorkStealing)];
+    for threads in [2usize, 4, 8] {
+        m.push((threads, SearchStrategy::WorkStealing));
+        m.push((threads, SearchStrategy::LevelSync));
+    }
+    m
+}
+
+fn opts(max_states: usize, threads: usize, strategy: SearchStrategy) -> VerifyOptions {
+    VerifyOptions {
+        bfs: BfsOptions {
+            max_states,
+            max_depth: usize::MAX,
+        },
+        threads,
+        strategy,
+        // Small batches so even modest searches exercise chunk hand-off
+        // and stealing, not just one worker draining one chunk.
+        batch_size: 32,
+    }
+}
+
+fn verdict(out: &Outcome) -> &'static str {
+    match out {
+        Outcome::Verified { .. } => "Verified",
+        Outcome::Violation { .. } => "Violation",
+        Outcome::Bounded { .. } => "Bounded",
+    }
+}
+
+/// Replay a counterexample through the protocol (resolving each action to
+/// an enabled transition) and assert the §5 online monitor flags it.
+fn replay_flags_violation<P: Protocol + Clone>(p: &P, run: &[Action]) {
+    let mut runner = Runner::new(p.clone());
+    for (i, action) in run.iter().enumerate() {
+        let t = runner
+            .enabled()
+            .into_iter()
+            .find(|t| t.action == *action)
+            .unwrap_or_else(|| panic!("counterexample action {i} ({action:?}) not enabled"));
+        runner.take(t);
+    }
+    let mut monitor = RunMonitor::new(p);
+    let mut violated = false;
+    for step in &runner.run().steps {
+        if let MonitorStep::Violation(_) = monitor.feed(step) {
+            violated = true;
+            break;
+        }
+    }
+    assert!(
+        violated || monitor.finish().is_err(),
+        "replayed counterexample must fail the online monitor"
+    );
+}
+
+/// Run the whole matrix on one protocol and require a single verdict
+/// variant throughout; validate every counterexample produced.
+fn assert_matrix_verdict<P>(p: P, max_states: usize, expected: &str)
+where
+    P: Protocol + Clone + Sync,
+    P::State: Send + Sync,
+{
+    for (threads, strategy) in matrix() {
+        let out = verify_protocol(p.clone(), opts(max_states, threads, strategy));
+        assert_eq!(
+            verdict(&out),
+            expected,
+            "threads={threads} strategy={strategy:?}: {:?}",
+            out.stats()
+        );
+        if let Outcome::Violation { run, message, .. } = &out {
+            assert!(
+                !run.is_empty(),
+                "violating run must be non-trivial: {message}"
+            );
+            replay_flags_violation(&p, run);
+        }
+    }
+}
+
+// ---- Safe protocols: capped far below the product size, every engine
+// ---- must report Bounded and never a spurious violation.
+
+#[test]
+fn serial_memory_bounded_on_all_engines() {
+    assert_matrix_verdict(SerialMemory::new(Params::new(2, 2, 2)), 6_000, "Bounded");
+}
+
+#[test]
+fn msi_bounded_on_all_engines() {
+    assert_matrix_verdict(MsiProtocol::new(Params::new(2, 1, 2)), 6_000, "Bounded");
+}
+
+#[test]
+fn mesi_bounded_on_all_engines() {
+    assert_matrix_verdict(MesiProtocol::new(Params::new(2, 1, 2)), 6_000, "Bounded");
+}
+
+#[test]
+fn directory_bounded_on_all_engines() {
+    assert_matrix_verdict(
+        DirectoryProtocol::new(Params::new(2, 1, 1)),
+        6_000,
+        "Bounded",
+    );
+}
+
+#[test]
+fn lazy_caching_bounded_on_all_engines() {
+    assert_matrix_verdict(
+        LazyCaching::new(Params::new(2, 1, 1), 1, 1),
+        6_000,
+        "Bounded",
+    );
+}
+
+// ---- Protocols with reachable violations: every engine must find one
+// ---- (asynchronous schedules included), and each counterexample must
+// ---- replay to a genuine monitor failure.
+
+#[test]
+fn buggy_msi_violates_on_all_engines() {
+    assert_matrix_verdict(
+        MsiProtocol::buggy(Params::new(2, 2, 1)),
+        2_000_000,
+        "Violation",
+    );
+}
+
+#[test]
+fn buggy_mesi_violates_on_all_engines() {
+    assert_matrix_verdict(
+        MesiProtocol::buggy(Params::new(2, 2, 1)),
+        2_000_000,
+        "Violation",
+    );
+}
+
+#[test]
+fn tso_violates_on_all_engines() {
+    assert_matrix_verdict(
+        StoreBufferTso::new(Params::new(2, 2, 1), 1),
+        2_000_000,
+        "Violation",
+    );
+}
+
+#[test]
+fn fig4_rejected_on_all_engines() {
+    assert_matrix_verdict(
+        Fig4Protocol::new(Params::new(2, 1, 2), 1),
+        2_000_000,
+        "Violation",
+    );
+}
+
+// ---- Exhaustive differential test (release-mode; ~120k-state product
+// ---- searched 7 times): all engines must agree on Verified, hold their
+// ---- internal conservation laws exactly, and land within a small
+// ---- tolerance of the sequential reachable-class count (see the module
+// ---- docs for why exact equality is not the right spec).
+
+/// Maximum relative drift allowed between an asynchronous engine's
+/// reachable-class count and sequential BFS's. Measured drift on the
+/// SerialMemory(2,1,1) product is ~1–3%; 5% gives headroom without
+/// letting a real admission bug (which perturbs counts wildly or trips
+/// the exact conservation laws) hide.
+const CLASS_COUNT_TOLERANCE: f64 = 0.05;
+
+fn assert_states_close(got: usize, reference: usize, context: &str) {
+    let drift = (got as f64 - reference as f64).abs() / reference as f64;
+    assert!(
+        drift <= CLASS_COUNT_TOLERANCE,
+        "{context}: state count {got} drifted {:.1}% from sequential {reference}",
+        drift * 100.0
+    );
+}
+
+/// Scheduler-statistics invariants under load, checked straight against
+/// the work-stealing engine's per-worker counters.
+#[test]
+#[ignore = "multi-million-state stress search: run with `cargo test --release -- --ignored`"]
+fn stress_work_stealing_stats_invariants() {
+    use sc_verify::mc::{bfs, ws_search_detailed, BfsOptions, SearchResult, VerifySystem};
+
+    // Part 1 — exhaustive search (no limit is hit), where the strict
+    // conservation laws must hold: every admitted state is expanded
+    // exactly once, so  Σ expanded == states  and  Σ admitted + 1 (the
+    // initial state) == states. The count itself is only required to be
+    // close to sequential BFS's — canonical-encoding equality is not a
+    // congruence, so asynchronous schedules merge classes slightly
+    // differently (module docs).
+    let product = || VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
+    let unbounded = BfsOptions {
+        max_states: 10_000_000,
+        max_depth: usize::MAX,
+    };
+    let seq_states = match bfs(&product(), unbounded) {
+        SearchResult::Safe(stats) => stats.states,
+        r => panic!("sequential search must be exhaustive, got {:?}", r.stats()),
+    };
+    assert!(
+        seq_states > 50_000,
+        "product unexpectedly small: {seq_states}"
+    );
+    for threads in [2usize, 4] {
+        let (result, workers) = ws_search_detailed(&product(), unbounded, threads, 64);
+        let stats = match result {
+            SearchResult::Safe(stats) => stats,
+            r => panic!("threads={threads}: expected Safe, got {:?}", r.stats()),
+        };
+        assert_states_close(stats.states, seq_states, &format!("threads={threads}"));
+        let expanded: usize = workers.iter().map(|w| w.expanded).sum();
+        let admitted: usize = workers.iter().map(|w| w.admitted).sum();
+        assert_eq!(
+            expanded, stats.states,
+            "threads={threads}: expanded != seen"
+        );
+        assert_eq!(
+            admitted + 1,
+            stats.states,
+            "threads={threads}: admitted + init != seen"
+        );
+        assert!(
+            stats.steals > 0,
+            "threads={threads}: no steals on a {seq_states}-state search"
+        );
+        assert!(stats.seen_batches > 0, "batched seen-set path never used");
+        assert!(
+            stats.peak_frontier > 0 && stats.peak_frontier < stats.states,
+            "implausible peak frontier {}",
+            stats.peak_frontier
+        );
+        assert_eq!(stats.workers, threads);
+    }
+
+    // Part 2 — a two-million-state sweep of a product too large to
+    // exhaust (MSI 2,1,2): the cap must bite, and the scheduler counters
+    // must stay coherent under sustained load.
+    let big = VerifySystem::new(MsiProtocol::new(Params::new(2, 1, 2)));
+    let capped = BfsOptions {
+        max_states: 2_000_000,
+        max_depth: usize::MAX,
+    };
+    let (result, workers) = ws_search_detailed(&big, capped, 4, 128);
+    let stats = match result {
+        SearchResult::Bounded(stats) => stats,
+        SearchResult::Safe(stats) => stats, // in case the product fits after all
+        r => panic!("MSI must not violate: {:?}", r.stats()),
+    };
+    assert!(
+        stats.states >= 1_000_000,
+        "sweep too small: {}",
+        stats.states
+    );
+    let admitted: usize = workers.iter().map(|w| w.admitted).sum();
+    assert_eq!(
+        admitted + 1,
+        stats.states,
+        "every counted state was admitted exactly once"
+    );
+    assert!(stats.steals > 0);
+    assert!(
+        stats.seen_batches >= stats.states / 128,
+        "batching cannot admit more than batch_size states per lock: {} batches for {} states",
+        stats.seen_batches,
+        stats.states
+    );
+}
+
+#[test]
+#[ignore = "exhaustive 7-way product search: run with `cargo test --release -- --ignored`"]
+fn exhaustive_serial_memory_engines_agree() {
+    let p = SerialMemory::new(Params::new(2, 1, 1));
+    // threads == 1 collapses to the sequential FIFO searcher, whose
+    // representative choice — and therefore class count — is
+    // deterministic. It anchors the tolerance band for every schedule.
+    let reference = verify_protocol(p.clone(), opts(400_000, 1, SearchStrategy::WorkStealing));
+    assert!(reference.is_verified(), "{:?}", reference.stats());
+    let want = reference.stats().states;
+    assert!(want > 50_000, "product unexpectedly small: {want}");
+    for (threads, strategy) in matrix() {
+        let out = verify_protocol(p.clone(), opts(400_000, threads, strategy));
+        assert!(
+            out.is_verified(),
+            "threads={threads} {strategy:?}: {:?}",
+            out.stats()
+        );
+        assert_states_close(
+            out.stats().states,
+            want,
+            &format!("threads={threads} {strategy:?}"),
+        );
+    }
+}

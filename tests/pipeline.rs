@@ -33,7 +33,11 @@ fn witnessed_traces_verify_at_exact_bandwidth() {
 
 /// Protocol runs through the observer: decoded graphs satisfy the axioms,
 /// and the streaming verdict matches the whole-graph verdict.
-fn pipeline_matches_reference<P: Protocol + Clone>(p: P, steps: usize, seeds: std::ops::Range<u64>) {
+fn pipeline_matches_reference<P: Protocol + Clone>(
+    p: P,
+    steps: usize,
+    seeds: std::ops::Range<u64>,
+) {
     for seed in seeds {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut runner = Runner::new(p.clone());
@@ -45,9 +49,7 @@ fn pipeline_matches_reference<P: Protocol + Clone>(p: P, steps: usize, seeds: st
             Err(_) => false,
             Ok((dg, _)) => match dg.to_constraint_graph() {
                 Err(_) => false,
-                Ok(cg) => {
-                    cg.is_acyclic() && validate_constraint_graph(&cg, &run.trace()).is_ok()
-                }
+                Ok(cg) => cg.is_acyclic() && validate_constraint_graph(&cg, &run.trace()).is_ok(),
             },
         };
         assert_eq!(

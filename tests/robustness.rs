@@ -5,8 +5,8 @@
 //! sound even for inputs no observer would produce.
 
 use proptest::prelude::*;
-use sc_verify::prelude::*;
 use sc_verify::descriptor::{DecodeError, IdNum};
+use sc_verify::prelude::*;
 
 const K: u32 = 4; // small ID space makes collisions/recycling frequent
 
@@ -27,8 +27,7 @@ fn arb_edgeset() -> impl Strategy<Value = EdgeSet> {
 fn arb_symbol() -> impl Strategy<Value = Symbol> {
     let id = || 1..=(K + 1) as IdNum;
     prop_oneof![
-        (id(), proptest::option::of(arb_op()))
-            .prop_map(|(id, label)| Symbol::Node { id, label }),
+        (id(), proptest::option::of(arb_op())).prop_map(|(id, label)| Symbol::Node { id, label }),
         (id(), id(), proptest::option::of(arb_edgeset()))
             .prop_map(|(from, to, label)| Symbol::Edge { from, to, label }),
         (id(), id()).prop_map(|(of, add)| Symbol::AddId { of, add }),

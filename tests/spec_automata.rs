@@ -55,8 +55,8 @@ fn trace_language<P: Protocol>(p: &P) -> Nfa {
     for a in &mut nfa.accepting {
         *a = true;
     }
-    for i in 0..n {
-        for &x in &closure[i] {
+    for (i, cl) in closure.iter().enumerate() {
+        for &x in cl {
             for t in p.transitions(&states[x as usize]) {
                 if let Action::Mem(op) = t.action {
                     // Target includes its own closure implicitly: point at
@@ -116,7 +116,11 @@ fn serial_memory_trace_language_equals_spec() {
     let proto = SerialMemory::new(params);
     let lang = trace_language(&proto).determinize().minimize();
     let spec = serial_spec(&params).minimize();
-    assert_eq!(equivalent(&lang, &spec), Ok(()), "serial memory = serial spec");
+    assert_eq!(
+        equivalent(&lang, &spec),
+        Ok(()),
+        "serial memory = serial spec"
+    );
 }
 
 #[test]
@@ -129,7 +133,11 @@ fn msi_traces_are_not_serial_but_are_included_in_sc() {
     let proto = MsiProtocol::new(params);
     let lang = trace_language(&proto).determinize().minimize();
     let spec = serial_spec(&params).minimize();
-    assert_eq!(includes(&lang, &spec), Ok(()), "MSI traces are serial traces");
+    assert_eq!(
+        includes(&lang, &spec),
+        Ok(()),
+        "MSI traces are serial traces"
+    );
 }
 
 #[test]
@@ -149,8 +157,12 @@ fn tso_traces_exceed_the_serial_language() {
 #[test]
 fn buggy_msi_trace_language_differs_from_correct_msi() {
     let params = Params::new(2, 1, 1);
-    let good = trace_language(&MsiProtocol::new(params)).determinize().minimize();
-    let bad = trace_language(&MsiProtocol::buggy(params)).determinize().minimize();
+    let good = trace_language(&MsiProtocol::new(params))
+        .determinize()
+        .minimize();
+    let bad = trace_language(&MsiProtocol::buggy(params))
+        .determinize()
+        .minimize();
     // The buggy protocol emits traces the correct one cannot.
     assert_eq!(includes(&good, &bad), Ok(()), "bug only adds behaviours");
     let ce = includes(&bad, &good).unwrap_err();

@@ -13,8 +13,11 @@ use sc_verify::prelude::*;
 
 fn opts(max_states: usize) -> VerifyOptions {
     VerifyOptions {
-        bfs: BfsOptions { max_states, max_depth: usize::MAX },
-        threads: 1,
+        bfs: BfsOptions {
+            max_states,
+            max_depth: usize::MAX,
+        },
+        ..Default::default()
     }
 }
 
@@ -56,7 +59,10 @@ fn lazy_caching_is_safe() {
 fn buggy_msi_yields_genuine_counterexample() {
     match verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), opts(2_000_000)) {
         Outcome::Violation { trace, run, .. } => {
-            assert!(!has_serial_reordering(&trace), "counterexample must be non-SC");
+            assert!(
+                !has_serial_reordering(&trace),
+                "counterexample must be non-SC"
+            );
             assert!(!run.is_empty());
         }
         o => panic!("expected Violation, got {:?}", o.stats()),
@@ -78,7 +84,10 @@ fn buggy_mesi_yields_genuine_counterexample() {
 
 #[test]
 fn tso_yields_genuine_counterexample() {
-    match verify_protocol(StoreBufferTso::new(Params::new(2, 2, 1), 1), opts(2_000_000)) {
+    match verify_protocol(
+        StoreBufferTso::new(Params::new(2, 2, 1), 1),
+        opts(2_000_000),
+    ) {
         Outcome::Violation { trace, .. } => {
             assert!(!has_serial_reordering(&trace));
         }
@@ -93,7 +102,11 @@ fn fig4_is_rejected() {
     // under this generator"), but the protocol also has genuinely non-SC
     // traces: exhibit one by hand and confirm it.
     let out = verify_protocol(Fig4Protocol::new(Params::new(2, 1, 2), 1), opts(2_000_000));
-    assert!(matches!(out, Outcome::Violation { .. }), "got {:?}", out.stats());
+    assert!(
+        matches!(out, Outcome::Violation { .. }),
+        "got {:?}",
+        out.stats()
+    );
 
     // Hand-driven genuine violation: P1 stores 1, P2 snapshots it, P1
     // stores 2, P1 re-fetches the stale snapshot and reads 1 after having
@@ -105,13 +118,28 @@ fn fig4_is_rejected() {
         let t = r.enabled().into_iter().find(|t| want(t)).expect("enabled");
         r.take(t);
     };
-    take(&mut r, &|t| t.action.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1))));
-    take(&mut r, &|t| matches!(t.action, Action::Internal("Get-Shared", pb) if (pb >> 8) == 2));
-    take(&mut r, &|t| t.action.op() == Some(Op::store(ProcId(1), BlockId(1), Value(2))));
-    take(&mut r, &|t| matches!(t.action, Action::Internal("Get-Shared", pb) if (pb >> 8) == 1));
-    take(&mut r, &|t| t.action.op() == Some(Op::load(ProcId(1), BlockId(1), Value(1))));
+    take(&mut r, &|t| {
+        t.action.op() == Some(Op::store(ProcId(1), BlockId(1), Value(1)))
+    });
+    take(
+        &mut r,
+        &|t| matches!(t.action, Action::Internal("Get-Shared", pb) if (pb >> 8) == 2),
+    );
+    take(&mut r, &|t| {
+        t.action.op() == Some(Op::store(ProcId(1), BlockId(1), Value(2)))
+    });
+    take(
+        &mut r,
+        &|t| matches!(t.action, Action::Internal("Get-Shared", pb) if (pb >> 8) == 1),
+    );
+    take(&mut r, &|t| {
+        t.action.op() == Some(Op::load(ProcId(1), BlockId(1), Value(1)))
+    });
     let trace = r.run().trace();
-    assert!(!has_serial_reordering(&trace), "stale self-read must violate SC: {trace}");
+    assert!(
+        !has_serial_reordering(&trace),
+        "stale self-read must violate SC: {trace}"
+    );
 }
 
 #[test]
@@ -119,7 +147,10 @@ fn counterexamples_are_shortest() {
     // BFS guarantees minimal counterexamples: the TSO violation needs the
     // two buffered stores, the two stale loads, and the two serializing
     // drains — nothing more.
-    match verify_protocol(StoreBufferTso::new(Params::new(2, 2, 1), 1), opts(2_000_000)) {
+    match verify_protocol(
+        StoreBufferTso::new(Params::new(2, 2, 1), 1),
+        opts(2_000_000),
+    ) {
         Outcome::Violation { run, .. } => {
             assert!(run.len() <= 6, "counterexample unexpectedly long: {run:?}");
         }
@@ -132,7 +163,10 @@ fn parallel_and_sequential_verification_agree() {
     let seq = verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), opts(2_000_000));
     let par = verify_protocol(
         MsiProtocol::buggy(Params::new(2, 2, 1)),
-        VerifyOptions { threads: 4, ..opts(2_000_000) },
+        VerifyOptions {
+            threads: 4,
+            ..opts(2_000_000)
+        },
     );
     assert!(matches!(seq, Outcome::Violation { .. }));
     assert!(matches!(par, Outcome::Violation { .. }));

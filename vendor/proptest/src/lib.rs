@@ -1,0 +1,427 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! small, deterministic property-testing engine with the API surface its
+//! tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `arg in strategy` bindings;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`];
+//! * [`Strategy`](strategy::Strategy) implemented for integer ranges and
+//!   tuples, with `prop_map`;
+//! * [`option::of`] and [`collection::vec`].
+//!
+//! Differences from real proptest, deliberately accepted: cases are
+//! generated from a **fixed seed derived from the test name** (fully
+//! deterministic across runs and machines — the repo's test battery
+//! depends on reproducible searches), and there is **no shrinking** (a
+//! failure reports the exact generated inputs instead).
+
+pub mod strategy {
+    /// The RNG handed to strategies (deterministic, seeded per test case).
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// A recipe for generating values of type `Value`.
+    ///
+    /// Object-safe: `generate` takes the concrete [`TestRng`], and the
+    /// combinator methods are `Self: Sized`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (see [`prop_oneof!`](crate::prop_oneof)).
+    pub struct OneOf<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from the arm list; panics if empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// A strategy that always yields a clone of one value.
+    pub struct Just<V>(pub V);
+
+    impl<V: Clone> Strategy for Just<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut TestRng) -> V {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`: `None` one time in four.
+    pub struct OptionOf<S> {
+        inner: S,
+    }
+
+    /// `Some` from the inner strategy 3/4 of the time, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+        OptionOf { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionOf<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        inner: S,
+        size: SizeRange,
+    }
+
+    /// Generate vectors whose elements come from `inner` and whose length
+    /// is uniform in `size`.
+    pub fn vec<S: Strategy>(inner: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            inner,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.inner.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    pub use crate::strategy::TestRng;
+
+    /// Per-test configuration (only the knob this workspace uses).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property case (carries the formatted assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Build from a formatted message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// FNV-1a of the test name: the per-test base seed. Deterministic
+    /// across runs, processes, and platforms.
+    pub fn name_seed(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// The usual glob import, mirroring real proptest.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Define deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u32..100, ys in proptest::collection::vec(0u8..4, 0..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __base = $crate::test_runner::name_seed(stringify!($name));
+                // Bind each strategy to its argument name, then shadow the
+                // name with a generated value inside the loop.
+                $(let $arg = $strat;)+
+                for __case in 0..__cfg.cases {
+                    let mut __rng = <$crate::strategy::TestRng as rand::SeedableRng>::seed_from_u64(
+                        __base ^ (__case as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
+                    let __inputs = ::std::format!("{:#?}", ($(&$arg,)+));
+                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(__e) = __result {
+                        ::std::panic!(
+                            "proptest {} failed at case {}/{}: {}\ninputs: {}",
+                            stringify!($name), __case + 1, __cfg.cases, __e, __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a [`proptest!`] body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: `{:?}` == `{:?}`", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __a, __b, ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::strategy::OneOf::new(__arms)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u8..5, ab in (0u32..10, 0u64..=3)) {
+            prop_assert!((1..5).contains(&x));
+            prop_assert!(ab.0 < 10, "a was {}", ab.0);
+            prop_assert!(ab.1 <= 3);
+        }
+
+        #[test]
+        fn map_oneof_vec_option(
+            v in crate::collection::vec(
+                prop_oneof![
+                    (0u8..4).prop_map(|x| x as u32),
+                    (10u8..14).prop_map(|x| x as u32),
+                ],
+                0..20,
+            ),
+            o in crate::option::of(0u8..2),
+        ) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 4 || (10..14).contains(&x)));
+            if let Some(x) = o {
+                prop_assert!(x < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let s = (0u32..1000, 0u64..1000);
+        let mut r1 = crate::strategy::TestRng::seed_from_u64(5);
+        let mut r2 = crate::strategy::TestRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}
