@@ -1,0 +1,127 @@
+//! Telemetry overhead A/B: the same `verify_protocol` workload as the
+//! `mc_verify` bench, run with telemetry disabled and with telemetry
+//! enabled behind a [`scv_telemetry::NoopSink`] (counters, histograms and
+//! span timers all record; only sink I/O is elided, and sink I/O happens
+//! exclusively at flush time anyway — so this measures the full hot-path
+//! recording cost).
+//!
+//! Two modes:
+//!
+//! * `cargo bench -p scv-bench --bench telemetry_overhead` — criterion
+//!   groups printing per-configuration timings for eyeballing.
+//! * `TELEMETRY_OVERHEAD_CHECK=1 cargo bench ...` — self-measuring gate:
+//!   interleaves disabled/enabled runs, compares medians, and exits
+//!   nonzero if the enabled median exceeds the disabled median by more
+//!   than `TELEMETRY_OVERHEAD_LIMIT_PCT` percent (default 5). CI runs
+//!   this quick mode on every push.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use scv_mc::{verify_protocol, BfsOptions, Outcome, VerifyOptions};
+use scv_protocol::MsiProtocol;
+use scv_types::Params;
+use std::time::{Duration, Instant};
+
+/// The `mc_verify` positive workload, shrunk for quick mode: a bounded
+/// sweep of MSI(2,1,2)'s product space, sequential for determinism.
+fn workload() {
+    let out = verify_protocol(
+        MsiProtocol::new(Params::new(2, 1, 2)),
+        VerifyOptions {
+            bfs: BfsOptions {
+                max_states: 20_000,
+                max_depth: usize::MAX,
+            },
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    assert!(!matches!(out, Outcome::Violation { .. }));
+}
+
+fn with_telemetry_off(f: impl FnOnce()) {
+    scv_telemetry::disable();
+    f();
+}
+
+fn with_telemetry_on(f: impl FnOnce()) {
+    scv_telemetry::install(Box::new(scv_telemetry::NoopSink));
+    f();
+    scv_telemetry::shutdown();
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_millis(500));
+    group.bench_function(BenchmarkId::new("mc_verify_msi_20k", "disabled"), |b| {
+        b.iter(|| with_telemetry_off(workload))
+    });
+    group.bench_function(BenchmarkId::new("mc_verify_msi_20k", "enabled"), |b| {
+        b.iter(|| with_telemetry_on(workload))
+    });
+    group.finish();
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Self-measuring gate for CI: alternate disabled/enabled runs so clock
+/// drift and cache warmth hit both sides equally, then compare medians.
+fn overhead_check() -> i32 {
+    let limit_pct: f64 = std::env::var("TELEMETRY_OVERHEAD_LIMIT_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    const ROUNDS: usize = 11;
+    // Warm both paths before timing anything.
+    with_telemetry_off(workload);
+    with_telemetry_on(workload);
+    let mut off = Vec::with_capacity(ROUNDS);
+    let mut on = Vec::with_capacity(ROUNDS);
+    for round in 0..ROUNDS {
+        // Alternate which side goes first within the round.
+        let measure_off = || {
+            let t0 = Instant::now();
+            with_telemetry_off(workload);
+            t0.elapsed()
+        };
+        let measure_on = || {
+            let t0 = Instant::now();
+            with_telemetry_on(workload);
+            t0.elapsed()
+        };
+        if round % 2 == 0 {
+            off.push(measure_off());
+            on.push(measure_on());
+        } else {
+            on.push(measure_on());
+            off.push(measure_off());
+        }
+    }
+    let (m_off, m_on) = (median(off), median(on));
+    let overhead_pct = (m_on.as_secs_f64() / m_off.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "telemetry overhead check: disabled median {:?}, enabled median {:?}, \
+         overhead {overhead_pct:+.2}% (limit {limit_pct}%)",
+        m_off, m_on
+    );
+    if overhead_pct > limit_pct {
+        eprintln!("FAIL: enabled-telemetry overhead exceeds {limit_pct}%");
+        1
+    } else {
+        println!("OK");
+        0
+    }
+}
+
+criterion_group!(benches, bench_overhead);
+
+fn main() {
+    if std::env::var("TELEMETRY_OVERHEAD_CHECK").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        std::process::exit(overhead_check());
+    }
+    benches();
+}

@@ -1,12 +1,18 @@
 //! Regenerate every table of EXPERIMENTS.md in one run.
 //!
 //! ```text
-//! cargo run --release -p scv-bench --bin experiments
+//! cargo run --release -p scv-bench --bin experiments [--report <path>] [e1 e5 …]
 //! ```
 //!
 //! Timing *figures* (series with error bars) are produced by the Criterion
 //! benches (`cargo bench`); this binary prints the outcome/size/shape
 //! tables and quick single-shot timings for the crossover figure.
+//!
+//! With `--report <path>`, one schema-versioned [`scv_telemetry::RunReport`]
+//! JSONL record is appended per experiment: wall-clock time, peak RSS, and
+//! the pipeline counter deltas (states admitted, observer/checker symbols,
+//! …) attributable to that experiment. `report_diff` compares two such
+//! files for regressions.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -422,30 +428,66 @@ fn e9_parallel() {
 
 fn main() {
     // With no arguments every table is regenerated; passing experiment
-    // names (`experiments e9 e5`) reruns just those.
-    let only: Vec<String> = std::env::args().skip(1).collect();
+    // names (`experiments e9 e5`) reruns just those. `--report <path>`
+    // additionally writes one RunReport JSONL record per experiment.
+    let mut only: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = only.iter().position(|a| a == "--report") {
+        only.remove(i);
+        if i >= only.len() {
+            eprintln!("error: --report needs a path");
+            std::process::exit(2);
+        }
+        let path = only.remove(i);
+        match scv_telemetry::JsonlSink::create(std::path::Path::new(&path)) {
+            Ok(sink) => scv_telemetry::install(Box::new(sink)),
+            Err(e) => {
+                eprintln!("error: cannot open {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let run = |name: &str| only.is_empty() || only.iter().any(|a| a == name);
     println!("# sc-verify experiment tables (generated)\n");
-    if run("e1") {
-        e1_figure1();
+    let experiments: [(&str, fn()); 7] = [
+        ("e1", e1_figure1),
+        ("e4", e4_size_bounds),
+        ("e5", e5_verification),
+        ("e6", e6_crossover),
+        ("e7", e7_bandwidth),
+        ("e8", e8_lazy_depth),
+        ("e9", e9_parallel),
+    ];
+    for (name, f) in experiments {
+        if !run(name) {
+            continue;
+        }
+        let before = scv_telemetry::registry().counter_snapshot();
+        let t0 = Instant::now();
+        f();
+        let elapsed = t0.elapsed();
+        if scv_telemetry::enabled() {
+            // Attribute the pipeline counter movement to this experiment.
+            let after = scv_telemetry::registry().counter_snapshot();
+            let mut report = scv_telemetry::RunReport::new(format!("experiments/{name}"))
+                .with_verdict("completed")
+                .metric("elapsed_secs", elapsed.as_secs_f64())
+                .metric(
+                    "peak_rss_bytes",
+                    scv_telemetry::peak_rss_bytes().unwrap_or(0) as f64,
+                );
+            for (key, new) in &after {
+                let old = before
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                if new > &old {
+                    report = report.metric(*key, (new - old) as f64);
+                }
+            }
+            scv_telemetry::emit_report(report);
+        }
     }
-    if run("e4") {
-        e4_size_bounds();
-    }
-    if run("e5") {
-        e5_verification();
-    }
-    if run("e6") {
-        e6_crossover();
-    }
-    if run("e7") {
-        e7_bandwidth();
-    }
-    if run("e8") {
-        e8_lazy_depth();
-    }
-    if run("e9") {
-        e9_parallel();
-    }
+    scv_telemetry::shutdown();
     println!("done.");
 }

@@ -1,9 +1,14 @@
+//! Product state-space shape probe: states per BFS level plus a few
+//! deep states' component sizes, reported through the telemetry summary
+//! sink (one `Kv` event per depth, pipeline phase timings at the end).
+
 use scv_mc::{TransitionSystem, VerifySystem};
 use scv_protocol::*;
 use scv_types::Params;
 use std::collections::HashMap;
 
 fn main() {
+    scv_telemetry::install(Box::new(scv_telemetry::SummarySink::default()));
     let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
     // BFS a few levels, count states per depth.
     let mut seen: HashMap<_, usize> = HashMap::new();
@@ -20,31 +25,34 @@ fn main() {
                 }
             }
         }
-        println!(
-            "depth {depth}: +{} states (total {})",
-            next.len(),
-            seen.len()
-        );
+        scv_telemetry::event(scv_telemetry::Event::Kv {
+            scope: format!("probe_diag.depth.{depth}"),
+            items: vec![
+                ("new_states".to_string(), next.len() as f64),
+                ("total_states".to_string(), seen.len() as f64),
+            ],
+        });
         frontier = next;
     }
-    // Pick a few states at depth 6 and dump their checker/observer state sizes.
+    // Pick a few states at depth 6 and dump their checker/observer sizes.
     let mut count = 0;
     for (s, d) in &seen {
         if *d == 6 && count < 4 {
-            println!(
-                "--- state at depth {d}: chk retained={} enc_len={}",
-                s.chk.retained_count(),
-                {
-                    let mut ids = scv_descriptor::IdCanon::new(s.obs.location_count());
-                    let mut e = Vec::new();
-                    s.obs.canonical_encoding(&mut e, &mut ids);
-                    let ol = e.len();
-                    s.chk.canonical_encoding(&mut e, &mut ids);
-                    format!("obs={} chk={}", ol, e.len() - ol)
-                }
-            );
-            println!("chk: {:?}", s.chk);
+            let mut ids = scv_descriptor::IdCanon::new(s.obs.location_count());
+            let mut e = Vec::new();
+            s.obs.canonical_encoding(&mut e, &mut ids);
+            let obs_len = e.len();
+            s.chk.canonical_encoding(&mut e, &mut ids);
+            scv_telemetry::event(scv_telemetry::Event::Kv {
+                scope: format!("probe_diag.state{count}.depth{d}"),
+                items: vec![
+                    ("chk_retained".to_string(), s.chk.retained_count() as f64),
+                    ("enc_obs_words".to_string(), obs_len as f64),
+                    ("enc_chk_words".to_string(), (e.len() - obs_len) as f64),
+                ],
+            });
             count += 1;
         }
     }
+    scv_telemetry::shutdown();
 }

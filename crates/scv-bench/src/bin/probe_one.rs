@@ -1,11 +1,23 @@
+//! One-shot verification probe for a named product, reporting through the
+//! telemetry summary sink (verdict + search metrics as a `RunReport`,
+//! pipeline phase timings and counters from the instrumented crates).
+
 use scv_mc::{verify_protocol, BfsOptions, Outcome, VerifyOptions};
 use scv_protocol::*;
 use scv_types::Params;
 use std::time::Instant;
+
 fn run<P: Protocol + Sync + Clone>(name: &str, p: P, cap: usize, threads: usize)
 where
     P::State: Send + Sync,
 {
+    scv_telemetry::event(scv_telemetry::Event::RunStart {
+        name: format!("probe_one/{name}"),
+        params: vec![
+            ("cap".to_string(), cap.to_string()),
+            ("threads".to_string(), threads.to_string()),
+        ],
+    });
     let t0 = Instant::now();
     let out = verify_protocol(
         p,
@@ -19,19 +31,25 @@ where
         },
     );
     let s = out.stats();
-    let v = match out {
-        Outcome::Verified { .. } => "VERIFIED",
-        Outcome::Violation { .. } => "VIOLATION",
-        Outcome::Bounded { .. } => "BOUNDED",
+    let verdict = match out {
+        Outcome::Verified { .. } => "verified",
+        Outcome::Violation { .. } => "violation",
+        Outcome::Bounded { .. } => "bounded",
     };
-    println!(
-        "{name:<22} {v:<10} states={:<9} depth={} t={:?}",
-        s.states,
-        s.depth,
-        t0.elapsed()
+    scv_telemetry::emit_report(
+        scv_telemetry::RunReport::new(format!("probe_one/{name}"))
+            .param("threads", threads)
+            .param("cap", cap)
+            .with_verdict(verdict)
+            .metric("states", s.states as f64)
+            .metric("depth", s.depth as f64)
+            .metric("elapsed_secs", t0.elapsed().as_secs_f64())
+            .metric("states_per_sec", s.states_per_sec()),
     );
 }
+
 fn main() {
+    scv_telemetry::install(Box::new(scv_telemetry::SummarySink::default()));
     let which = std::env::args().nth(1).unwrap_or_default();
     match which.as_str() {
         "s211" => run(
@@ -84,4 +102,5 @@ fn main() {
         ),
         _ => eprintln!("usage: probe_one <s211|s212|m211|e211|d211|l211|bug|tso>"),
     }
+    scv_telemetry::shutdown();
 }

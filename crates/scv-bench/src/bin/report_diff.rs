@@ -1,0 +1,110 @@
+//! Compare two RunReport JSONL files for performance regressions.
+//!
+//! ```text
+//! cargo run --release -p scv-bench --bin report_diff -- \
+//!     old.jsonl new.jsonl [--threshold PCT]
+//! ```
+//!
+//! Reports are matched by `name` (e.g. `experiments/e9`, `verify/msi`);
+//! every metric present in both sides of a matched pair is compared under
+//! the [`scv_telemetry::direction_of`] heuristic: times and waste counters
+//! regress when they grow past the threshold (default 10%), throughput
+//! regresses when it shrinks, everything else is informational. Exit code
+//! 1 iff any regression was flagged. Verdict changes are printed for
+//! information but never flagged — correctness is the test suite's job,
+//! this tool watches performance trends.
+
+use scv_telemetry::{parse_reports, Direction, RunReport};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: report_diff <old.jsonl> <new.jsonl> [--threshold PCT]");
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Vec<RunReport>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_reports(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(v) = it.next() else {
+                    return usage();
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => threshold = t,
+                    _ => {
+                        eprintln!("error: --threshold must be a non-negative percentage");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => paths.push(a.clone()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return usage();
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for o in &old {
+        // Last record wins when a name repeats (reruns append).
+        let Some(n) = new.iter().rev().find(|n| n.name == o.name) else {
+            println!("~ {}: missing from {new_path}", o.name);
+            continue;
+        };
+        compared += 1;
+        println!("== {} (threshold {threshold}%)", o.name);
+        if o.verdict != n.verdict {
+            println!("   verdict: {} -> {}", o.verdict, n.verdict);
+        }
+        for d in scv_telemetry::diff_reports(o, n, threshold) {
+            let dir = match d.direction {
+                Direction::LowerIsBetter => "↓better",
+                Direction::HigherIsBetter => "↑better",
+                Direction::Neutral => "info",
+            };
+            let pct = d
+                .pct
+                .map(|p| format!("{p:+.1}%"))
+                .unwrap_or_else(|| "n/a".to_string());
+            let flag = if d.regression { "  REGRESSION" } else { "" };
+            println!(
+                "   {:<28} {:>14.2} -> {:>14.2}  {:>8} [{dir}]{flag}",
+                d.name, d.old, d.new, pct
+            );
+            regressions += d.regression as usize;
+        }
+    }
+    for n in &new {
+        if !old.iter().any(|o| o.name == n.name) {
+            println!("+ {}: new in {new_path}", n.name);
+        }
+    }
+    if compared == 0 {
+        eprintln!("error: no report names in common");
+        return ExitCode::from(2);
+    }
+    if regressions > 0 {
+        println!("\n{regressions} regression(s) beyond {threshold}%");
+        ExitCode::FAILURE
+    } else {
+        println!("\nno regressions beyond {threshold}%");
+        ExitCode::SUCCESS
+    }
+}

@@ -101,6 +101,12 @@ impl CycleChecker {
     pub fn step(&mut self, sym: &Symbol) -> Result<(), CycleError> {
         let pos = self.position;
         self.position += 1;
+        if scv_telemetry::enabled() {
+            scv_telemetry::add(scv_telemetry::Metric::CycleSymbols, 1);
+            if matches!(sym, Symbol::Edge { .. }) {
+                scv_telemetry::add(scv_telemetry::Metric::CycleEdges, 1);
+            }
+        }
         let in_range = |id: IdNum| id >= 1 && id <= self.k + 1;
         if !in_range(sym.min_id()) || !in_range(sym.max_id()) {
             return Err(CycleError::IdOutOfRange { position: pos });
@@ -147,6 +153,7 @@ impl CycleChecker {
 
     /// Run the checker over a whole descriptor.
     pub fn check(d: &Descriptor) -> Result<(), CycleError> {
+        let _t = scv_telemetry::timer(scv_telemetry::Phase::CheckerCycle);
         let mut c = CycleChecker::new(d.k)?;
         for s in &d.symbols {
             c.step(s)?;

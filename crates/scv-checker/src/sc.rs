@@ -330,6 +330,12 @@ impl ScChecker {
         let pos = self.position;
         self.position += 1;
         self.stats.symbols += 1;
+        if scv_telemetry::enabled() {
+            scv_telemetry::add(scv_telemetry::Metric::CheckerSymbols, 1);
+            if matches!(sym, Symbol::Edge { .. }) {
+                scv_telemetry::add(scv_telemetry::Metric::CheckerEdges, 1);
+            }
+        }
         let result = self.step_inner(sym, pos);
         if let Err(e) = &result {
             self.rejected = Some(e.clone());

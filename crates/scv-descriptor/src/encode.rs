@@ -49,6 +49,7 @@ impl std::error::Error for EncodeError {}
 /// nodes are listed, ordered by the earlier endpoint (in-edge before
 /// out-edge on a tie).
 pub fn encode(g: &ConstraintGraph, k: u32) -> Result<Descriptor, EncodeError> {
+    let _t = scv_telemetry::timer(scv_telemetry::Phase::DescriptorEncode);
     let n = g.node_count();
     let mut d = Descriptor::new(k);
     // last_touch[u] = largest node index adjacent to u (or u if none):
@@ -125,6 +126,10 @@ pub fn encode(g: &ConstraintGraph, k: u32) -> Result<Descriptor, EncodeError> {
         free.sort_unstable_by(|a, b| b.cmp(a));
     }
     debug_assert!(d.ids_in_range());
+    scv_telemetry::add(
+        scv_telemetry::Metric::DescriptorSymbolsEncoded,
+        d.symbols.len() as u64,
+    );
     Ok(d)
 }
 

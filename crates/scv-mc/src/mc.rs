@@ -169,10 +169,42 @@ impl<L> SearchResult<L> {
     }
 }
 
+/// Mirror a finished search's aggregates into the telemetry registry.
+///
+/// Engines that already stream counters during the run (the work-stealing
+/// searcher) pass `counters_live = true` so only gauges are written;
+/// the sequential/level-sync engines publish everything here. Gauges
+/// describe the *most recent* search — counters accumulate across runs.
+pub(crate) fn publish_search_stats(stats: &McStats, counters_live: bool) {
+    if !scv_telemetry::enabled() {
+        return;
+    }
+    use scv_telemetry::Metric;
+    if !counters_live {
+        scv_telemetry::add(Metric::McStatesAdmitted, stats.states as u64);
+        scv_telemetry::add(Metric::McTransitions, stats.transitions as u64);
+        scv_telemetry::add(Metric::McSteals, stats.steals as u64);
+        scv_telemetry::add(Metric::McSeenBatches, stats.seen_batches as u64);
+    }
+    scv_telemetry::set_gauge("mc.states", stats.states as f64);
+    scv_telemetry::set_gauge("mc.depth", stats.depth as f64);
+    scv_telemetry::set_gauge("mc.workers", stats.workers as f64);
+    scv_telemetry::set_gauge("mc.peak_frontier", stats.peak_frontier as f64);
+    scv_telemetry::set_gauge("mc.states_per_sec", stats.states_per_sec());
+    scv_telemetry::set_gauge("mc.elapsed_secs", stats.elapsed.as_secs_f64());
+}
+
 /// Sequential BFS with parent tracking for counterexample extraction.
 /// The seen-set stores 128-bit fingerprints, not states (see
 /// [`Fingerprinter`]); full states live only in the frontier.
 pub fn bfs<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::Label> {
+    let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
+    let r = bfs_inner(sys, opts);
+    publish_search_stats(&r.stats(), false);
+    r
+}
+
+fn bfs_inner<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::Label> {
     let start = Instant::now();
     let fper = Fingerprinter::new();
     let mut stats = McStats {
@@ -274,6 +306,18 @@ where
     if threads <= 1 {
         return bfs(sys, opts);
     }
+    let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
+    let r = bfs_parallel_inner(sys, opts, threads);
+    publish_search_stats(&r.stats(), false);
+    r
+}
+
+fn bfs_parallel_inner<T>(sys: &T, opts: BfsOptions, threads: usize) -> SearchResult<T::Label>
+where
+    T: TransitionSystem + Sync,
+    T::State: Sync,
+    T::Label: Sync,
+{
     const SHARDS: usize = 64;
     let start = Instant::now();
     let fper = Fingerprinter::new();

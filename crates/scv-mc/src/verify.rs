@@ -48,6 +48,7 @@ impl<PS> VerifyState<PS> {
         // One IdCanon across both encodings: auxiliary descriptor IDs are
         // renamed consistently, so product states differing only by an
         // aux-ID permutation (which are bisimilar) hash identically.
+        let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::DescriptorEncode);
         let mut ids = scv_descriptor::IdCanon::new(obs.location_count());
         let mut enc = Vec::with_capacity(128);
         obs.canonical_encoding(&mut enc, &mut ids);
@@ -105,6 +106,7 @@ where
         if s.error.is_some() {
             return; // rejection is absorbing
         }
+        let _t = scv_telemetry::timer(scv_telemetry::Phase::Expand);
         for t in self.protocol.transitions(&s.proto) {
             let mut obs = s.obs.clone();
             let mut chk = s.chk.clone();
@@ -117,10 +119,13 @@ where
                 &mut syms,
             );
             let mut error = None;
-            for sym in &syms {
-                if let Err(e) = chk.step(sym) {
-                    error = Some(e.to_string());
-                    break;
+            {
+                let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::CheckerStep);
+                for sym in &syms {
+                    if let Err(e) = chk.step(sym) {
+                        error = Some(e.to_string());
+                        break;
+                    }
                 }
             }
             out.push((t.action, VerifyState::seal(t.next, obs, chk, error)));
@@ -131,6 +136,7 @@ where
         if let Some(e) = &s.error {
             return Some(e.clone());
         }
+        let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::CheckerEnd);
         // Traces are prefix-closed: every reachable state is a possible
         // end of run, so the end-of-string conditions (order totality,
         // outstanding forced obligations) must hold here too.

@@ -114,6 +114,9 @@ impl<T: TransitionSystem> Shared<'_, T> {
         self.pending.fetch_add(1, Ordering::SeqCst);
         let q = self.queued_items.fetch_add(items, Ordering::Relaxed) + items;
         self.peak_frontier.fetch_max(q, Ordering::Relaxed);
+        if scv_telemetry::enabled() {
+            scv_telemetry::record(scv_telemetry::Hist::McQueueDepth, q as u64);
+        }
         self.queues[worker].lock().unwrap().push_back(chunk);
         self.epoch.fetch_add(1, Ordering::Release);
     }
@@ -131,6 +134,7 @@ impl<T: TransitionSystem> Shared<'_, T> {
             if let Some(chunk) = self.queues[victim].lock().unwrap().pop_front() {
                 self.queued_items.fetch_sub(chunk.len(), Ordering::Relaxed);
                 stats.steals += 1;
+                scv_telemetry::add(scv_telemetry::Metric::McSteals, 1);
                 return Some(chunk);
             }
         }
@@ -179,6 +183,7 @@ fn worker_loop<T: TransitionSystem>(
             // Quiesce until new work appears (epoch moves) or everything
             // drains. Spin briefly, then yield the core.
             stats.idle_spins += 1;
+            scv_telemetry::add(scv_telemetry::Metric::McIdleSpins, 1);
             let seen_epoch = shared.epoch.load(Ordering::Acquire);
             let mut spins = 0u32;
             while shared.epoch.load(Ordering::Acquire) == seen_epoch
@@ -206,6 +211,10 @@ fn worker_loop<T: TransitionSystem>(
             succs.clear();
             shared.sys.successors_into(state, &mut succs);
             stats.transitions += succs.len();
+            if scv_telemetry::enabled() {
+                scv_telemetry::add(scv_telemetry::Metric::McStatesExpanded, 1);
+                scv_telemetry::add(scv_telemetry::Metric::McTransitions, succs.len() as u64);
+            }
             for (label, succ) in succs.drain(..) {
                 let sfp = shared.fper.fp(&succ);
                 let stripe = shared.seen.shard_of(sfp);
@@ -262,10 +271,16 @@ fn flush_stripe<T: TransitionSystem>(
     scratch
         .fp_scratch
         .extend(scratch.stripes[stripe].iter().map(|p| p.fp));
-    shared
-        .seen
-        .insert_batch(stripe, &scratch.fp_scratch, &mut scratch.flag_scratch);
+    let batch_new =
+        shared
+            .seen
+            .insert_batch(stripe, &scratch.fp_scratch, &mut scratch.flag_scratch);
     stats.seen_batches += 1;
+    if scv_telemetry::enabled() {
+        scv_telemetry::add(scv_telemetry::Metric::McSeenBatches, 1);
+        scv_telemetry::add(scv_telemetry::Metric::McStatesAdmitted, batch_new as u64);
+        scv_telemetry::record(scv_telemetry::Hist::SeenBatchYield, batch_new as u64);
+    }
 
     let mut max_depth_seen = 0usize;
     for (i, pending) in scratch.stripes[stripe].drain(..).enumerate() {
@@ -328,6 +343,7 @@ where
     T: TransitionSystem + Sync,
     T::Label: Send,
 {
+    let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
     let start = Instant::now();
     let threads = threads.max(1);
     let batch = batch.clamp(1, 4096);
@@ -420,6 +436,17 @@ where
         worker_stats.push(*ws);
     }
     stats.elapsed = start.elapsed();
+    crate::mc::publish_search_stats(&stats, true);
+    if scv_telemetry::enabled() {
+        let loads = shared.seen.stripe_loads();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        let mean = loads.iter().sum::<usize>() as f64 / loads.len().max(1) as f64;
+        scv_telemetry::set_gauge("seen.stripes", loads.len() as f64);
+        scv_telemetry::set_gauge("seen.stripe_load_max", max as f64);
+        scv_telemetry::set_gauge("seen.stripe_load_mean", mean);
+        let idle: usize = worker_stats.iter().map(|w| w.idle_spins).sum();
+        scv_telemetry::set_gauge("mc.idle_spins", idle as f64);
+    }
 
     let found = shared.found.lock().unwrap().take();
     if let Some((bad_fp, message)) = found {

@@ -185,11 +185,19 @@ impl Observer {
 
     /// Observe one protocol step, appending descriptor symbols to `out`.
     pub fn step(&mut self, step: &Step, out: &mut Vec<Symbol>) {
+        let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::ObserverStep);
         let before = out.len();
         match step.action {
             Action::Mem(op) if op.is_store() => self.on_store(op, step, out),
             Action::Mem(op) => self.on_load(op, step, out),
             Action::Internal(..) => self.on_internal(step, out),
+        }
+        if scv_telemetry::enabled() {
+            scv_telemetry::add(scv_telemetry::Metric::ObserverSteps, 1);
+            scv_telemetry::add(
+                scv_telemetry::Metric::ObserverSymbols,
+                (out.len() - before) as u64,
+            );
         }
         self.stats.symbols += out.len() - before;
         self.stats.max_live_nodes = self.stats.max_live_nodes.max(self.nodes.len());
@@ -223,6 +231,10 @@ impl Observer {
             }
             self.flush_edges(out);
         }
+        scv_telemetry::add(
+            scv_telemetry::Metric::ObserverSymbols,
+            (out.len() - before) as u64,
+        );
         self.stats.symbols += out.len() - before;
     }
 

@@ -1,0 +1,383 @@
+//! The metrics registry: a fixed set of atomic counters and histograms
+//! for hot paths (array-indexed by enum — no name lookup, no allocation)
+//! plus dynamic named gauges for cold end-of-run values.
+//!
+//! Hot-path discipline: every recording site first checks
+//! [`crate::enabled`] (one relaxed atomic load); when telemetry is off the
+//! registry is never touched, so the disabled cost is a single predictable
+//! branch. When on, counters are relaxed `fetch_add`s and histogram
+//! records are one relaxed `fetch_add` into a log₂ bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Pipeline counters. The set is closed on purpose: hot paths index a
+/// static array with `Metric as usize`, which the optimizer folds to a
+/// single addressed atomic op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Metric {
+    /// States admitted into the seen-set (all search engines).
+    McStatesAdmitted,
+    /// Transitions explored (successor edges generated).
+    McTransitions,
+    /// States expanded (successor generation calls).
+    McStatesExpanded,
+    /// Successful chunk steals (work-stealing engine).
+    McSteals,
+    /// Seen-set lock acquisitions, i.e. batch inserts.
+    McSeenBatches,
+    /// Idle sweeps that found no local or stealable work.
+    McIdleSpins,
+    /// Fingerprints inserted into the seen-set (new or duplicate).
+    SeenInserts,
+    /// Linear-probing slots inspected across all seen-set inserts.
+    SeenProbes,
+    /// Observer steps consumed.
+    ObserverSteps,
+    /// Descriptor symbols emitted by observers.
+    ObserverSymbols,
+    /// Symbols consumed by the SC checker.
+    CheckerSymbols,
+    /// Edge symbols applied by the SC checker.
+    CheckerEdges,
+    /// Symbols consumed by the streaming cycle checker.
+    CycleSymbols,
+    /// Edge symbols applied by the streaming cycle checker.
+    CycleEdges,
+    /// Symbols written by the descriptor encoder.
+    DescriptorSymbolsEncoded,
+    /// Symbols consumed by the descriptor decoder.
+    DescriptorSymbolsDecoded,
+    /// Monitor/replay divergences observed (see `Event::MonitorDivergence`).
+    MonitorDivergences,
+}
+
+/// All metrics, in declaration order (keep in sync with [`Metric`]).
+pub const ALL_METRICS: [Metric; 17] = [
+    Metric::McStatesAdmitted,
+    Metric::McTransitions,
+    Metric::McStatesExpanded,
+    Metric::McSteals,
+    Metric::McSeenBatches,
+    Metric::McIdleSpins,
+    Metric::SeenInserts,
+    Metric::SeenProbes,
+    Metric::ObserverSteps,
+    Metric::ObserverSymbols,
+    Metric::CheckerSymbols,
+    Metric::CheckerEdges,
+    Metric::CycleSymbols,
+    Metric::CycleEdges,
+    Metric::DescriptorSymbolsEncoded,
+    Metric::DescriptorSymbolsDecoded,
+    Metric::MonitorDivergences,
+];
+
+impl Metric {
+    /// Stable dotted name used in reports and JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::McStatesAdmitted => "mc.states_admitted",
+            Metric::McTransitions => "mc.transitions",
+            Metric::McStatesExpanded => "mc.states_expanded",
+            Metric::McSteals => "mc.steals",
+            Metric::McSeenBatches => "mc.seen_batches",
+            Metric::McIdleSpins => "mc.idle_spins",
+            Metric::SeenInserts => "seen.inserts",
+            Metric::SeenProbes => "seen.probes",
+            Metric::ObserverSteps => "observer.steps",
+            Metric::ObserverSymbols => "observer.symbols",
+            Metric::CheckerSymbols => "checker.symbols",
+            Metric::CheckerEdges => "checker.edges",
+            Metric::CycleSymbols => "checker.cycle_symbols",
+            Metric::CycleEdges => "checker.cycle_edges",
+            Metric::DescriptorSymbolsEncoded => "descriptor.symbols_encoded",
+            Metric::DescriptorSymbolsDecoded => "descriptor.symbols_decoded",
+            Metric::MonitorDivergences => "monitor.divergences",
+        }
+    }
+}
+
+/// Value histograms with fixed log₂ bucketing. Like [`Metric`], a closed
+/// enum indexing a static table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Linear-probe chain length per seen-set insert (slots inspected).
+    SeenProbeLen,
+    /// New states admitted per seen-set batch insert.
+    SeenBatchYield,
+    /// Queued states at each work-stealing chunk enqueue (queue depth).
+    McQueueDepth,
+}
+
+/// All histograms, in declaration order (keep in sync with [`Hist`]).
+pub const ALL_HISTS: [Hist; 3] = [Hist::SeenProbeLen, Hist::SeenBatchYield, Hist::McQueueDepth];
+
+impl Hist {
+    /// Stable dotted name used in reports and JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SeenProbeLen => "seen.probe_len",
+            Hist::SeenBatchYield => "seen.batch_yield",
+            Hist::McQueueDepth => "mc.queue_depth",
+        }
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds values with
+/// `bit_width == i`, i.e. `[2^(i-1), 2^i)` for `i >= 1` and `{0}` for
+/// bucket 0; the last bucket absorbs everything wider.
+pub const HIST_BUCKETS: usize = 32;
+
+/// A lock-free histogram over `u64` values with log₂ buckets plus exact
+/// count/sum/max. Concurrent `record`s are safe; snapshots taken while
+/// writers run are approximate in the usual torn-read sense (each field
+/// individually consistent).
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// The index of the log₂ bucket for a value.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of values mapped to a bucket.
+pub fn bucket_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.record_weighted(value, 1);
+    }
+
+    /// Record one sampled observation standing in for `weight` real ones:
+    /// count, sum, and the value's bucket all advance by `weight`, so
+    /// sampled statistics estimate the unsampled population.
+    #[inline]
+    pub fn record_weighted(&self, value: u64, weight: u64) {
+        self.buckets[bucket_of(value)].fetch_add(weight, Ordering::Relaxed);
+        self.count.fetch_add(weight, Ordering::Relaxed);
+        self.sum
+            .fetch_add(value.saturating_mul(weight), Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Reset all buckets and tallies to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts (see [`bucket_of`]).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total values recorded.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value.
+    pub max: u64,
+}
+
+impl HistSnapshot {
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (q in [0,1]);
+    /// 0 when empty. Bucket-resolution, which is all log₂ buckets give.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The process-wide registry backing every [`Metric`] and [`Hist`], plus
+/// dynamic named gauges for cold, end-of-run values (stripe loads, peak
+/// RSS, states/sec) that don't warrant a hot-path slot.
+#[derive(Default)]
+pub struct Registry {
+    counters: [AtomicU64; ALL_METRICS.len()],
+    hists: [Histogram; ALL_HISTS.len()],
+    gauges: Mutex<Vec<(String, f64)>>,
+}
+
+impl Registry {
+    /// Add to a counter.
+    #[inline]
+    pub fn add(&self, m: Metric, n: u64) {
+        self.counters[m as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current counter value.
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters[m as usize].load(Ordering::Relaxed)
+    }
+
+    /// Record a histogram value.
+    #[inline]
+    pub fn record(&self, h: Hist, value: u64) {
+        self.hists[h as usize].record(value);
+    }
+
+    /// Snapshot a histogram.
+    pub fn hist(&self, h: Hist) -> HistSnapshot {
+        self.hists[h as usize].snapshot()
+    }
+
+    /// Set (or overwrite) a named gauge. Cold path only: takes a lock.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        if let Some(slot) = gauges.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            gauges.push((name.to_string(), value));
+        }
+    }
+
+    /// All gauges, in insertion order.
+    pub fn gauges(&self) -> Vec<(String, f64)> {
+        self.gauges.lock().unwrap().clone()
+    }
+
+    /// Zero every counter, histogram, and gauge (a fresh run).
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in &self.hists {
+            h.reset();
+        }
+        self.gauges.lock().unwrap().clear();
+    }
+
+    /// Every non-zero counter as `(name, value)`, in declaration order.
+    pub fn counter_snapshot(&self) -> Vec<(&'static str, u64)> {
+        ALL_METRICS
+            .iter()
+            .map(|&m| (m.name(), self.get(m)))
+            .filter(|&(_, v)| v != 0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for v in [0u64, 1, 2, 3, 5, 100, 4096, 1 << 20] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_bound(b), "{v} <= bound({b})");
+            if b > 0 {
+                assert!(v > bucket_bound(b - 1), "{v} > bound({})", b - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_tallies_and_quantiles() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.max, 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        // Median of 1..=100 lives in the bucket for 33..=64.
+        let med = s.quantile_bound(0.5);
+        assert!((33..=64).contains(&med), "median bound {med}");
+        // p100 is clamped to the true max, not the bucket's bound.
+        assert_eq!(s.quantile_bound(1.0), 100);
+        assert_eq!(HistSnapshot::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let r = Registry::default();
+        r.add(Metric::McTransitions, 5);
+        r.add(Metric::McTransitions, 2);
+        assert_eq!(r.get(Metric::McTransitions), 7);
+        r.set_gauge("x", 1.0);
+        r.set_gauge("x", 2.0);
+        r.set_gauge("y", 3.0);
+        assert_eq!(
+            r.gauges(),
+            vec![("x".to_string(), 2.0), ("y".to_string(), 3.0)]
+        );
+        assert_eq!(r.counter_snapshot(), vec![("mc.transitions", 7)]);
+        r.reset();
+        assert_eq!(r.get(Metric::McTransitions), 0);
+        assert!(r.gauges().is_empty());
+    }
+}

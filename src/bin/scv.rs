@@ -10,8 +10,22 @@
 //!
 //! Protocols: serial | msi | msi-buggy | mesi | mesi-buggy | directory |
 //! lazy | tso | fig4.
+//!
+//! Telemetry (accepted anywhere on the command line, any command):
+//!
+//! ```text
+//! --telemetry=summary           # phase/counter table on stderr-free stdout
+//! --telemetry=jsonl <path>      # structured JSONL event stream to <path>
+//! --telemetry=off               # explicit no-op (the default)
+//! ```
+//!
+//! When `--telemetry` is given, the command may be omitted and defaults to
+//! `verify`: `scv --telemetry=jsonl run.jsonl msi` verifies MSI and writes
+//! the run's telemetry (phase timings, counters, a `run_report` record) to
+//! `run.jsonl`.
 
 use sc_verify::prelude::*;
+use sc_verify::telemetry;
 use sc_verify::testing::{MonitorStep, RunMonitor};
 use std::process::ExitCode;
 
@@ -134,8 +148,92 @@ macro_rules! dispatch {
     }};
 }
 
+/// Telemetry sink selection, parsed out of argv before command dispatch.
+enum TelemetryMode {
+    Off,
+    Summary,
+    Jsonl(String),
+}
+
+/// Strip every `--telemetry…` flag from `argv` (they are accepted anywhere,
+/// before or after the command) and return the requested mode.
+fn extract_telemetry(argv: &mut Vec<String>) -> Result<TelemetryMode, String> {
+    let mut mode = TelemetryMode::Off;
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].clone();
+        let value = if let Some(v) = arg.strip_prefix("--telemetry=") {
+            argv.remove(i);
+            v.to_string()
+        } else if arg == "--telemetry" {
+            argv.remove(i);
+            if i >= argv.len() {
+                return Err("--telemetry needs a mode (summary | jsonl <path> | off)".into());
+            }
+            argv.remove(i)
+        } else {
+            i += 1;
+            continue;
+        };
+        mode = match value.as_str() {
+            "summary" => TelemetryMode::Summary,
+            "off" | "none" => TelemetryMode::Off,
+            "jsonl" => {
+                if i >= argv.len() {
+                    return Err("--telemetry=jsonl needs a path".into());
+                }
+                TelemetryMode::Jsonl(argv.remove(i))
+            }
+            other => match other.strip_prefix("jsonl=") {
+                Some(path) => TelemetryMode::Jsonl(path.to_string()),
+                None => {
+                    return Err(format!(
+                        "unknown telemetry mode `{other}` (summary | jsonl <path> | off)"
+                    ))
+                }
+            },
+        };
+    }
+    Ok(mode)
+}
+
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let mode = match extract_telemetry(&mut argv) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match &mode {
+        TelemetryMode::Off => {}
+        TelemetryMode::Summary => telemetry::install(Box::new(telemetry::SummarySink::default())),
+        TelemetryMode::Jsonl(path) => {
+            match telemetry::JsonlSink::create(std::path::Path::new(path)) {
+                Ok(sink) => telemetry::install(Box::new(sink)),
+                Err(e) => {
+                    eprintln!("error: cannot open {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    // With telemetry requested, allow the command to be omitted: the first
+    // non-flag argument is then a protocol name and the command is `verify`.
+    if !matches!(mode, TelemetryMode::Off) {
+        if let Some(first) = argv.first() {
+            if !matches!(first.as_str(), "verify" | "observe" | "monitor" | "list") {
+                argv.insert(0, "verify".to_string());
+            }
+        }
+    }
+    let code = run(&argv);
+    telemetry::shutdown(); // flushes aggregates to the sink
+    code
+}
+
+fn run(argv: &[String]) -> ExitCode {
     let Some(cmd) = argv.first() else {
         eprintln!("usage: scv <verify|observe|monitor|list> [protocol] [flags]");
         return ExitCode::from(2);
@@ -178,6 +276,20 @@ fn main() -> ExitCode {
                 args.strategy,
                 args.max_states
             );
+            if telemetry::enabled() {
+                telemetry::event(telemetry::Event::RunStart {
+                    name: format!("verify/{}", p.name()),
+                    params: vec![
+                        ("p".into(), args.p.to_string()),
+                        ("b".into(), args.b.to_string()),
+                        ("v".into(), args.v.to_string()),
+                        ("threads".into(), args.threads.to_string()),
+                        ("strategy".into(), format!("{:?}", args.strategy)),
+                        ("max_states".into(), args.max_states.to_string()),
+                    ],
+                });
+            }
+            let proto_label = p.name().to_string();
             let out = verify_protocol(
                 p,
                 VerifyOptions {
@@ -191,6 +303,36 @@ fn main() -> ExitCode {
                 },
             );
             let s = out.stats();
+            if telemetry::enabled() {
+                let verdict = match &out {
+                    Outcome::Verified { .. } => "verified",
+                    Outcome::Violation { .. } => "violation",
+                    Outcome::Bounded { .. } => "bounded",
+                };
+                let report = telemetry::RunReport::new(format!("verify/{proto_label}"))
+                    .param("protocol", &proto_label)
+                    .param("p", args.p.to_string())
+                    .param("b", args.b.to_string())
+                    .param("v", args.v.to_string())
+                    .param("threads", args.threads.to_string())
+                    .param("strategy", format!("{:?}", args.strategy))
+                    .param("batch", args.batch.to_string())
+                    .param("max_states", args.max_states.to_string())
+                    .with_verdict(verdict)
+                    .metric("states", s.states as f64)
+                    .metric("transitions", s.transitions as f64)
+                    .metric("depth", s.depth as f64)
+                    .metric("elapsed_secs", s.elapsed.as_secs_f64())
+                    .metric("states_per_sec", s.states_per_sec())
+                    .metric("peak_frontier", s.peak_frontier as f64)
+                    .metric("steals", s.steals as f64)
+                    .metric("seen_batches", s.seen_batches as f64)
+                    .metric(
+                        "peak_rss_bytes",
+                        telemetry::peak_rss_bytes().unwrap_or(0) as f64,
+                    );
+                telemetry::emit_report(report);
+            }
             match out {
                 Outcome::Verified { .. } => {
                     println!(

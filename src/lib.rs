@@ -70,6 +70,7 @@ pub use scv_graph as graph;
 pub use scv_mc as mc;
 pub use scv_observer as observer;
 pub use scv_protocol as protocol;
+pub use scv_telemetry as telemetry;
 pub use scv_types as types;
 
 /// The most commonly used items, re-exported flat.

@@ -58,17 +58,34 @@ impl RunMonitor {
         self.failed.is_some()
     }
 
+    /// Record a divergence in the telemetry stream: the step index where
+    /// the run stopped matching any serial reordering, the symbol under
+    /// examination, and the checker's diagnosis.
+    fn report_divergence(steps: usize, symbol: String, error: &ScError) {
+        if !scv_telemetry::enabled() {
+            return;
+        }
+        scv_telemetry::add(scv_telemetry::Metric::MonitorDivergences, 1);
+        scv_telemetry::event(scv_telemetry::Event::MonitorDivergence {
+            step_index: steps.saturating_sub(1) as u64,
+            symbol,
+            detail: error.to_string(),
+        });
+    }
+
     /// Feed one executed protocol step. Once a violation is reported, the
     /// monitor stays in the violated state.
     pub fn feed(&mut self, step: &Step) -> MonitorStep {
         if let Some(e) = &self.failed {
             return MonitorStep::Violation(e.clone());
         }
+        let _t = scv_telemetry::timer(scv_telemetry::Phase::Replay);
         self.steps += 1;
         let mut syms = Vec::new();
         self.observer.step(step, &mut syms);
         for sym in &syms {
             if let Err(e) = self.checker.step(sym) {
+                Self::report_divergence(self.steps, sym.to_string(), &e);
                 self.failed = Some(e.clone());
                 return MonitorStep::Violation(e);
             }
@@ -82,12 +99,21 @@ impl RunMonitor {
         if let Some(e) = self.failed {
             return Err(e);
         }
+        let _t = scv_telemetry::timer(scv_telemetry::Phase::Replay);
         let mut syms = Vec::new();
         self.observer.finish(&mut syms);
         for sym in &syms {
-            self.checker.step(sym)?;
+            if let Err(e) = self.checker.step(sym) {
+                Self::report_divergence(self.steps, sym.to_string(), &e);
+                return Err(e);
+            }
         }
-        self.checker.finish()
+        let steps = self.steps;
+        let verdict = self.checker.finish();
+        if let Err(e) = &verdict {
+            Self::report_divergence(steps, "end-of-run".to_string(), e);
+        }
+        verdict
     }
 
     /// Probe whether the run *as executed so far* would pass the
