@@ -2,33 +2,19 @@
 //! protocol ⊗ observer ⊗ checker product) and parallel speedup.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scv_mc::{verify_protocol, BfsOptions, Outcome as sc_outcome, SearchStrategy, VerifyOptions};
+use scv_mc::{verify_protocol, Outcome as sc_outcome, SearchStrategy, VerifyOptions};
 use scv_protocol::{MsiProtocol, SerialMemory, StoreBufferTso};
 use scv_types::Params;
 
 fn opts(threads: usize) -> VerifyOptions {
-    VerifyOptions {
-        bfs: BfsOptions {
-            max_states: 2_000_000,
-            max_depth: usize::MAX,
-        },
-        threads,
-        ..Default::default()
-    }
+    VerifyOptions::new().max_states(2_000_000).threads(threads)
 }
 
 /// Positive benchmarks cap the search (product spaces exceed millions of
 /// states; see DESIGN.md §6) — a correct protocol must never yield a
 /// violation within the cap.
 fn capped(threads: usize, max_states: usize) -> VerifyOptions {
-    VerifyOptions {
-        bfs: BfsOptions {
-            max_states,
-            max_depth: usize::MAX,
-        },
-        threads,
-        ..Default::default()
-    }
+    VerifyOptions::new().max_states(max_states).threads(threads)
 }
 
 fn bench_verify(c: &mut Criterion) {
@@ -84,10 +70,7 @@ fn bench_verify(c: &mut Criterion) {
                     b.iter(|| {
                         let out = verify_protocol(
                             MsiProtocol::new(Params::new(2, 1, 2)),
-                            VerifyOptions {
-                                strategy,
-                                ..capped(threads, 150_000)
-                            },
+                            capped(threads, 150_000).strategy(strategy),
                         );
                         assert!(!matches!(out, sc_outcome::Violation { .. }));
                     })

@@ -16,7 +16,7 @@
 //!   this quick mode on every push.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use scv_mc::{verify_protocol, BfsOptions, Outcome, VerifyOptions};
+use scv_mc::{verify_protocol, Outcome, VerifyOptions};
 use scv_protocol::MsiProtocol;
 use scv_types::Params;
 use std::time::{Duration, Instant};
@@ -26,14 +26,7 @@ use std::time::{Duration, Instant};
 fn workload() {
     let out = verify_protocol(
         MsiProtocol::new(Params::new(2, 1, 2)),
-        VerifyOptions {
-            bfs: BfsOptions {
-                max_states: 20_000,
-                max_depth: usize::MAX,
-            },
-            threads: 1,
-            ..Default::default()
-        },
+        VerifyOptions::new().max_states(20_000),
     );
     assert!(!matches!(out, Outcome::Violation { .. }));
 }

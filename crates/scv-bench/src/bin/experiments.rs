@@ -21,7 +21,7 @@ use scv_checker::{CycleChecker, ScChecker};
 use scv_descriptor::decode;
 use scv_graph::baseline::{BaselineChecker, BaselineVerdict};
 use scv_graph::serial_search::has_serial_reordering;
-use scv_mc::{verify_protocol, BfsOptions, Outcome, SearchStrategy, VerifyOptions};
+use scv_mc::{verify_protocol, Outcome, SearchStrategy, SymmetryMode, VerifyOptions};
 use scv_observer::{observer_size_bound, Observer, ObserverConfig};
 use scv_protocol::{
     DirectoryProtocol, Fig4Protocol, LazyCaching, MsiProtocol, Protocol, Runner, SerialMemory,
@@ -114,14 +114,7 @@ fn e5_verification() {
     println!("`VERIFIED` means the whole product space was exhausted (a proof).\n");
     println!("| protocol | (p,b,v) | expected | outcome | states | transitions | depth | time |");
     println!("|---|---|---|---|---|---|---|---|");
-    let opts = VerifyOptions {
-        bfs: BfsOptions {
-            max_states: 1_500_000,
-            max_depth: usize::MAX,
-        },
-        threads: 4,
-        ..Default::default()
-    };
+    let opts = VerifyOptions::new().max_states(1_500_000).threads(4);
     macro_rules! row {
         ($name:expr, $ps:expr, $expected:expr, $proto:expr) => {{
             let out = verify_protocol($proto, opts);
@@ -175,9 +168,9 @@ fn e5_verification() {
         "not SC",
         MsiProtocol::buggy(Params::new(2, 2, 1))
     );
-    if let Outcome::Violation { trace, message, .. } = &out {
+    if let Outcome::Violation { trace, reason, .. } = &out {
         notes.push(format!(
-            "msi-buggy counterexample trace: `{trace}` — {message} (independent check, has serial reordering: {})",
+            "msi-buggy counterexample trace: `{trace}` — {reason} (independent check, has serial reordering: {})",
             has_serial_reordering(trace)
         ));
     }
@@ -324,13 +317,7 @@ fn e9_parallel() {
     println!("## E9 — parallel model checking (MSI 2,1,2; 500k-state bounded sweep)\n");
     println!("| engine | threads | states | time | states/s | speedup | steals | seen batches | peak frontier |");
     println!("|---|---|---|---|---|---|---|---|---|");
-    let sweep = VerifyOptions {
-        bfs: BfsOptions {
-            max_states: 500_000,
-            max_depth: usize::MAX,
-        },
-        ..Default::default()
-    };
+    let sweep = VerifyOptions::new().max_states(500_000);
     let mut t1 = None;
     let mut row = |label: &str, opts: VerifyOptions| {
         let t0 = Instant::now();
@@ -350,31 +337,19 @@ fn e9_parallel() {
             s.peak_frontier,
         );
     };
-    row(
-        "sequential",
-        VerifyOptions {
-            threads: 1,
-            ..sweep
-        },
-    );
+    row("sequential", sweep.threads(1));
     for threads in [2usize, 4, 8] {
         row(
             "work-stealing",
-            VerifyOptions {
-                threads,
-                strategy: SearchStrategy::WorkStealing,
-                ..sweep
-            },
+            sweep
+                .threads(threads)
+                .strategy(SearchStrategy::WorkStealing),
         );
     }
     for threads in [2usize, 4, 8] {
         row(
             "level-sync",
-            VerifyOptions {
-                threads,
-                strategy: SearchStrategy::LevelSync,
-                ..sweep
-            },
+            sweep.threads(threads).strategy(SearchStrategy::LevelSync),
         );
     }
     println!();
@@ -394,14 +369,7 @@ fn e9_parallel() {
                 ("level-sync", 4, SearchStrategy::LevelSync),
             ] {
                 let t0 = Instant::now();
-                let out = verify_protocol(
-                    $mk,
-                    VerifyOptions {
-                        threads,
-                        strategy,
-                        ..sweep
-                    },
-                );
+                let out = verify_protocol($mk, sweep.threads(threads).strategy(strategy));
                 let dt = t0.elapsed();
                 let Outcome::Violation { run, ref stats, .. } = out else {
                     panic!("{} must violate", $name);
@@ -422,6 +390,108 @@ fn e9_parallel() {
     cex_rows!(
         "fig4 (2,1,2) s=1",
         Fig4Protocol::new(Params::new(2, 1, 2), 1)
+    );
+    println!();
+}
+
+fn e11_symmetry() {
+    println!("## E11 — symmetry-quotient search: reduced vs full product space\n");
+    println!("Each product is searched twice with identical limits — once over the");
+    println!("raw space and once quotiented by the protocol's declared symmetry");
+    println!("group (orbit-minimum canonicalization before seen-set admission).");
+    println!("Limits are chosen so the search frontier is comparable either way:");
+    println!("small products run exhaustively, large ones are depth-limited (a");
+    println!("shared state cap would hide the reduction — both searches would");
+    println!("stop at the cap). Verdicts must agree; `reduction` is raw states /");
+    println!("reduced states.\n");
+    println!("| protocol | (p,b,v) | limit | |G| | verdict | states off | states on | reduction | time off | time on |");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    macro_rules! row {
+        ($name:expr, $ps:expr, $limit:expr, $base:expr, $mk:expr) => {{
+            let order =
+                scv_mc::VerifySystem::with_symmetry($mk, SymmetryMode::Full).symmetry_group_order();
+            let t0 = Instant::now();
+            let off = verify_protocol($mk, $base);
+            let t_off = t0.elapsed();
+            let t0 = Instant::now();
+            let on = verify_protocol($mk, $base.symmetry(SymmetryMode::Full));
+            let t_on = t0.elapsed();
+            let verdict = |o: &Outcome| match o {
+                Outcome::Verified { .. } => "VERIFIED",
+                Outcome::Violation { .. } => "violation",
+                Outcome::Bounded { .. } => "bounded",
+            };
+            assert_eq!(
+                verdict(&off),
+                verdict(&on),
+                "{}: symmetry changed verdict",
+                $name
+            );
+            let (s_off, s_on) = (off.stats().states, on.stats().states);
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} | {:.2}x | {:?} | {:?} |",
+                $name,
+                $ps,
+                $limit,
+                order,
+                verdict(&off),
+                s_off,
+                s_on,
+                s_off as f64 / s_on.max(1) as f64,
+                t_off,
+                t_on
+            );
+        }};
+    }
+    // Exhaustive rows: the whole quotient is a proof either way.
+    let exhaustive = VerifyOptions::new().max_states(2_000_000);
+    row!(
+        "serial-memory",
+        "(2,1,1)",
+        "exhaustive",
+        exhaustive,
+        SerialMemory::new(Params::new(2, 1, 1))
+    );
+    row!(
+        "serial-memory",
+        "(1,1,2)",
+        "exhaustive",
+        exhaustive,
+        SerialMemory::new(Params::new(1, 1, 2))
+    );
+    // Depth-limited sweeps: identical frontier depth, so the state counts
+    // measure the orbit merging directly.
+    let sweep = VerifyOptions::new().max_states(1_500_000).max_depth(8);
+    row!(
+        "msi",
+        "(2,1,2)",
+        "depth 8",
+        sweep,
+        MsiProtocol::new(Params::new(2, 1, 2))
+    );
+    row!(
+        "mesi",
+        "(2,1,2)",
+        "depth 8",
+        sweep,
+        scv_protocol::MesiProtocol::new(Params::new(2, 1, 2))
+    );
+    row!(
+        "directory",
+        "(2,2,1)",
+        "depth 8",
+        sweep,
+        DirectoryProtocol::new(Params::new(2, 2, 1))
+    );
+    // A violating product: the quotient must still catch the bug (with a
+    // shortest counterexample — sequential BFS), just sooner.
+    let hunt = VerifyOptions::new().max_states(2_000_000);
+    row!(
+        "msi-buggy",
+        "(2,2,1)",
+        "to violation",
+        hunt,
+        MsiProtocol::buggy(Params::new(2, 2, 1))
     );
     println!();
 }
@@ -448,7 +518,7 @@ fn main() {
     }
     let run = |name: &str| only.is_empty() || only.iter().any(|a| a == name);
     println!("# sc-verify experiment tables (generated)\n");
-    let experiments: [(&str, fn()); 7] = [
+    let experiments: [(&str, fn()); 8] = [
         ("e1", e1_figure1),
         ("e4", e4_size_bounds),
         ("e5", e5_verification),
@@ -456,6 +526,7 @@ fn main() {
         ("e7", e7_bandwidth),
         ("e8", e8_lazy_depth),
         ("e9", e9_parallel),
+        ("e11", e11_symmetry),
     ];
     for (name, f) in experiments {
         if !run(name) {

@@ -2,12 +2,12 @@
 //! telemetry summary sink (verdict + search metrics as a `RunReport`,
 //! pipeline phase timings and counters from the instrumented crates).
 
-use scv_mc::{verify_protocol, BfsOptions, Outcome, VerifyOptions};
+use scv_mc::{verify_protocol, Outcome, VerifyOptions};
 use scv_protocol::*;
 use scv_types::Params;
 use std::time::Instant;
 
-fn run<P: Protocol + Sync + Clone>(name: &str, p: P, cap: usize, threads: usize)
+fn run<P: Symmetry + Sync + Clone>(name: &str, p: P, cap: usize, threads: usize)
 where
     P::State: Send + Sync,
 {
@@ -19,17 +19,7 @@ where
         ],
     });
     let t0 = Instant::now();
-    let out = verify_protocol(
-        p,
-        VerifyOptions {
-            bfs: BfsOptions {
-                max_states: cap,
-                max_depth: usize::MAX,
-            },
-            threads,
-            ..Default::default()
-        },
-    );
+    let out = verify_protocol(p, VerifyOptions::new().max_states(cap).threads(threads));
     let s = out.stats();
     let verdict = match out {
         Outcome::Verified { .. } => "verified",

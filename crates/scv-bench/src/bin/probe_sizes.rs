@@ -1,25 +1,15 @@
 //! Measure product state-space sizes for test calibration.
-use scv_mc::{verify_protocol, BfsOptions, Outcome, VerifyOptions};
+use scv_mc::{verify_protocol, Outcome, VerifyOptions};
 use scv_protocol::*;
 use scv_types::Params;
 use std::time::Instant;
 
-fn probe<P: Protocol + Sync + Clone>(name: &str, p: P)
+fn probe<P: Symmetry + Sync + Clone>(name: &str, p: P)
 where
     P::State: Send + Sync,
 {
     let t0 = Instant::now();
-    let out = verify_protocol(
-        p,
-        VerifyOptions {
-            bfs: BfsOptions {
-                max_states: 3_000_000,
-                max_depth: usize::MAX,
-            },
-            threads: 4,
-            ..Default::default()
-        },
-    );
+    let out = verify_protocol(p, VerifyOptions::new().max_states(3_000_000).threads(4));
     let s = out.stats();
     let v = match out {
         Outcome::Verified { .. } => "VERIFIED",

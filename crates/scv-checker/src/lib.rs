@@ -24,4 +24,4 @@ pub mod cycle;
 pub mod sc;
 
 pub use cycle::{CycleChecker, CycleError};
-pub use sc::{ScChecker, ScError, ScVerdict};
+pub use sc::{ScChecker, ScError, ScErrorKind, ScVerdict};

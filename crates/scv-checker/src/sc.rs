@@ -515,7 +515,41 @@ impl ScChecker {
     /// the product state. Two checkers with the same encoding accept
     /// exactly the same future symbol streams up to that renaming.
     pub fn canonical_encoding(&self, out: &mut Vec<u64>, ids: &mut scv_descriptor::IdCanon) {
+        self.encode_canonical(out, ids, None);
+    }
+
+    /// [`ScChecker::canonical_encoding`] as it would read after renaming
+    /// every processor/block/value identity through `view` — emits exactly
+    /// the sequence the renamed checker would emit. `ids` must be the same
+    /// [`scv_descriptor::IdCanon`] (built with
+    /// [`scv_descriptor::IdCanon::with_locs`]) already threaded through the
+    /// paired observer's view encoding.
+    pub fn canonical_encoding_with(
+        &self,
+        out: &mut Vec<u64>,
+        ids: &mut scv_descriptor::IdCanon,
+        view: &scv_descriptor::SymView<'_>,
+    ) {
+        self.encode_canonical(out, ids, Some(view));
+    }
+
+    fn encode_canonical(
+        &self,
+        out: &mut Vec<u64>,
+        ids: &mut scv_descriptor::IdCanon,
+        view: Option<&scv_descriptor::SymView<'_>>,
+    ) {
+        use scv_types::{BlockId, ProcId, Value};
         use std::collections::HashMap as Map;
+        // Identity renamings for labels/tallies; the sorts below restore
+        // the renamed structure's emission order.
+        let re_p = |p: u8| view.map_or(p, |v| v.perm.proc(ProcId(p)).0);
+        let re_b = |b: u8| view.map_or(b, |v| v.perm.block(BlockId(b)).0);
+        let re_v = |val: u64| match view {
+            // ⊥ (0) and the discharged-load sentinel (0xFF) are fixed.
+            Some(v) if val != 0 && val != 0xFF => v.perm.value(Value(val as u8)).0 as u64,
+            _ => val,
+        };
         let mut retained: Vec<(u64, Handle)> = self
             .slots
             .iter()
@@ -572,9 +606,9 @@ impl ScChecker {
                 r.label.value.0 as u64
             };
             out.push(
-                (r.label.proc.0 as u64) << 24
-                    | (r.label.block.0 as u64) << 16
-                    | value << 8
+                (re_p(r.label.proc.0) as u64) << 24
+                    | (re_b(r.label.block.0) as u64) << 16
+                    | re_v(value) << 8
                     | r.is_store() as u64,
             );
             out.push(
@@ -601,8 +635,11 @@ impl ScChecker {
             bf.sort_unstable();
             out.push(bf.len() as u64);
             out.extend(bf);
-            let mut heirs: Vec<(u8, u64)> =
-                r.heirs.iter().map(|&(p, x)| (p, tok(Some(x)))).collect();
+            let mut heirs: Vec<(u8, u64)> = r
+                .heirs
+                .iter()
+                .map(|&(p, x)| (re_p(p), tok(Some(x))))
+                .collect();
             heirs.sort_unstable();
             out.push(heirs.len() as u64);
             for (p, x) in heirs {
@@ -622,20 +659,43 @@ impl ScChecker {
             out.push(reach_ranks.len() as u64);
             out.extend(reach_ranks);
         }
-        for (p, t) in &self.proc_tally {
-            out.push((*p as u64) << 16 | (t.no_in as u64) << 8 | t.no_out as u64);
+        // Tallies are keyed by processor/block number: rename the keys and
+        // re-sort so emission order matches the renamed BTreeMaps.
+        let mut ptally: Vec<u64> = self
+            .proc_tally
+            .iter()
+            .map(|(p, t)| (re_p(*p) as u64) << 16 | (t.no_in as u64) << 8 | t.no_out as u64)
+            .collect();
+        ptally.sort_unstable();
+        out.extend(ptally);
+        let mut btally: Vec<(u64, u64)> = self
+            .block_tally
+            .iter()
+            .map(|(b, (t, head))| {
+                (
+                    (re_b(*b) as u64) << 16 | (t.no_in as u64) << 8 | t.no_out as u64,
+                    match head {
+                        HeadState::Unknown => u64::MAX,
+                        HeadState::ConfirmedGone => u64::MAX - 1,
+                        HeadState::Alive(h) => tok(Some(*h)),
+                    },
+                )
+            })
+            .collect();
+        btally.sort_unstable();
+        for (t, head) in btally {
+            out.push(t);
+            out.push(head);
         }
-        for (b, (t, head)) in &self.block_tally {
-            out.push((*b as u64) << 16 | (t.no_in as u64) << 8 | t.no_out as u64);
-            out.push(match head {
-                HeadState::Unknown => u64::MAX,
-                HeadState::ConfirmedGone => u64::MAX - 1,
-                HeadState::Alive(h) => tok(Some(*h)),
-            });
-        }
-        for (&(p, b), h) in &self.last_bot {
-            out.push((p as u64) << 8 | b as u64);
-            out.push(tok(Some(*h)));
+        let mut bots: Vec<(u64, u64)> = self
+            .last_bot
+            .iter()
+            .map(|(&(p, b), h)| ((re_p(p) as u64) << 8 | re_b(b) as u64, tok(Some(*h))))
+            .collect();
+        bots.sort_unstable();
+        for (k, t) in bots {
+            out.push(k);
+            out.push(t);
         }
         out.push(self.rejected.is_some() as u64);
     }

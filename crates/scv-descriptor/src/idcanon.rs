@@ -15,13 +15,35 @@
 //! `A!`).
 
 use crate::symbol::IdNum;
+use scv_types::SymPerm;
 use std::collections::HashMap;
 
-/// First-use canonical renaming for IDs above a fixed base.
+/// A symmetry view threaded through a canonical-encoding traversal.
+///
+/// Encoding a structure under a view produces exactly the byte sequence
+/// that encoding the *renamed* structure would produce, without
+/// materialising the rename: processor/block/value identities go through
+/// `perm`, and location IDs go through the protocol-derived location maps.
+/// `loc[old]` is the renamed location of `old` (1-based, index 0 unused);
+/// `loc_inv` is its inverse, for traversals that iterate storage in
+/// renamed-location order.
+#[derive(Clone, Copy, Debug)]
+pub struct SymView<'a> {
+    /// The identity renaming over processors, blocks, and values.
+    pub perm: &'a SymPerm,
+    /// Forward location map: `loc[old_id] = new_id` for `1..=L`.
+    pub loc: &'a [u32],
+    /// Inverse location map: `loc_inv[new_id] = old_id` for `1..=L`.
+    pub loc_inv: &'a [u32],
+}
+
+/// First-use canonical renaming for IDs above a fixed base, optionally
+/// composed with a location permutation on the fixed IDs.
 #[derive(Clone, Debug)]
 pub struct IdCanon {
     base: IdNum,
     map: HashMap<IdNum, u64>,
+    locs: Option<Vec<u32>>,
 }
 
 impl IdCanon {
@@ -30,14 +52,32 @@ impl IdCanon {
         IdCanon {
             base,
             map: HashMap::new(),
+            locs: None,
         }
     }
 
-    /// Canonical number for `id`: itself if `id <= base`, otherwise
-    /// `base + 1 + k` where `k` is the 0-based first-use index.
+    /// Like [`IdCanon::new`], but IDs `1..=base` map through `locs`
+    /// (`locs[id]` for `id <= base`) instead of staying fixed — used when
+    /// encoding a structure under a block/processor symmetry view whose
+    /// location IDs are renamed by the protocol's location permutation.
+    pub fn with_locs(base: IdNum, locs: Vec<u32>) -> Self {
+        debug_assert!(locs.len() > base as usize, "locs must cover 1..=base");
+        IdCanon {
+            base,
+            map: HashMap::new(),
+            locs: Some(locs),
+        }
+    }
+
+    /// Canonical number for `id`: itself (or its location-map image) if
+    /// `id <= base`, otherwise `base + 1 + k` where `k` is the 0-based
+    /// first-use index.
     pub fn canon(&mut self, id: IdNum) -> u64 {
         if id <= self.base {
-            return id as u64;
+            return match &self.locs {
+                Some(locs) => locs[id as usize] as u64,
+                None => id as u64,
+            };
         }
         let next = self.base as u64 + 1 + self.map.len() as u64;
         *self.map.entry(id).or_insert(next)
@@ -70,6 +110,19 @@ mod tests {
         assert_eq!(c.canon(9), 3, "stable on reuse");
         assert_eq!(c.canon(7), 5);
         assert_eq!(c.renamed(), 3);
+    }
+
+    #[test]
+    fn location_map_renames_fixed_ids() {
+        // Swap locations 1 and 2; location 3 stays. Aux IDs still rename
+        // first-use.
+        let mut c = IdCanon::with_locs(3, vec![0, 2, 1, 3]);
+        assert_eq!(c.canon(1), 2);
+        assert_eq!(c.canon(2), 1);
+        assert_eq!(c.canon(3), 3);
+        assert_eq!(c.canon(9), 4);
+        assert_eq!(c.canon(9), 4);
+        assert_eq!(c.renamed(), 1);
     }
 
     #[test]

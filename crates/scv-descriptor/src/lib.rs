@@ -27,7 +27,7 @@ pub mod symbol;
 
 pub use decode::{decode, DecodeError, DecodeStats, DecodedGraph};
 pub use encode::{encode, naive_descriptor, EncodeError};
-pub use idcanon::IdCanon;
+pub use idcanon::{IdCanon, SymView};
 pub use idtable::IdTable;
 pub use symbol::{Descriptor, IdNum, Symbol};
 

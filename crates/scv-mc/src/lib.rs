@@ -36,5 +36,8 @@ pub use mc::{
     TransitionSystem,
 };
 pub use seen::StripedSeen;
-pub use verify::{verify_protocol, Outcome, VerifyOptions, VerifySystem};
+pub use verify::{
+    verify_protocol, verify_system, Outcome, RejectReason, SymmetryMode, VerifyOptions,
+    VerifyState, VerifySystem,
+};
 pub use ws::{ws_search, ws_search_detailed, WorkerStats};

@@ -39,6 +39,10 @@ pub trait TransitionSystem {
     type State: Clone + Eq + Hash + Send;
     /// Transition label (used in counterexamples).
     type Label: Clone + Send;
+    /// Violation diagnosis carried by counterexamples. Structured systems
+    /// use a typed reason (see `RejectReason` in the verify layer); toy
+    /// systems can use `String`.
+    type Violation: Clone + Send;
 
     /// The initial state.
     fn initial(&self) -> Self::State;
@@ -48,7 +52,7 @@ pub trait TransitionSystem {
 
     /// A safety violation in `s`, if any (checked on every reachable
     /// state, including the initial one).
-    fn violation(&self, s: &Self::State) -> Option<String>;
+    fn violation(&self, s: &Self::State) -> Option<Self::Violation>;
 
     /// Append all successors of `s` to `out` instead of allocating a
     /// fresh `Vec`. The work-stealing engine calls this with a reused
@@ -80,7 +84,14 @@ pub enum SearchStrategy {
 }
 
 /// Search limits.
+///
+/// Construct with the builder: `BfsOptions::new().max_states(50_000)`.
+/// The struct is `#[non_exhaustive]` so new limits can be added without
+/// breaking callers; `BfsOptions::default()` remains as an escape hatch
+/// (fields stay public for reading and in-place mutation) but literal
+/// construction outside this crate is no longer possible.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct BfsOptions {
     /// Stop after visiting this many states.
     pub max_states: usize,
@@ -94,6 +105,26 @@ impl Default for BfsOptions {
             max_states: 1_000_000,
             max_depth: usize::MAX,
         }
+    }
+}
+
+impl BfsOptions {
+    /// Default limits (1M states, unbounded depth); chain builder methods
+    /// to adjust.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stop after visiting this many states.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Explore at most this many BFS levels.
+    pub fn max_depth(mut self, d: usize) -> Self {
+        self.max_depth = d;
+        self
     }
 }
 
@@ -134,27 +165,27 @@ impl McStats {
 }
 
 /// A violating run: the labels from the initial state to the bad state,
-/// and the violation message.
+/// and the violation diagnosis.
 #[derive(Clone, Debug)]
-pub struct Counterexample<L> {
+pub struct Counterexample<L, V = String> {
     /// Transition labels along the path.
     pub path: Vec<L>,
-    /// The safety predicate's message.
-    pub message: String,
+    /// The safety predicate's diagnosis.
+    pub reason: V,
 }
 
 /// Result of a search.
 #[derive(Clone, Debug)]
-pub enum SearchResult<L> {
+pub enum SearchResult<L, V = String> {
     /// Every reachable state (within limits) is safe, and no limit was hit.
     Safe(McStats),
     /// Every explored state is safe but a limit stopped the search.
     Bounded(McStats),
     /// A violation was found.
-    Unsafe(Counterexample<L>, McStats),
+    Unsafe(Counterexample<L, V>, McStats),
 }
 
-impl<L> SearchResult<L> {
+impl<L, V> SearchResult<L, V> {
     /// Search statistics regardless of outcome.
     pub fn stats(&self) -> McStats {
         match self {
@@ -197,14 +228,17 @@ pub(crate) fn publish_search_stats(stats: &McStats, counters_live: bool) {
 /// Sequential BFS with parent tracking for counterexample extraction.
 /// The seen-set stores 128-bit fingerprints, not states (see
 /// [`Fingerprinter`]); full states live only in the frontier.
-pub fn bfs<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::Label> {
+pub fn bfs<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::Label, T::Violation> {
     let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
     let r = bfs_inner(sys, opts);
     publish_search_stats(&r.stats(), false);
     r
 }
 
-fn bfs_inner<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::Label> {
+fn bfs_inner<T: TransitionSystem>(
+    sys: &T,
+    opts: BfsOptions,
+) -> SearchResult<T::Label, T::Violation> {
     let start = Instant::now();
     let fper = Fingerprinter::new();
     let mut stats = McStats {
@@ -230,12 +264,12 @@ fn bfs_inner<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::
         path
     };
 
-    if let Some(msg) = sys.violation(&init) {
+    if let Some(reason) = sys.violation(&init) {
         stats.elapsed = start.elapsed();
         return SearchResult::Unsafe(
             Counterexample {
                 path: Vec::new(),
-                message: msg,
+                reason,
             },
             stats,
         );
@@ -259,12 +293,12 @@ fn bfs_inner<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::
                 parents.push(Some((si, label)));
                 stats.states += 1;
                 stats.depth = depth;
-                if let Some(msg) = sys.violation(&t) {
+                if let Some(reason) = sys.violation(&t) {
                     stats.elapsed = start.elapsed();
                     return SearchResult::Unsafe(
                         Counterexample {
                             path: rebuild(&parents, ti),
-                            message: msg,
+                            reason,
                         },
                         stats,
                     );
@@ -297,7 +331,11 @@ fn bfs_inner<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::
 /// `parking_lot` mutexes. Returns the same verdicts as [`bfs`] (the
 /// counterexample path is reconstructed from parent states stored in the
 /// shards).
-pub fn bfs_parallel<T>(sys: &T, opts: BfsOptions, threads: usize) -> SearchResult<T::Label>
+pub fn bfs_parallel<T>(
+    sys: &T,
+    opts: BfsOptions,
+    threads: usize,
+) -> SearchResult<T::Label, T::Violation>
 where
     T: TransitionSystem + Sync,
     T::State: Sync,
@@ -312,7 +350,11 @@ where
     r
 }
 
-fn bfs_parallel_inner<T>(sys: &T, opts: BfsOptions, threads: usize) -> SearchResult<T::Label>
+fn bfs_parallel_inner<T>(
+    sys: &T,
+    opts: BfsOptions,
+    threads: usize,
+) -> SearchResult<T::Label, T::Violation>
 where
     T: TransitionSystem + Sync,
     T::State: Sync,
@@ -329,7 +371,7 @@ where
         (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
 
     let init = sys.initial();
-    if let Some(msg) = sys.violation(&init) {
+    if let Some(reason) = sys.violation(&init) {
         let stats = McStats {
             states: 1,
             elapsed: start.elapsed(),
@@ -338,7 +380,7 @@ where
         return SearchResult::Unsafe(
             Counterexample {
                 path: Vec::new(),
-                message: msg,
+                reason,
             },
             stats,
         );
@@ -352,7 +394,7 @@ where
     let n_states = AtomicU64::new(1);
     let n_trans = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
-    let found: Mutex<Option<(u128, String)>> = Mutex::new(None);
+    let found: Mutex<Option<(u128, T::Violation)>> = Mutex::new(None);
 
     let mut frontier: Vec<(T::State, u128)> = vec![(init, init_fp)];
     let mut depth = 0usize;
@@ -390,8 +432,8 @@ where
                                     m.insert(tfp, Some((*sfp, label)));
                                 }
                                 let total = n_states.fetch_add(1, Ordering::Relaxed) + 1;
-                                if let Some(msg) = sys.violation(&t) {
-                                    *found.lock().unwrap() = Some((tfp, msg));
+                                if let Some(v) = sys.violation(&t) {
+                                    *found.lock().unwrap() = Some((tfp, v));
                                     stop.store(true, Ordering::Relaxed);
                                     break;
                                 }
@@ -427,7 +469,7 @@ where
         ..Default::default()
     };
     let found = found.lock().unwrap().take();
-    if let Some((bad, msg)) = found {
+    if let Some((bad, reason)) = found {
         // Reconstruct the label path through the shard parent maps.
         let mut path = Vec::new();
         let mut cur = bad;
@@ -448,7 +490,7 @@ where
         }
         path.reverse();
         stats.elapsed = start.elapsed();
-        return SearchResult::Unsafe(Counterexample { path, message: msg }, stats);
+        return SearchResult::Unsafe(Counterexample { path, reason }, stats);
     }
     if truncated || (depth >= opts.max_depth && !frontier.is_empty()) {
         SearchResult::Bounded(stats)
@@ -470,6 +512,7 @@ mod tests {
     impl TransitionSystem for Counter {
         type State = u32;
         type Label = &'static str;
+        type Violation = String;
 
         fn initial(&self) -> u32 {
             0
@@ -498,7 +541,7 @@ mod tests {
         };
         match bfs(&sys, BfsOptions::default()) {
             SearchResult::Unsafe(ce, _) => {
-                assert_eq!(ce.message, "hit 5");
+                assert_eq!(ce.reason, "hit 5");
                 // Shortest path to 5: 0->1->2->4->5 (inc,dbl,dbl,inc) = 4 steps
                 // or 0->1->2->3->... BFS guarantees minimality: length 4.
                 assert_eq!(ce.path.len(), 4);
@@ -519,26 +562,14 @@ mod tests {
     #[test]
     fn state_limit_reports_bounded() {
         let sys = Counter { n: 1000, bad: None };
-        let r = bfs(
-            &sys,
-            BfsOptions {
-                max_states: 10,
-                max_depth: usize::MAX,
-            },
-        );
+        let r = bfs(&sys, BfsOptions::new().max_states(10));
         assert!(matches!(r, SearchResult::Bounded(_)));
     }
 
     #[test]
     fn depth_limit_reports_bounded() {
         let sys = Counter { n: 1000, bad: None };
-        let r = bfs(
-            &sys,
-            BfsOptions {
-                max_states: usize::MAX,
-                max_depth: 3,
-            },
-        );
+        let r = bfs(&sys, BfsOptions::new().max_states(usize::MAX).max_depth(3));
         assert!(matches!(r, SearchResult::Bounded(_)));
     }
 

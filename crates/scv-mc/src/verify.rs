@@ -1,20 +1,98 @@
 //! The §3.4 verification method as a transition system: protocol ⊗
-//! observer ⊗ checker.
+//! observer ⊗ checker, optionally explored modulo the protocol's
+//! symmetry group.
 
 use crate::mc::{
     bfs, bfs_parallel, BfsOptions, McStats, SearchResult, SearchStrategy, TransitionSystem,
 };
 use crate::ws::ws_search;
-use scv_checker::ScChecker;
+use scv_checker::{ScChecker, ScError};
 use scv_observer::{Observer, ObserverConfig};
-use scv_protocol::{Action, Protocol, Step};
-use scv_types::{Op, Trace};
+use scv_protocol::{location_maps, Action, Step, Symmetry};
+use scv_types::{Op, SymDims, SymPerm, Trace};
+use std::fmt;
 use std::hash::{Hash, Hasher};
+
+/// Why a product state was rejected — the typed replacement for the old
+/// stringly error channel. [`fmt::Display`] reproduces the exact text the
+/// strings used to carry ("rejected at symbol {p}: {kind:?}" for
+/// mid-stream rejections, prefixed with "at run end: " for end-of-string
+/// ones), so log-diffing across versions stays stable while callers can
+/// now match on [`scv_checker::ScErrorKind`] structurally.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// The checker rejected a descriptor symbol mid-stream: some prefix of
+    /// the run already has no acyclic-constraint-graph witness.
+    Stream(ScError),
+    /// The run's symbols were accepted but the end-of-string conditions
+    /// failed (order totality, outstanding forced obligations), possibly
+    /// after replaying pending serializations.
+    RunEnd(ScError),
+}
+
+impl RejectReason {
+    /// The underlying checker error, whichever stage raised it.
+    pub fn error(&self) -> &ScError {
+        match self {
+            RejectReason::Stream(e) | RejectReason::RunEnd(e) => e,
+        }
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::Stream(e) => write!(f, "{e}"),
+            RejectReason::RunEnd(e) => write!(f, "at run end: {e}"),
+        }
+    }
+}
+
+/// How much of the protocol's declared symmetry group the search quotients
+/// by (CLI: `--symmetry=off|proc|full`).
+///
+/// The *effective* group is always the intersection of what is requested
+/// here with what the protocol declares sound via
+/// [`Symmetry::symmetry_dims`] — requesting `Full` on a protocol that only
+/// declares processor symmetry quotients by processors alone.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SymmetryMode {
+    /// No reduction: explore the raw product space.
+    #[default]
+    Off,
+    /// Processor permutations only.
+    Proc,
+    /// Everything the protocol declares: processors, blocks, and values.
+    Full,
+}
+
+impl SymmetryMode {
+    /// The dimensions this mode requests (before intersecting with the
+    /// protocol's declaration).
+    pub fn requested_dims(self) -> SymDims {
+        match self {
+            SymmetryMode::Off => SymDims::NONE,
+            SymmetryMode::Proc => SymDims::PROCS,
+            SymmetryMode::Full => SymDims::FULL,
+        }
+    }
+}
+
+/// Upper bound on the symmetry-group order the checker will enumerate per
+/// state seal. [`SymPerm::group`] drops whole dimensions (values, then
+/// blocks, then processors) until the order fits, which keeps the
+/// remaining set a true subgroup — required for soundness of the
+/// orbit-minimum representative.
+const GROUP_CAP: usize = 1024;
 
 /// A product state: the protocol state paired with the live observer and
 /// checker. Equality and hashing go through the canonical encodings, so
 /// two product states that behave identically compare equal — this is
-/// what makes the composed state space finite.
+/// what makes the composed state space finite. Under symmetry reduction
+/// the encoding is additionally the *orbit minimum* over the symmetry
+/// group, so all members of an orbit compare equal; the stored components
+/// remain the genuinely reached member (not the representative), which
+/// keeps counterexample paths valid runs of the unreduced system.
 #[derive(Clone)]
 pub struct VerifyState<PS> {
     /// The protocol component.
@@ -24,13 +102,22 @@ pub struct VerifyState<PS> {
     /// The checker component.
     pub chk: ScChecker,
     /// Rejection raised while reaching this state, if any.
-    pub error: Option<String>,
+    pub error: Option<RejectReason>,
     enc: Vec<u64>,
+    /// True when `enc` is an orbit-canonical encoding that already covers
+    /// the protocol component (hash/eq then ignore `proto`).
+    sym: bool,
 }
 
 impl<PS: Eq> PartialEq for VerifyState<PS> {
     fn eq(&self, other: &Self) -> bool {
-        self.proto == other.proto && self.enc == other.enc && self.error == other.error
+        debug_assert_eq!(self.sym, other.sym, "mixed-seal comparison");
+        let base = self.enc == other.enc && self.error == other.error;
+        if self.sym {
+            base
+        } else {
+            base && self.proto == other.proto
+        }
     }
 }
 
@@ -38,59 +125,190 @@ impl<PS: Eq> Eq for VerifyState<PS> {}
 
 impl<PS: Hash> Hash for VerifyState<PS> {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.proto.hash(state);
+        if !self.sym {
+            self.proto.hash(state);
+        }
         self.enc.hash(state);
     }
 }
 
-impl<PS> VerifyState<PS> {
-    fn seal(proto: PS, obs: Observer, chk: ScChecker, error: Option<String>) -> Self {
-        // One IdCanon across both encodings: auxiliary descriptor IDs are
-        // renamed consistently, so product states differing only by an
-        // aux-ID permutation (which are bisimilar) hash identically.
-        let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::DescriptorEncode);
-        let mut ids = scv_descriptor::IdCanon::new(obs.location_count());
-        let mut enc = Vec::with_capacity(128);
-        obs.canonical_encoding(&mut enc, &mut ids);
-        chk.canonical_encoding(&mut enc, &mut ids);
-        VerifyState {
-            proto,
-            obs,
-            chk,
-            error,
-            enc,
-        }
-    }
+/// One precomputed symmetry-group element: the identity renaming plus the
+/// location maps it induces through [`Symmetry::permute_loc`].
+struct PermEntry {
+    perm: SymPerm,
+    locs: Vec<u32>,
+    locs_inv: Vec<u32>,
 }
 
 /// The product transition system for a protocol.
-pub struct VerifySystem<P: Protocol> {
+///
+/// Built plain ([`VerifySystem::new`]) or with symmetry reduction
+/// ([`VerifySystem::with_symmetry`]); the reduction canonicalizes each
+/// product state to its orbit-minimum encoding before the seen-set sees
+/// its fingerprint, in every search engine.
+pub struct VerifySystem<P: Symmetry> {
     protocol: P,
+    /// Identity-first symmetry group; empty when reduction is off or the
+    /// effective group is trivial.
+    perms: Vec<PermEntry>,
 }
 
-impl<P: Protocol> VerifySystem<P> {
-    /// Build the product system.
+impl<P: Symmetry> VerifySystem<P> {
+    /// Build the product system without symmetry reduction.
     pub fn new(protocol: P) -> Self {
-        VerifySystem { protocol }
+        Self::with_symmetry(protocol, SymmetryMode::Off)
+    }
+
+    /// Build the product system, quotienting by the protocol's symmetry
+    /// group as far as `mode` requests and the protocol declares sound.
+    pub fn with_symmetry(protocol: P, mode: SymmetryMode) -> Self {
+        let dims = mode.requested_dims().intersect(protocol.symmetry_dims());
+        let mut perms = Vec::new();
+        if dims.any() {
+            let group = SymPerm::group(protocol.params(), dims, GROUP_CAP);
+            if group.len() > 1 {
+                debug_assert!(group[0].is_identity(), "group must lead with identity");
+                perms = group
+                    .into_iter()
+                    .map(|perm| {
+                        let (locs, locs_inv) = location_maps(&protocol, &perm);
+                        PermEntry {
+                            perm,
+                            locs,
+                            locs_inv,
+                        }
+                    })
+                    .collect();
+            }
+        }
+        if scv_telemetry::enabled() {
+            scv_telemetry::set_gauge("symmetry.group_size", perms.len().max(1) as f64);
+        }
+        VerifySystem { protocol, perms }
     }
 
     /// The wrapped protocol.
     pub fn protocol(&self) -> &P {
         &self.protocol
     }
+
+    /// Order of the effective symmetry group (1 = no reduction).
+    pub fn symmetry_group_order(&self) -> usize {
+        self.perms.len().max(1)
+    }
+
+    /// Seal a product state: compute the canonical encoding its hash and
+    /// equality go through.
+    ///
+    /// Without symmetry this is the aux-ID-canonical encoding of observer
+    /// and checker (the protocol state is hashed natively alongside).
+    /// With symmetry it is the lexicographic minimum, over every group
+    /// element `g`, of `encode(g · (proto, obs, chk))` — computed without
+    /// materialising any renamed structure, by threading a
+    /// [`scv_descriptor::SymView`] through the encoding traversals. A
+    /// cheap prefix comparison on the (injective) protocol part prunes
+    /// most candidates before the expensive observer/checker walk.
+    fn seal(
+        &self,
+        proto: P::State,
+        obs: Observer,
+        chk: ScChecker,
+        error: Option<RejectReason>,
+    ) -> VerifyState<P::State> {
+        let base = obs.location_count();
+        if self.perms.is_empty() {
+            // One IdCanon across both encodings: auxiliary descriptor IDs
+            // are renamed consistently, so product states differing only
+            // by an aux-ID permutation (which are bisimilar) hash
+            // identically.
+            let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::DescriptorEncode);
+            let mut ids = scv_descriptor::IdCanon::new(base);
+            let mut enc = Vec::with_capacity(128);
+            obs.canonical_encoding(&mut enc, &mut ids);
+            chk.canonical_encoding(&mut enc, &mut ids);
+            return VerifyState {
+                proto,
+                obs,
+                chk,
+                error,
+                enc,
+                sym: false,
+            };
+        }
+
+        let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::Canonicalize);
+        // Identity candidate: protocol encoding (injective, required
+        // because `proto` no longer participates in the hash) followed by
+        // the plain canonical encodings.
+        let mut best = Vec::with_capacity(160);
+        self.protocol.encode_state(&proto, &mut best);
+        let proto_len = best.len();
+        {
+            let mut ids = scv_descriptor::IdCanon::new(base);
+            obs.canonical_encoding(&mut best, &mut ids);
+            chk.canonical_encoding(&mut best, &mut ids);
+        }
+        let mut ties = 1usize; // group elements mapping this state to the current minimum
+        let mut beaten = false;
+        let mut cand = Vec::with_capacity(best.len());
+        for e in &self.perms[1..] {
+            cand.clear();
+            let ps = self.protocol.permute_state(&proto, &e.perm);
+            self.protocol.encode_state(&ps, &mut cand);
+            // Lexicographic fast path: if the renamed protocol prefix
+            // already exceeds the current minimum's, the full candidate
+            // cannot win or tie — skip the observer/checker walk.
+            if cand.as_slice() > &best[..proto_len] {
+                continue;
+            }
+            let view = scv_descriptor::SymView {
+                perm: &e.perm,
+                loc: &e.locs,
+                loc_inv: &e.locs_inv,
+            };
+            let mut ids = scv_descriptor::IdCanon::with_locs(base, e.locs.clone());
+            obs.canonical_encoding_with(&mut cand, &mut ids, &view);
+            chk.canonical_encoding_with(&mut cand, &mut ids, &view);
+            match cand.cmp(&best) {
+                std::cmp::Ordering::Less => {
+                    std::mem::swap(&mut best, &mut cand);
+                    ties = 1;
+                    beaten = true;
+                }
+                std::cmp::Ordering::Equal => ties += 1,
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        if scv_telemetry::enabled() {
+            use scv_telemetry::{Hist, Metric};
+            scv_telemetry::add(Metric::SymCanonicalized, 1);
+            scv_telemetry::add(Metric::SymCanonHits, beaten as u64);
+            // Orbit-stabilizer: |orbit| = |G| / |{g : E(g·s) = min}|.
+            scv_telemetry::record(Hist::SymOrbitSize, (self.perms.len() / ties) as u64);
+        }
+        VerifyState {
+            proto,
+            obs,
+            chk,
+            error,
+            enc: best,
+            sym: true,
+        }
+    }
 }
 
-impl<P: Protocol> TransitionSystem for VerifySystem<P>
+impl<P: Symmetry> TransitionSystem for VerifySystem<P>
 where
     P::State: Send,
 {
     type State = VerifyState<P::State>;
     type Label = Action;
+    type Violation = RejectReason;
 
     fn initial(&self) -> Self::State {
         let obs = Observer::new(ObserverConfig::from_protocol(&self.protocol));
         let chk = ScChecker::new(obs.k());
-        VerifyState::seal(self.protocol.initial(), obs, chk, None)
+        self.seal(self.protocol.initial(), obs, chk, None)
     }
 
     fn successors(&self, s: &Self::State) -> Vec<(Action, Self::State)> {
@@ -123,16 +341,16 @@ where
                 let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::CheckerStep);
                 for sym in &syms {
                     if let Err(e) = chk.step(sym) {
-                        error = Some(e.to_string());
+                        error = Some(RejectReason::Stream(e));
                         break;
                     }
                 }
             }
-            out.push((t.action, VerifyState::seal(t.next, obs, chk, error)));
+            out.push((t.action, self.seal(t.next, obs, chk, error)));
         }
     }
 
-    fn violation(&self, s: &Self::State) -> Option<String> {
+    fn violation(&self, s: &Self::State) -> Option<RejectReason> {
         if let Some(e) = &s.error {
             return Some(e.clone());
         }
@@ -142,7 +360,7 @@ where
         // outstanding forced obligations) must hold here too.
         if !s.obs.has_pending() {
             // Nothing left to serialize: probe the checker in place.
-            return s.chk.check_end().err().map(|e| format!("at run end: {e}"));
+            return s.chk.check_end().err().map(RejectReason::RunEnd);
         }
         // Pending serializations: replay the observer's trailing symbols
         // on copies.
@@ -152,15 +370,32 @@ where
         obs.finish(&mut syms);
         for sym in &syms {
             if let Err(e) = chk.step(sym) {
-                return Some(format!("at run end: {e}"));
+                return Some(RejectReason::RunEnd(e));
             }
         }
-        chk.check_end().err().map(|e| format!("at run end: {e}"))
+        chk.check_end().err().map(RejectReason::RunEnd)
     }
 }
 
 /// Limits and parallelism for [`verify_protocol`].
+///
+/// Construct with the chained builder:
+///
+/// ```
+/// use scv_mc::{SymmetryMode, VerifyOptions};
+/// let opts = VerifyOptions::new()
+///     .threads(4)
+///     .max_states(500_000)
+///     .symmetry(SymmetryMode::Full);
+/// # assert_eq!(opts.threads, 4);
+/// ```
+///
+/// The struct is `#[non_exhaustive]`, so literal construction outside this
+/// crate no longer compiles; `VerifyOptions::default()` remains as an
+/// escape hatch (fields stay public for reading and in-place mutation)
+/// for one release while callers migrate.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct VerifyOptions {
     /// BFS limits.
     pub bfs: BfsOptions,
@@ -172,19 +407,70 @@ pub struct VerifyOptions {
     /// fingerprints claimed per seen-set lock acquisition (ignored by the
     /// level-synchronous engine).
     pub batch_size: usize,
+    /// Symmetry reduction: quotient the product space by the protocol's
+    /// declared symmetry group.
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for VerifyOptions {
     fn default() -> Self {
         VerifyOptions {
-            bfs: BfsOptions {
-                max_states: 200_000,
-                max_depth: usize::MAX,
-            },
+            bfs: BfsOptions::new().max_states(200_000),
             threads: 1,
             strategy: SearchStrategy::default(),
             batch_size: 128,
+            symmetry: SymmetryMode::Off,
         }
+    }
+}
+
+impl VerifyOptions {
+    /// Default options (sequential, 200k-state cap, no symmetry); chain
+    /// builder methods to adjust.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker threads (1 = sequential).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Stop after visiting this many states.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.bfs.max_states = n;
+        self
+    }
+
+    /// Explore at most this many BFS levels.
+    pub fn max_depth(mut self, d: usize) -> Self {
+        self.bfs.max_depth = d;
+        self
+    }
+
+    /// Replace the whole [`BfsOptions`] block.
+    pub fn bfs(mut self, bfs: BfsOptions) -> Self {
+        self.bfs = bfs;
+        self
+    }
+
+    /// Parallel engine to use when `threads > 1`.
+    pub fn strategy(mut self, s: SearchStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Work-stealing batch granularity.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n;
+        self
+    }
+
+    /// Symmetry reduction mode.
+    pub fn symmetry(mut self, m: SymmetryMode) -> Self {
+        self.symmetry = m;
+        self
     }
 }
 
@@ -208,7 +494,7 @@ pub enum Outcome {
         /// The memory operations of the violating run.
         trace: Trace,
         /// The checker's diagnosis.
-        message: String,
+        reason: RejectReason,
         /// Search statistics.
         stats: McStats,
     },
@@ -233,24 +519,30 @@ impl Outcome {
     pub fn is_verified(&self) -> bool {
         matches!(self, Outcome::Verified { .. })
     }
+
+    /// The violation diagnosis rendered as the historical message text,
+    /// if this outcome is a violation.
+    pub fn message(&self) -> Option<String> {
+        match self {
+            Outcome::Violation { reason, .. } => Some(reason.to_string()),
+            _ => None,
+        }
+    }
 }
 
-/// Run the complete §3.4 method on a protocol.
-pub fn verify_protocol<P>(protocol: P, opts: VerifyOptions) -> Outcome
+/// Run a search over an already-built product system.
+pub fn verify_system<P>(sys: &VerifySystem<P>, opts: VerifyOptions) -> Outcome
 where
-    P: Protocol + Sync,
+    P: Symmetry + Sync,
     P::State: Send + Sync,
 {
-    let sys = VerifySystem::new(protocol);
     let result = if opts.threads > 1 {
         match opts.strategy {
-            SearchStrategy::WorkStealing => {
-                ws_search(&sys, opts.bfs, opts.threads, opts.batch_size)
-            }
-            SearchStrategy::LevelSync => bfs_parallel(&sys, opts.bfs, opts.threads),
+            SearchStrategy::WorkStealing => ws_search(sys, opts.bfs, opts.threads, opts.batch_size),
+            SearchStrategy::LevelSync => bfs_parallel(sys, opts.bfs, opts.threads),
         }
     } else {
-        bfs(&sys, opts.bfs)
+        bfs(sys, opts.bfs)
     };
     match result {
         SearchResult::Safe(stats) => Outcome::Verified { stats },
@@ -260,11 +552,21 @@ where
             Outcome::Violation {
                 run: ce.path,
                 trace: Trace::from_ops(ops),
-                message: ce.message,
+                reason: ce.reason,
                 stats,
             }
         }
     }
+}
+
+/// Run the complete §3.4 method on a protocol.
+pub fn verify_protocol<P>(protocol: P, opts: VerifyOptions) -> Outcome
+where
+    P: Symmetry + Sync,
+    P::State: Send + Sync,
+{
+    let sys = VerifySystem::with_symmetry(protocol, opts.symmetry);
+    verify_system(&sys, opts)
 }
 
 #[cfg(test)]
@@ -274,14 +576,7 @@ mod tests {
     use scv_types::Params;
 
     fn opts(max_states: usize) -> VerifyOptions {
-        VerifyOptions {
-            bfs: BfsOptions {
-                max_states,
-                max_depth: usize::MAX,
-            },
-            threads: 1,
-            ..Default::default()
-        }
+        VerifyOptions::new().max_states(max_states)
     }
 
     /// "Safe within the cap": either fully verified, or the cap was hit
@@ -344,12 +639,12 @@ mod tests {
     fn buggy_msi_violates() {
         let out = verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), opts(2_000_000));
         match out {
-            Outcome::Violation { trace, message, .. } => {
+            Outcome::Violation { trace, reason, .. } => {
                 // The violating run's trace must itself be non-SC — the
                 // bug is real, not a verification artifact.
                 assert!(
                     !scv_graph::has_serial_reordering(&trace),
-                    "counterexample trace should violate SC: {trace} ({message})"
+                    "counterexample trace should violate SC: {trace} ({reason})"
                 );
             }
             o => panic!("expected Violation, got {:?}", o.stats()),
@@ -396,15 +691,7 @@ mod tests {
         for strategy in [SearchStrategy::WorkStealing, SearchStrategy::LevelSync] {
             let par = verify_protocol(
                 MsiProtocol::buggy(Params::new(2, 2, 1)),
-                VerifyOptions {
-                    bfs: BfsOptions {
-                        max_states: 2_000_000,
-                        max_depth: usize::MAX,
-                    },
-                    threads: 4,
-                    strategy,
-                    ..Default::default()
-                },
+                opts(2_000_000).threads(4).strategy(strategy),
             );
             assert!(matches!(par, Outcome::Violation { .. }), "{strategy:?}");
         }
@@ -414,5 +701,64 @@ mod tests {
     fn bounded_outcome_on_tiny_limit() {
         let out = verify_protocol(MsiProtocol::new(Params::new(2, 2, 2)), opts(50));
         assert!(matches!(out, Outcome::Bounded { .. }));
+    }
+
+    #[test]
+    fn symmetry_reduces_msi_with_same_verdict() {
+        // Depth-bounded so both runs cut the same frontier: the quotient
+        // must explore at least 2× fewer states (the (2,1,2) group has
+        // order 4) and reach the same verdict.
+        let depth = 8;
+        let base = opts(500_000).max_depth(depth);
+        let off = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), base);
+        let on = verify_protocol(
+            MsiProtocol::new(Params::new(2, 1, 2)),
+            base.symmetry(SymmetryMode::Full),
+        );
+        assert_eq!(
+            matches!(off, Outcome::Bounded { .. }),
+            matches!(on, Outcome::Bounded { .. }),
+            "verdicts must agree"
+        );
+        assert!(!matches!(off, Outcome::Violation { .. }));
+        assert!(!matches!(on, Outcome::Violation { .. }));
+        let (s_off, s_on) = (off.stats().states, on.stats().states);
+        assert!(
+            s_on * 2 <= s_off,
+            "symmetry must at least halve the explored states: {s_on} vs {s_off}"
+        );
+    }
+
+    #[test]
+    fn symmetry_preserves_buggy_msi_violation() {
+        let out = verify_protocol(
+            MsiProtocol::buggy(Params::new(2, 2, 1)),
+            opts(2_000_000).symmetry(SymmetryMode::Full),
+        );
+        match out {
+            Outcome::Violation { trace, reason, .. } => {
+                assert!(
+                    !scv_graph::has_serial_reordering(&trace),
+                    "reduced-search counterexample must still be a real violation: {trace} ({reason})"
+                );
+            }
+            o => panic!("expected Violation, got {:?}", o.stats()),
+        }
+    }
+
+    #[test]
+    fn proc_mode_intersects_with_protocol_dims() {
+        // Buggy MSI declares blocks+values only, so requesting Proc yields
+        // the trivial group and Full yields blocks·values.
+        let sys = VerifySystem::with_symmetry(
+            MsiProtocol::buggy(Params::new(2, 2, 2)),
+            SymmetryMode::Proc,
+        );
+        assert_eq!(sys.symmetry_group_order(), 1);
+        let sys = VerifySystem::with_symmetry(
+            MsiProtocol::buggy(Params::new(2, 2, 2)),
+            SymmetryMode::Full,
+        );
+        assert_eq!(sys.symmetry_group_order(), 4); // 2! blocks × 2! values
     }
 }

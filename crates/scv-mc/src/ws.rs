@@ -103,7 +103,7 @@ struct Shared<'a, T: TransitionSystem> {
     depth_limited: AtomicBool,
     queued_items: AtomicUsize,
     peak_frontier: AtomicUsize,
-    found: Mutex<Option<(u128, String)>>,
+    found: Mutex<Option<(u128, T::Violation)>>,
     chunk_size: usize,
     batch: usize,
 }
@@ -293,10 +293,10 @@ fn flush_stripe<T: TransitionSystem>(
         scratch
             .parent_log
             .push((pending.fp, pending.parent_fp, pending.label));
-        if let Some(msg) = shared.sys.violation(&pending.state) {
+        if let Some(v) = shared.sys.violation(&pending.state) {
             let mut found = shared.found.lock().unwrap();
             if found.is_none() {
-                *found = Some((pending.fp, msg));
+                *found = Some((pending.fp, v));
             }
             shared.stop.store(true, Ordering::Relaxed);
             break;
@@ -338,7 +338,7 @@ pub fn ws_search_detailed<T>(
     opts: BfsOptions,
     threads: usize,
     batch: usize,
-) -> (SearchResult<T::Label>, Vec<WorkerStats>)
+) -> (SearchResult<T::Label, T::Violation>, Vec<WorkerStats>)
 where
     T: TransitionSystem + Sync,
     T::Label: Send,
@@ -350,7 +350,7 @@ where
     let fper = Fingerprinter::new();
 
     let init = sys.initial();
-    if let Some(msg) = sys.violation(&init) {
+    if let Some(reason) = sys.violation(&init) {
         let stats = McStats {
             states: 1,
             workers: threads,
@@ -361,7 +361,7 @@ where
             SearchResult::Unsafe(
                 Counterexample {
                     path: Vec::new(),
-                    message: msg,
+                    reason,
                 },
                 stats,
             ),
@@ -449,7 +449,7 @@ where
     }
 
     let found = shared.found.lock().unwrap().take();
-    if let Some((bad_fp, message)) = found {
+    if let Some((bad_fp, reason)) = found {
         let mut parents: HashMap<u128, (u128, T::Label)> = HashMap::new();
         for (_, log) in per_worker {
             for (child, parent, label) in log {
@@ -464,7 +464,7 @@ where
         }
         path.reverse();
         return (
-            SearchResult::Unsafe(Counterexample { path, message }, stats),
+            SearchResult::Unsafe(Counterexample { path, reason }, stats),
             worker_stats,
         );
     }
@@ -484,7 +484,7 @@ pub fn ws_search<T>(
     opts: BfsOptions,
     threads: usize,
     batch: usize,
-) -> SearchResult<T::Label>
+) -> SearchResult<T::Label, T::Violation>
 where
     T: TransitionSystem + Sync,
     T::Label: Send,
@@ -506,6 +506,7 @@ mod tests {
     impl TransitionSystem for Counter {
         type State = u32;
         type Label = &'static str;
+        type Violation = String;
 
         fn initial(&self) -> u32 {
             0
@@ -575,15 +576,7 @@ mod tests {
             n: 100_000,
             bad: None,
         };
-        let r = ws_search(
-            &sys,
-            BfsOptions {
-                max_states: 50,
-                max_depth: usize::MAX,
-            },
-            2,
-            4,
-        );
+        let r = ws_search(&sys, BfsOptions::new().max_states(50), 2, 4);
         assert!(matches!(r, SearchResult::Bounded(_)), "{r:?}");
     }
 
@@ -592,20 +585,14 @@ mod tests {
         let sys = Counter { n: 1000, bad: None };
         let r = ws_search(
             &sys,
-            BfsOptions {
-                max_states: usize::MAX,
-                max_depth: 3,
-            },
+            BfsOptions::new().max_states(usize::MAX).max_depth(3),
             2,
             4,
         );
         assert!(matches!(r, SearchResult::Bounded(_)), "{r:?}");
         let r = ws_search(
             &sys,
-            BfsOptions {
-                max_states: usize::MAX,
-                max_depth: 0,
-            },
+            BfsOptions::new().max_states(usize::MAX).max_depth(0),
             2,
             4,
         );

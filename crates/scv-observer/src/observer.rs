@@ -572,6 +572,31 @@ impl Observer {
     /// product states through this, making the composed state space finite
     /// and collapsing the aux-permutation orbit.
     pub fn canonical_encoding(&self, out: &mut Vec<u64>, ids: &mut scv_descriptor::IdCanon) {
+        self.encode_canonical(out, ids, None);
+    }
+
+    /// [`Observer::canonical_encoding`] as it would read after renaming
+    /// every processor/block identity through `view` — the traversal emits
+    /// exactly the sequence the renamed observer would emit, without
+    /// materialising the rename. `ids` must have been built with
+    /// [`scv_descriptor::IdCanon::with_locs`] using the same location map
+    /// so location IDs rename consistently, and must be shared with the
+    /// paired checker's encoding.
+    pub fn canonical_encoding_with(
+        &self,
+        out: &mut Vec<u64>,
+        ids: &mut scv_descriptor::IdCanon,
+        view: &scv_descriptor::SymView<'_>,
+    ) {
+        self.encode_canonical(out, ids, Some(view));
+    }
+
+    fn encode_canonical(
+        &self,
+        out: &mut Vec<u64>,
+        ids: &mut scv_descriptor::IdCanon,
+        view: Option<&scv_descriptor::SymView<'_>>,
+    ) {
         // Rank live keys by creation order (key order).
         let mut keys: Vec<Key> = self.nodes.keys().copied().collect();
         keys.sort_unstable();
@@ -595,9 +620,17 @@ impl Observer {
                 },
             }
         };
+        // Under a view, arrays indexed by location / processor / block are
+        // walked in *renamed* index order, so position `i` of the output
+        // holds what the renamed structure's position `i` would hold.
+        let p_count = self.cfg.params.p as usize;
+        let b_count = self.cfg.params.b as usize;
+        let old_proc = |i: usize| view.map_or(i, |v| v.perm.inv_proc_idx(i));
+        let old_block = |i: usize| view.map_or(i, |v| v.perm.inv_block_idx(i));
         out.push(keys.len() as u64);
-        for o in &self.loc_owner {
-            out.push(tok(*o, &mut dead));
+        for i in 0..self.loc_owner.len() {
+            let old = view.map_or(i, |v| v.loc_inv[i + 1] as usize - 1);
+            out.push(tok(self.loc_owner[old], &mut dead));
         }
         for &k in &keys {
             let n = &self.nodes[&k];
@@ -622,7 +655,10 @@ impl Observer {
             let mut heirs: Vec<(u8, u64)> = n
                 .heirs
                 .iter()
-                .map(|&(p, h)| (p, tok(Some(h), &mut dead)))
+                .map(|&(p, h)| {
+                    let p = view.map_or(p, |v| v.perm.proc(scv_types::ProcId(p)).0);
+                    (p, tok(Some(h), &mut dead))
+                })
                 .collect();
             heirs.sort_unstable();
             out.push(heirs.len() as u64);
@@ -630,19 +666,23 @@ impl Observer {
                 out.push((p as u64) << 32 | h);
             }
         }
-        for o in &self.last_op {
-            out.push(tok(*o, &mut dead));
+        for i in 0..p_count {
+            out.push(tok(self.last_op[old_proc(i)], &mut dead));
         }
-        for o in &self.sto_tail {
-            out.push(tok(*o, &mut dead));
+        for i in 0..b_count {
+            out.push(tok(self.sto_tail[old_block(i)], &mut dead));
         }
-        for o in &self.first_st {
-            out.push(tok(*o, &mut dead));
+        for i in 0..b_count {
+            out.push(tok(self.first_st[old_block(i)], &mut dead));
         }
-        for o in &self.bot_anchor {
-            out.push(tok(*o, &mut dead));
+        for pi in 0..p_count {
+            for bi in 0..b_count {
+                let slot = old_proc(pi) * b_count + old_block(bi);
+                out.push(tok(self.bot_anchor[slot], &mut dead));
+            }
         }
-        for pend in &self.pending {
+        for bi in 0..b_count {
+            let pend = &self.pending[old_block(bi)];
             out.push(pend.len() as u64);
             for &k in pend {
                 out.push(tok(Some(k), &mut dead));

@@ -38,6 +38,7 @@ pub mod mesi;
 pub mod msi;
 pub mod runner;
 pub mod serial;
+pub mod symmetry;
 pub mod tso;
 
 pub use api::{Action, CopySrc, LocId, Protocol, StOrderPolicy, Tracking, Transition};
@@ -48,4 +49,5 @@ pub use mesi::MesiProtocol;
 pub use msi::MsiProtocol;
 pub use runner::{Run, Runner, StIndexTracker, Step};
 pub use serial::SerialMemory;
+pub use symmetry::{canonical_state_encoding, location_maps, Symmetry};
 pub use tso::StoreBufferTso;

@@ -51,10 +51,16 @@ pub enum Metric {
     DescriptorSymbolsDecoded,
     /// Monitor/replay divergences observed (see `Event::MonitorDivergence`).
     MonitorDivergences,
+    /// Product states canonicalized under a non-trivial symmetry group.
+    SymCanonicalized,
+    /// Canonicalizations where a non-identity renaming strictly beat the
+    /// identity — states whose orbit representative differs from the state
+    /// actually reached.
+    SymCanonHits,
 }
 
 /// All metrics, in declaration order (keep in sync with [`Metric`]).
-pub const ALL_METRICS: [Metric; 17] = [
+pub const ALL_METRICS: [Metric; 19] = [
     Metric::McStatesAdmitted,
     Metric::McTransitions,
     Metric::McStatesExpanded,
@@ -72,6 +78,8 @@ pub const ALL_METRICS: [Metric; 17] = [
     Metric::DescriptorSymbolsEncoded,
     Metric::DescriptorSymbolsDecoded,
     Metric::MonitorDivergences,
+    Metric::SymCanonicalized,
+    Metric::SymCanonHits,
 ];
 
 impl Metric {
@@ -95,6 +103,8 @@ impl Metric {
             Metric::DescriptorSymbolsEncoded => "descriptor.symbols_encoded",
             Metric::DescriptorSymbolsDecoded => "descriptor.symbols_decoded",
             Metric::MonitorDivergences => "monitor.divergences",
+            Metric::SymCanonicalized => "symmetry.canonicalized",
+            Metric::SymCanonHits => "symmetry.canon_hits",
         }
     }
 }
@@ -110,10 +120,18 @@ pub enum Hist {
     SeenBatchYield,
     /// Queued states at each work-stealing chunk enqueue (queue depth).
     McQueueDepth,
+    /// Orbit size (group order / stabilizer order) per canonicalized
+    /// product state — how much each state's orbit collapses.
+    SymOrbitSize,
 }
 
 /// All histograms, in declaration order (keep in sync with [`Hist`]).
-pub const ALL_HISTS: [Hist; 3] = [Hist::SeenProbeLen, Hist::SeenBatchYield, Hist::McQueueDepth];
+pub const ALL_HISTS: [Hist; 4] = [
+    Hist::SeenProbeLen,
+    Hist::SeenBatchYield,
+    Hist::McQueueDepth,
+    Hist::SymOrbitSize,
+];
 
 impl Hist {
     /// Stable dotted name used in reports and JSONL output.
@@ -122,6 +140,7 @@ impl Hist {
             Hist::SeenProbeLen => "seen.probe_len",
             Hist::SeenBatchYield => "seen.batch_yield",
             Hist::McQueueDepth => "mc.queue_depth",
+            Hist::SymOrbitSize => "symmetry.orbit_size",
         }
     }
 }

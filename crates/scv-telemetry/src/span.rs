@@ -48,12 +48,15 @@ pub enum Phase {
     CheckerCycle,
     /// End-of-string SC check on a product state.
     CheckerEnd,
+    /// Orbit-minimum canonicalization of a product state under the
+    /// protocol's symmetry group (quotient search).
+    Canonicalize,
     /// Replaying a counterexample/run through the online monitor.
     Replay,
 }
 
 /// All phases, in declaration order (keep in sync with [`Phase`]).
-pub const ALL_PHASES: [Phase; 9] = [
+pub const ALL_PHASES: [Phase; 10] = [
     Phase::Search,
     Phase::Expand,
     Phase::ObserverStep,
@@ -62,6 +65,7 @@ pub const ALL_PHASES: [Phase; 9] = [
     Phase::CheckerStep,
     Phase::CheckerCycle,
     Phase::CheckerEnd,
+    Phase::Canonicalize,
     Phase::Replay,
 ];
 
@@ -77,6 +81,7 @@ impl Phase {
             Phase::CheckerStep => "checker.step",
             Phase::CheckerCycle => "checker.cycle",
             Phase::CheckerEnd => "checker.end",
+            Phase::Canonicalize => "symmetry.canonicalize",
             Phase::Replay => "replay",
         }
     }

@@ -7,6 +7,7 @@
 //! reordered trace is serial. A protocol is sequentially consistent iff all
 //! of its traces have a serial reordering.
 
+use crate::ids::{BlockId, Params, ProcId, Value};
 use crate::op::Op;
 use crate::trace::Trace;
 
@@ -92,6 +93,264 @@ impl Reordering {
     /// preserved and the reordered trace is serial?
     pub fn is_serial_reordering(&self, trace: &Trace) -> bool {
         self.preserves_program_order(trace) && self.apply(trace).is_serial()
+    }
+}
+
+/// Which identity dimensions of a protocol may be permuted without
+/// changing its behaviour.
+///
+/// A protocol whose transition relation treats processor numbers (or block
+/// numbers, or data values) interchangeably is *symmetric* in that
+/// dimension: renaming the identities maps runs to runs. A [`SymPerm`]
+/// drawn from the enabled dimensions then acts on states, operations, and
+/// traces, and the model checker may explore one representative per orbit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SymDims {
+    /// Processor identities are interchangeable.
+    pub procs: bool,
+    /// Memory-block identities are interchangeable.
+    pub blocks: bool,
+    /// Data values are interchangeable (`⊥` is always a fixed point).
+    pub values: bool,
+}
+
+impl SymDims {
+    /// No symmetric dimension: only the identity permutation.
+    pub const NONE: SymDims = SymDims {
+        procs: false,
+        blocks: false,
+        values: false,
+    };
+
+    /// All three dimensions are symmetric.
+    pub const FULL: SymDims = SymDims {
+        procs: true,
+        blocks: true,
+        values: true,
+    };
+
+    /// Only processor identities are symmetric.
+    pub const PROCS: SymDims = SymDims {
+        procs: true,
+        blocks: false,
+        values: false,
+    };
+
+    /// Dimensions symmetric under both `self` and `other`.
+    pub fn intersect(self, other: SymDims) -> SymDims {
+        SymDims {
+            procs: self.procs && other.procs,
+            blocks: self.blocks && other.blocks,
+            values: self.values && other.values,
+        }
+    }
+
+    /// Is any dimension enabled?
+    pub fn any(self) -> bool {
+        self.procs || self.blocks || self.values
+    }
+}
+
+/// A simultaneous renaming of processor, block, and value identities —
+/// one element of the symmetry group `S_p × S_b × S_v` (or a subgroup of
+/// it when some dimensions are disabled).
+///
+/// Renamings are stored 0-based over the parameter ranges of a fixed
+/// [`Params`]; [`Value::BOTTOM`] is always a fixed point. Both the forward
+/// and inverse maps are kept so array-reindexing traversals (which need
+/// "which old index lands at new position `i`") are O(1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymPerm {
+    proc: Vec<u8>,
+    block: Vec<u8>,
+    value: Vec<u8>,
+    inv_proc: Vec<u8>,
+    inv_block: Vec<u8>,
+    inv_value: Vec<u8>,
+}
+
+fn invert(fwd: &[u8]) -> Vec<u8> {
+    let mut inv = vec![0u8; fwd.len()];
+    for (i, &j) in fwd.iter().enumerate() {
+        inv[j as usize] = i as u8;
+    }
+    inv
+}
+
+/// All permutations of `0..n`, identity first (lexicographic order).
+fn all_perms(n: u8) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<u8> = (0..n).collect();
+    fn rec(cur: &mut Vec<u8>, k: usize, out: &mut Vec<Vec<u8>>) {
+        if k == cur.len() {
+            out.push(cur.clone());
+            return;
+        }
+        for i in k..cur.len() {
+            cur.swap(k, i);
+            rec(cur, k + 1, out);
+            cur.swap(k, i);
+        }
+    }
+    rec(&mut cur, 0, &mut out);
+    out.sort();
+    out
+}
+
+fn factorial(n: u8) -> usize {
+    (1..=n as usize).product::<usize>().max(1)
+}
+
+impl SymPerm {
+    /// The identity renaming for `params`.
+    pub fn identity(params: Params) -> SymPerm {
+        SymPerm::from_parts(
+            (0..params.p).collect(),
+            (0..params.b).collect(),
+            (0..params.v).collect(),
+        )
+    }
+
+    /// Build from 0-based forward maps; panics if any map is not a
+    /// permutation of its index range.
+    pub fn from_parts(proc: Vec<u8>, block: Vec<u8>, value: Vec<u8>) -> SymPerm {
+        for part in [&proc, &block, &value] {
+            let mut seen = vec![false; part.len()];
+            for &j in part.iter() {
+                assert!(
+                    (j as usize) < part.len() && !seen[j as usize],
+                    "not a permutation"
+                );
+                seen[j as usize] = true;
+            }
+        }
+        let inv_proc = invert(&proc);
+        let inv_block = invert(&block);
+        let inv_value = invert(&value);
+        SymPerm {
+            proc,
+            block,
+            value,
+            inv_proc,
+            inv_block,
+            inv_value,
+        }
+    }
+
+    /// Is this the identity on every dimension?
+    pub fn is_identity(&self) -> bool {
+        let id = |m: &[u8]| m.iter().enumerate().all(|(i, &j)| i as u8 == j);
+        id(&self.proc) && id(&self.block) && id(&self.value)
+    }
+
+    /// Rename a processor.
+    pub fn proc(&self, p: ProcId) -> ProcId {
+        ProcId::from_idx(self.proc[p.idx()] as usize)
+    }
+
+    /// Rename a block.
+    pub fn block(&self, b: BlockId) -> BlockId {
+        BlockId::from_idx(self.block[b.idx()] as usize)
+    }
+
+    /// Rename a value (`⊥` is fixed).
+    pub fn value(&self, v: Value) -> Value {
+        if v.is_bottom() {
+            v
+        } else {
+            Value(self.value[(v.0 - 1) as usize] + 1)
+        }
+    }
+
+    /// Rename a 0-based processor index.
+    pub fn proc_idx(&self, i: usize) -> usize {
+        self.proc[i] as usize
+    }
+
+    /// Rename a 0-based block index.
+    pub fn block_idx(&self, i: usize) -> usize {
+        self.block[i] as usize
+    }
+
+    /// The old processor index that lands at new index `i`.
+    pub fn inv_proc_idx(&self, i: usize) -> usize {
+        self.inv_proc[i] as usize
+    }
+
+    /// The old block index that lands at new index `i`.
+    pub fn inv_block_idx(&self, i: usize) -> usize {
+        self.inv_block[i] as usize
+    }
+
+    /// Rename all identities of an operation.
+    pub fn op(&self, op: Op) -> Op {
+        let mut out = op;
+        out.proc = self.proc(op.proc);
+        out.block = self.block(op.block);
+        out.value = self.value(op.value);
+        out
+    }
+
+    /// Composition `self ∘ other` (apply `other` first, then `self`).
+    pub fn compose(&self, other: &SymPerm) -> SymPerm {
+        let comp = |f: &[u8], g: &[u8]| g.iter().map(|&i| f[i as usize]).collect::<Vec<u8>>();
+        SymPerm::from_parts(
+            comp(&self.proc, &other.proc),
+            comp(&self.block, &other.block),
+            comp(&self.value, &other.value),
+        )
+    }
+
+    /// The order of the group `group(params, dims, cap)` would enumerate
+    /// *before* applying the cap.
+    pub fn group_order(params: Params, dims: SymDims) -> usize {
+        let f = |on: bool, n: u8| if on { factorial(n) } else { 1 };
+        f(dims.procs, params.p) * f(dims.blocks, params.b) * f(dims.values, params.v)
+    }
+
+    /// Enumerate the symmetry group over the enabled dimensions, identity
+    /// first.
+    ///
+    /// If the full product group exceeds `cap` elements, whole dimensions
+    /// are dropped (values first, then blocks, then processors) until it
+    /// fits — the result is always a true subgroup of `S_p × S_b × S_v`,
+    /// which is what makes orbit-minimum canonicalization sound.
+    pub fn group(params: Params, dims: SymDims, cap: usize) -> Vec<SymPerm> {
+        let mut dims = dims;
+        if Self::group_order(params, dims) > cap {
+            dims.values = false;
+        }
+        if Self::group_order(params, dims) > cap {
+            dims.blocks = false;
+        }
+        if Self::group_order(params, dims) > cap {
+            dims.procs = false;
+        }
+        let one = |n: u8| vec![(0..n).collect::<Vec<u8>>()];
+        let procs = if dims.procs {
+            all_perms(params.p)
+        } else {
+            one(params.p)
+        };
+        let blocks = if dims.blocks {
+            all_perms(params.b)
+        } else {
+            one(params.b)
+        };
+        let values = if dims.values {
+            all_perms(params.v)
+        } else {
+            one(params.v)
+        };
+        let mut out = Vec::with_capacity(procs.len() * blocks.len() * values.len());
+        for pp in &procs {
+            for bb in &blocks {
+                for vv in &values {
+                    out.push(SymPerm::from_parts(pp.clone(), bb.clone(), vv.clone()));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -185,6 +444,72 @@ mod tests {
         let t = interleave(&[p1, p2], &[0, 1, 0]).unwrap();
         assert_eq!(t.ops(), &[st(1, 1, 1), st(2, 1, 2), ld(1, 1, 2)]);
         assert!(t.is_serial());
+    }
+
+    #[test]
+    fn sym_group_enumerates_product_of_symmetric_groups() {
+        let params = Params::new(3, 2, 2);
+        let g = SymPerm::group(params, SymDims::FULL, 1_000_000);
+        assert_eq!(g.len(), 6 * 2 * 2);
+        assert!(g[0].is_identity(), "identity comes first");
+        assert_eq!(g.iter().filter(|p| p.is_identity()).count(), 1);
+        // Closure under composition (it is a group).
+        for a in &g {
+            for b in &g {
+                assert!(g.contains(&a.compose(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn sym_group_cap_drops_whole_dimensions() {
+        let params = Params::new(4, 3, 3);
+        // 4!·3!·3! = 864 > 200 → drop values → 144; still > 100 → drop
+        // blocks → 24.
+        let g = SymPerm::group(params, SymDims::FULL, 200);
+        assert_eq!(g.len(), 24 * 6);
+        let g = SymPerm::group(params, SymDims::FULL, 100);
+        assert_eq!(g.len(), 24);
+        // Each capped result is still closed under composition.
+        for a in g.iter().take(8) {
+            for b in g.iter().take(8) {
+                assert!(g.contains(&a.compose(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn sym_perm_renames_ops_and_fixes_bottom() {
+        let perm = SymPerm::from_parts(vec![1, 0], vec![0, 1], vec![1, 0]);
+        assert_eq!(
+            perm.op(st(1, 1, 1)),
+            Op::store(ProcId(2), BlockId(1), Value(2))
+        );
+        let bot = Op::load(ProcId(2), BlockId(2), Value::BOTTOM);
+        assert_eq!(perm.op(bot).value, Value::BOTTOM);
+        assert_eq!(perm.op(bot).proc, ProcId(1));
+    }
+
+    #[test]
+    fn sym_perm_inverse_indexing() {
+        let perm = SymPerm::from_parts(vec![2, 0, 1], vec![0], vec![0]);
+        for i in 0..3 {
+            assert_eq!(perm.inv_proc_idx(perm.proc_idx(i)), i);
+        }
+        assert!(!perm.is_identity());
+        assert!(SymPerm::identity(Params::new(3, 1, 1)).is_identity());
+    }
+
+    #[test]
+    fn sym_dims_intersection() {
+        let d = SymDims::FULL.intersect(SymDims::PROCS);
+        assert_eq!(d, SymDims::PROCS);
+        assert!(d.any());
+        assert!(!SymDims::NONE.any());
+        assert_eq!(
+            SymPerm::group_order(Params::new(3, 2, 2), SymDims::FULL),
+            24
+        );
     }
 
     #[test]

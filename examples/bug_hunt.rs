@@ -23,7 +23,7 @@ fn main() {
     let Outcome::Violation {
         run,
         trace,
-        message,
+        reason,
         stats,
     } = outcome
     else {
@@ -33,7 +33,7 @@ fn main() {
         "violation found after {} states / {} transitions in {:?}",
         stats.states, stats.transitions, stats.elapsed
     );
-    println!("checker diagnosis: {message}\n");
+    println!("checker diagnosis: {reason}\n");
 
     println!("shortest violating run ({} actions):", run.len());
     for a in &run {

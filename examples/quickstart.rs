@@ -18,12 +18,12 @@ fn report(name: &str, outcome: &Outcome) {
             "  {name:<22} VERIFIED          {:>8} states, {:>9} transitions, depth {:>3}, {:?}",
             s.states, s.transitions, s.depth, s.elapsed
         ),
-        Outcome::Violation { trace, message, .. } => {
+        Outcome::Violation { trace, reason, .. } => {
             println!(
                 "  {name:<22} NOT SC            {:>8} states, {:>9} transitions, depth {:>3}, {:?}",
                 s.states, s.transitions, s.depth, s.elapsed
             );
-            println!("      diagnosis : {message}");
+            println!("      diagnosis : {reason}");
             println!("      trace     : {trace}");
             println!(
                 "      cross-check: has_serial_reordering = {}",
@@ -43,13 +43,7 @@ fn main() {
     println!("Verifying protocols (p = processors, b = blocks, v = values):");
     println!();
 
-    let cap = |n: usize| VerifyOptions {
-        bfs: BfsOptions {
-            max_states: n,
-            max_depth: usize::MAX,
-        },
-        ..Default::default()
-    };
+    let cap = |n: usize| VerifyOptions::new().max_states(n);
 
     // The smallest serial memory: exhaustively VERIFIED (the product
     // space converges at roughly 120k states).

@@ -3,6 +3,7 @@
 //! ```text
 //! scv verify <protocol> [-p N] [-b N] [-v N] [--threads N] [--max-states N]
 //!                       [--strategy ws|level-sync] [--batch N]
+//!                       [--symmetry off|proc|full]
 //! scv observe <protocol> [--steps N] [--seed N]     # one random run's descriptor
 //! scv monitor <protocol> [--steps N] [--seed N]     # §5 runtime testing mode
 //! scv list                                          # available protocols
@@ -37,6 +38,7 @@ struct Args {
     max_states: usize,
     strategy: SearchStrategy,
     batch: usize,
+    symmetry: SymmetryMode,
     steps: usize,
     seed: u64,
 }
@@ -51,6 +53,7 @@ impl Args {
             max_states: 2_000_000,
             strategy: SearchStrategy::default(),
             batch: 128,
+            symmetry: SymmetryMode::default(),
             steps: 100,
             seed: 0,
         };
@@ -81,7 +84,28 @@ impl Args {
                 }
                 "--steps" => a.steps = val("--steps")? as usize,
                 "--seed" => a.seed = val("--seed")?,
-                other => return Err(format!("unknown flag {other}")),
+                other => {
+                    let sym = if let Some(v) = other.strip_prefix("--symmetry=") {
+                        Some(v.to_string())
+                    } else if other == "--symmetry" {
+                        Some(
+                            it.next()
+                                .ok_or("--symmetry needs a value (off | proc | full)")?
+                                .clone(),
+                        )
+                    } else {
+                        None
+                    };
+                    match sym.as_deref() {
+                        Some("off") => a.symmetry = SymmetryMode::Off,
+                        Some("proc") => a.symmetry = SymmetryMode::Proc,
+                        Some("full") => a.symmetry = SymmetryMode::Full,
+                        Some(v) => {
+                            return Err(format!("unknown symmetry mode `{v}` (off | proc | full)"))
+                        }
+                        None => return Err(format!("unknown flag {other}")),
+                    }
+                }
             }
         }
         Ok(a)
@@ -286,21 +310,19 @@ fn run(argv: &[String]) -> ExitCode {
                         ("threads".into(), args.threads.to_string()),
                         ("strategy".into(), format!("{:?}", args.strategy)),
                         ("max_states".into(), args.max_states.to_string()),
+                        ("symmetry".into(), format!("{:?}", args.symmetry)),
                     ],
                 });
             }
             let proto_label = p.name().to_string();
             let out = verify_protocol(
                 p,
-                VerifyOptions {
-                    bfs: BfsOptions {
-                        max_states: args.max_states,
-                        max_depth: usize::MAX,
-                    },
-                    threads: args.threads,
-                    strategy: args.strategy,
-                    batch_size: args.batch,
-                },
+                VerifyOptions::new()
+                    .max_states(args.max_states)
+                    .threads(args.threads)
+                    .strategy(args.strategy)
+                    .batch_size(args.batch)
+                    .symmetry(args.symmetry),
             );
             let s = out.stats();
             if telemetry::enabled() {
@@ -318,6 +340,7 @@ fn run(argv: &[String]) -> ExitCode {
                     .param("strategy", format!("{:?}", args.strategy))
                     .param("batch", args.batch.to_string())
                     .param("max_states", args.max_states.to_string())
+                    .param("symmetry", format!("{:?}", args.symmetry))
                     .with_verdict(verdict)
                     .metric("states", s.states as f64)
                     .metric("transitions", s.transitions as f64)
@@ -342,12 +365,9 @@ fn run(argv: &[String]) -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Outcome::Violation {
-                    run,
-                    trace,
-                    message,
-                    ..
+                    run, trace, reason, ..
                 } => {
-                    println!("NOT VERIFIED: {message}");
+                    println!("NOT VERIFIED: {reason}");
                     println!("violating run ({} actions):", run.len());
                     for a in &run {
                         println!("  {a}");

@@ -27,21 +27,18 @@
 //! // the protocol (x) observer (x) checker product. Product spaces run to
 //! // millions of states even at tiny parameters (see DESIGN.md), so this
 //! // doc example caps the search — a correct protocol never produces a
-//! // Violation, bounded or not.
-//! let opts = VerifyOptions {
-//!     bfs: BfsOptions { max_states: 3_000, max_depth: usize::MAX },
-//!     ..Default::default()
-//! };
-//! let outcome = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), opts);
+//! // Violation, bounded or not. `symmetry(SymmetryMode::Full)` quotients
+//! // the space by the protocol's processor/block/value symmetry group.
+//! let outcome = Verifier::new(MsiProtocol::new(Params::new(2, 1, 2)))
+//!     .max_states(3_000)
+//!     .symmetry(SymmetryMode::Full)
+//!     .run();
 //! assert!(!matches!(outcome, Outcome::Violation { .. }));
 //!
 //! // The fault-injected variant loses an invalidation and is caught with
 //! // a shortest violating run whose trace genuinely has no serial
 //! // reordering:
-//! let opts = VerifyOptions {
-//!     bfs: BfsOptions { max_states: 2_000_000, max_depth: usize::MAX },
-//!     ..Default::default()
-//! };
+//! let opts = VerifyOptions::new().max_states(2_000_000);
 //! match verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), opts) {
 //!     Outcome::Violation { trace, .. } => assert!(!has_serial_reordering(&trace)),
 //!     o => panic!("expected a violation, got {:?}", o.stats()),
@@ -62,6 +59,7 @@
 //! | [`mc`] | §3.4 | sequential + parallel explicit-state model checking |
 
 pub mod testing;
+pub mod verifier;
 
 pub use scv_automata as automata;
 pub use scv_checker as checker;
@@ -75,20 +73,22 @@ pub use scv_types as types;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use crate::verifier::Verifier;
     pub use scv_checker::{CycleChecker, ScChecker};
     pub use scv_descriptor::{decode, encode, naive_descriptor, Descriptor, Symbol};
     pub use scv_graph::{
         has_serial_reordering, validate_constraint_graph, ConstraintGraph, EdgeSet,
     };
     pub use scv_mc::{
-        verify_protocol, BfsOptions, McStats, Outcome, SearchStrategy, VerifyOptions, VerifySystem,
+        verify_protocol, verify_system, BfsOptions, McStats, Outcome, RejectReason, SearchStrategy,
+        SymmetryMode, VerifyOptions, VerifySystem,
     };
     pub use scv_observer::{observer_size_bound, Observer, ObserverConfig};
     pub use scv_protocol::{
         Action, DirectoryProtocol, Fig4Protocol, LazyCaching, MesiProtocol, MsiProtocol, Protocol,
-        Run, Runner, SerialMemory, StoreBufferTso,
+        Run, Runner, SerialMemory, StoreBufferTso, Symmetry,
     };
-    pub use scv_types::{BlockId, Op, Params, ProcId, Reordering, Trace, Value};
+    pub use scv_types::{BlockId, Op, Params, ProcId, Reordering, SymDims, SymPerm, Trace, Value};
 }
 
 #[cfg(test)]

@@ -50,17 +50,13 @@ fn matrix() -> Vec<(usize, SearchStrategy)> {
 }
 
 fn opts(max_states: usize, threads: usize, strategy: SearchStrategy) -> VerifyOptions {
-    VerifyOptions {
-        bfs: BfsOptions {
-            max_states,
-            max_depth: usize::MAX,
-        },
-        threads,
-        strategy,
-        // Small batches so even modest searches exercise chunk hand-off
-        // and stealing, not just one worker draining one chunk.
-        batch_size: 32,
-    }
+    // Small batches so even modest searches exercise chunk hand-off
+    // and stealing, not just one worker draining one chunk.
+    VerifyOptions::new()
+        .max_states(max_states)
+        .threads(threads)
+        .strategy(strategy)
+        .batch_size(32)
 }
 
 fn verdict(out: &Outcome) -> &'static str {
@@ -101,7 +97,7 @@ fn replay_flags_violation<P: Protocol + Clone>(p: &P, run: &[Action]) {
 /// variant throughout; validate every counterexample produced.
 fn assert_matrix_verdict<P>(p: P, max_states: usize, expected: &str)
 where
-    P: Protocol + Clone + Sync,
+    P: Symmetry + Clone + Sync,
     P::State: Send + Sync,
 {
     for (threads, strategy) in matrix() {
@@ -112,10 +108,10 @@ where
             "threads={threads} strategy={strategy:?}: {:?}",
             out.stats()
         );
-        if let Outcome::Violation { run, message, .. } = &out {
+        if let Outcome::Violation { run, reason, .. } = &out {
             assert!(
                 !run.is_empty(),
-                "violating run must be non-trivial: {message}"
+                "violating run must be non-trivial: {reason}"
             );
             replay_flags_violation(&p, run);
         }
@@ -235,10 +231,7 @@ fn stress_work_stealing_stats_invariants() {
     // congruence, so asynchronous schedules merge classes slightly
     // differently (module docs).
     let product = || VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
-    let unbounded = BfsOptions {
-        max_states: 10_000_000,
-        max_depth: usize::MAX,
-    };
+    let unbounded = BfsOptions::new().max_states(10_000_000);
     let seq_states = match bfs(&product(), unbounded) {
         SearchResult::Safe(stats) => stats.states,
         r => panic!("sequential search must be exhaustive, got {:?}", r.stats()),
@@ -282,10 +275,7 @@ fn stress_work_stealing_stats_invariants() {
     // exhaust (MSI 2,1,2): the cap must bite, and the scheduler counters
     // must stay coherent under sustained load.
     let big = VerifySystem::new(MsiProtocol::new(Params::new(2, 1, 2)));
-    let capped = BfsOptions {
-        max_states: 2_000_000,
-        max_depth: usize::MAX,
-    };
+    let capped = BfsOptions::new().max_states(2_000_000);
     let (result, workers) = ws_search_detailed(&big, capped, 4, 128);
     let stats = match result {
         SearchResult::Bounded(stats) => stats,

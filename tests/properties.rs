@@ -131,3 +131,58 @@ proptest! {
         prop_assert_eq!(r.apply(&t).len(), t.len());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Symmetry soundness core: permuting a reachable protocol state by
+    /// any element of its symmetry group leaves the orbit-minimum
+    /// canonical encoding unchanged — canonicalization commutes with the
+    /// group action, so every member of an orbit lands on one seen-set
+    /// fingerprint.
+    #[test]
+    fn canonical_encoding_commutes_with_permutation(seed in 0u64..50_000, steps in 1usize..40) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use sc_verify::protocol::canonical_state_encoding;
+        let proto = MsiProtocol::new(Params::new(2, 2, 2));
+        let group = SymPerm::group(proto.params(), proto.symmetry_dims(), 1024);
+        prop_assert!(group.len() > 1, "MSI (2,2,2) must have a non-trivial group");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut runner = Runner::new(proto.clone());
+        runner.run_random(steps, 0.5, &mut rng);
+        let s = runner.state().clone();
+        let canon = canonical_state_encoding(&proto, &s, &group);
+        for g in &group {
+            let gs = proto.permute_state(&s, g);
+            prop_assert_eq!(
+                canonical_state_encoding(&proto, &gs, &group),
+                canon.clone(),
+                "encoding must be orbit-invariant under {:?}", g
+            );
+        }
+    }
+
+    /// The same invariance for a protocol with a *restricted* declared
+    /// group (buggy MSI keeps blocks and values but not processors): the
+    /// quotient only ever uses what the protocol declares sound.
+    #[test]
+    fn restricted_group_is_still_invariant(seed in 0u64..50_000, steps in 1usize..30) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        use sc_verify::protocol::canonical_state_encoding;
+        let proto = MsiProtocol::buggy(Params::new(2, 2, 2));
+        let dims = proto.symmetry_dims();
+        prop_assert!(!dims.procs, "buggy MSI must not declare processor symmetry");
+        let group = SymPerm::group(proto.params(), dims, 1024);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut runner = Runner::new(proto.clone());
+        runner.run_random(steps, 0.5, &mut rng);
+        let s = runner.state().clone();
+        let canon = canonical_state_encoding(&proto, &s, &group);
+        for g in &group {
+            let gs = proto.permute_state(&s, g);
+            prop_assert_eq!(canonical_state_encoding(&proto, &gs, &group), canon.clone());
+        }
+    }
+}

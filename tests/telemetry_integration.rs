@@ -23,14 +23,7 @@ fn small_serial() -> SerialMemory {
 }
 
 fn opts(threads: usize) -> VerifyOptions {
-    VerifyOptions {
-        bfs: BfsOptions {
-            max_states: 2_000_000,
-            max_depth: usize::MAX,
-        },
-        threads,
-        ..Default::default()
-    }
+    VerifyOptions::new().max_states(2_000_000).threads(threads)
 }
 
 #[test]

@@ -12,13 +12,7 @@
 use sc_verify::prelude::*;
 
 fn opts(max_states: usize) -> VerifyOptions {
-    VerifyOptions {
-        bfs: BfsOptions {
-            max_states,
-            max_depth: usize::MAX,
-        },
-        ..Default::default()
-    }
+    VerifyOptions::new().max_states(max_states)
 }
 
 fn safe_within(out: &Outcome) -> bool {
@@ -163,10 +157,7 @@ fn parallel_and_sequential_verification_agree() {
     let seq = verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), opts(2_000_000));
     let par = verify_protocol(
         MsiProtocol::buggy(Params::new(2, 2, 1)),
-        VerifyOptions {
-            threads: 4,
-            ..opts(2_000_000)
-        },
+        opts(2_000_000).threads(4),
     );
     assert!(matches!(seq, Outcome::Violation { .. }));
     assert!(matches!(par, Outcome::Violation { .. }));
