@@ -1,0 +1,320 @@
+//! Encode→decode round-trips on adversarial bandwidth-boundary graphs.
+//!
+//! The Lemma 3.2 encoder is exercised exactly where its ID bookkeeping is
+//! tightest: graphs whose bandwidth *equals* the requested `k` (every one
+//! of the `k+1` IDs must be live at some point), cliques that saturate
+//! the ID space, and long chains that force an ID to be recycled on every
+//! step. A hand-built descriptor battery then pins the `add-ID` recycling
+//! semantics — an ID stolen by `add-ID` must route subsequent edges to
+//! its new holder, and a recycled ID must not resurrect its old node.
+
+use proptest::prelude::*;
+use scv_descriptor::{
+    decode, encode, naive_descriptor, ConstraintGraph, DecodeError, Descriptor, EdgeSet,
+    EncodeError, Symbol,
+};
+use scv_types::{BlockId, Op, ProcId, Value};
+
+fn st(p: u8, b: u8, v: u8) -> Op {
+    Op::store(ProcId(p), BlockId(b), Value(v))
+}
+
+/// A clique on `n` nodes (edges `u -> v` for all `u < v`): every earlier
+/// node has an edge to the last one, so all `n` IDs are simultaneously
+/// live — bandwidth exactly `n - 1`.
+fn clique(n: usize) -> ConstraintGraph {
+    let mut g = ConstraintGraph::with_nodes((0..n).map(|i| st(1, 1, (i % 5) as u8 + 1)));
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v, EdgeSet::PO);
+        }
+    }
+    g
+}
+
+/// A banded graph: node `i` has an edge to `i + w` — the classic
+/// bandwidth-`w` shape, with every window fully saturated.
+fn band(n: usize, w: usize) -> ConstraintGraph {
+    let mut g = ConstraintGraph::with_nodes((0..n).map(|i| st(1, 1, (i % 7) as u8 + 1)));
+    for u in 0..n {
+        for d in 1..=w {
+            if u + d < n {
+                g.add_edge(u, u + d, EdgeSet::PO);
+            }
+        }
+    }
+    g
+}
+
+fn roundtrips(g: &ConstraintGraph, k: u32) {
+    let d = encode(g, k).unwrap_or_else(|e| panic!("encode at k={k}: {e}"));
+    assert!(d.ids_in_range(), "IDs escape 1..={} at k={k}", k + 1);
+    let (dg, stats) = decode(&d).unwrap_or_else(|e| panic!("decode at k={k}: {e}"));
+    let g2 = dg.to_constraint_graph().unwrap();
+    assert_eq!(&g2, g, "roundtrip at k={k}");
+    assert!(
+        stats.max_active <= (k + 1) as usize,
+        "decoder saw {} active nodes at k={k}",
+        stats.max_active
+    );
+}
+
+#[test]
+fn cliques_encode_exactly_at_their_bandwidth() {
+    for n in 2..=7usize {
+        let g = clique(n);
+        let k = (n - 1) as u32;
+        assert_eq!(g.bandwidth(), n - 1);
+        roundtrips(&g, k);
+        // One below the boundary must fail, and name the bound it was
+        // given — not silently truncate the graph.
+        assert_eq!(
+            encode(&g, k - 1),
+            Err(EncodeError::BandwidthExceeded {
+                node: n - 1,
+                k: k - 1
+            })
+        );
+    }
+}
+
+#[test]
+fn a_boundary_clique_uses_all_k_plus_1_ids() {
+    // With bandwidth == k, the free pool must drain completely: the
+    // descriptor mentions every ID in 1..=k+1.
+    let n = 5;
+    let g = clique(n);
+    let k = (n - 1) as u32;
+    let d = encode(&g, k).unwrap();
+    let mut used: Vec<u32> = d
+        .symbols
+        .iter()
+        .filter_map(|s| match *s {
+            Symbol::Node { id, .. } => Some(id),
+            _ => None,
+        })
+        .collect();
+    used.sort_unstable();
+    used.dedup();
+    assert_eq!(used, (1..=k + 1).collect::<Vec<_>>());
+}
+
+#[test]
+fn banded_graphs_roundtrip_at_and_above_the_boundary() {
+    for (n, w) in [(12, 1), (12, 2), (20, 3), (9, 4)] {
+        let g = band(n, w);
+        let k = g.bandwidth() as u32;
+        assert_eq!(k as usize, w, "band({n},{w}) bandwidth");
+        for kk in k..=k + 2 {
+            roundtrips(&g, kk);
+        }
+        assert!(matches!(
+            encode(&g, k - 1),
+            Err(EncodeError::BandwidthExceeded { .. })
+        ));
+    }
+}
+
+#[test]
+fn chains_recycle_one_id_forever() {
+    // A 150-node chain at k=1: exactly two IDs exist, so the encoder must
+    // recycle the predecessor's ID at every single step.
+    let n = 150;
+    let g = band(n, 1);
+    let d = encode(&g, 1).unwrap();
+    for s in &d.symbols {
+        assert!(s.max_id() <= 2, "chain at k=1 leaked ID {}", s.max_id());
+    }
+    let (dg, stats) = decode(&d).unwrap();
+    assert_eq!(dg.node_count(), n);
+    assert_eq!(stats.max_active, 2);
+    assert_eq!(dg.to_constraint_graph().unwrap(), g);
+}
+
+#[test]
+fn the_naive_descriptor_agrees_with_the_recycling_encoder() {
+    for g in [clique(5), band(14, 3)] {
+        let via_naive = decode(&naive_descriptor(&g))
+            .unwrap()
+            .0
+            .to_constraint_graph()
+            .unwrap();
+        let via_encode = decode(&encode(&g, g.bandwidth() as u32).unwrap())
+            .unwrap()
+            .0
+            .to_constraint_graph()
+            .unwrap();
+        assert_eq!(via_naive, g);
+        assert_eq!(via_encode, g);
+    }
+}
+
+// ---- add-ID recycling semantics (hand-built descriptors) ----
+
+#[test]
+fn add_id_steals_the_id_from_its_previous_holder() {
+    // Node A holds 1, node B holds 2. add-ID(2,1) moves 1 onto B, so a
+    // later edge (1,3) attaches to B — not to A, and not dangling.
+    let mut d = Descriptor::new(2);
+    d.symbols = vec![
+        Symbol::Node { id: 1, label: None }, // node 0
+        Symbol::Node { id: 2, label: None }, // node 1
+        Symbol::AddId { of: 2, add: 1 },
+        Symbol::Node { id: 3, label: None }, // node 2
+        Symbol::Edge {
+            from: 1,
+            to: 3,
+            label: None,
+        },
+    ];
+    let (g, _) = decode(&d).unwrap();
+    assert_eq!(g.edges, vec![(1, 2, EdgeSet::EMPTY)]);
+}
+
+#[test]
+fn a_node_descriptor_recycling_an_alias_detaches_it() {
+    // Node 0 holds {1, 2} after add-ID. Re-introducing ID 2 as a fresh
+    // node must strip it from node 0: edges via 2 go to the new node,
+    // edges via 1 still reach node 0.
+    let mut d = Descriptor::new(2);
+    d.symbols = vec![
+        Symbol::Node { id: 1, label: None }, // node 0
+        Symbol::AddId { of: 1, add: 2 },
+        Symbol::Node { id: 2, label: None }, // node 1 (steals ID 2)
+        Symbol::Edge {
+            from: 2,
+            to: 1,
+            label: None,
+        },
+        Symbol::Edge {
+            from: 1,
+            to: 2,
+            label: None,
+        },
+    ];
+    let (g, _) = decode(&d).unwrap();
+    assert_eq!(
+        g.edges,
+        vec![(1, 0, EdgeSet::EMPTY), (0, 1, EdgeSet::EMPTY)]
+    );
+}
+
+#[test]
+fn an_id_freed_by_add_id_theft_can_seed_a_fresh_node() {
+    // add-ID(2,1) moves ID 1 from node 0 onto node 1, so reusing 1 for a
+    // brand-new node is legal and must not resurrect node 0: the old
+    // holder stays permanently unreachable.
+    let mut d = Descriptor::new(2);
+    d.symbols = vec![
+        Symbol::Node { id: 1, label: None }, // node 0
+        Symbol::Node { id: 2, label: None }, // node 1
+        Symbol::AddId { of: 2, add: 1 },     // node 1 now holds {1, 2}
+        Symbol::Node { id: 1, label: None }, // node 2 (takes 1 back)
+        Symbol::Edge {
+            from: 1,
+            to: 2,
+            label: None,
+        },
+    ];
+    let (g, _) = decode(&d).unwrap();
+    assert_eq!(g.node_count(), 3);
+    assert_eq!(g.edges, vec![(2, 1, EdgeSet::EMPTY)]);
+}
+
+#[test]
+fn edges_through_a_recycled_id_never_reach_the_old_node() {
+    // ID 1 is introduced, recycled for a second node; an edge (1,2) must
+    // attach to the *new* holder even though the old node is adjacent in
+    // descriptor order.
+    let mut d = Descriptor::new(1);
+    d.symbols = vec![
+        Symbol::Node { id: 1, label: None }, // node 0
+        Symbol::Node { id: 2, label: None }, // node 1
+        Symbol::Node { id: 1, label: None }, // node 2 (recycles 1)
+        Symbol::Edge {
+            from: 1,
+            to: 2,
+            label: None,
+        },
+    ];
+    let (g, _) = decode(&d).unwrap();
+    assert_eq!(g.edges, vec![(2, 1, EdgeSet::EMPTY)]);
+}
+
+#[test]
+fn boundary_ids_k_and_k_plus_1_are_legal_but_k_plus_2_is_not() {
+    for k in 1..=4u32 {
+        let mut d = Descriptor::new(k);
+        d.symbols = vec![
+            Symbol::Node { id: k, label: None },
+            Symbol::Node {
+                id: k + 1,
+                label: None,
+            },
+            Symbol::Edge {
+                from: k,
+                to: k + 1,
+                label: None,
+            },
+        ];
+        assert!(decode(&d).is_ok(), "IDs k, k+1 must decode at k={k}");
+
+        let mut d = Descriptor::new(k);
+        d.symbols = vec![Symbol::Node {
+            id: k + 2,
+            label: None,
+        }];
+        assert_eq!(
+            decode(&d),
+            Err(DecodeError::IdOutOfRange { position: 0 }),
+            "ID k+2 must be rejected at k={k}"
+        );
+    }
+}
+
+#[test]
+fn add_id_with_out_of_range_ids_is_rejected() {
+    let mut d = Descriptor::new(1);
+    d.symbols = vec![
+        Symbol::Node { id: 1, label: None },
+        Symbol::AddId { of: 1, add: 3 },
+    ];
+    assert_eq!(decode(&d), Err(DecodeError::IdOutOfRange { position: 1 }));
+}
+
+// ---- randomized boundary sweep ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random graphs with edges confined to a window of width `w`
+    /// round-trip at their exact measured bandwidth.
+    #[test]
+    fn random_banded_graphs_roundtrip_at_their_bandwidth(
+        n in 2usize..18,
+        w in 1usize..5,
+        edge_bits in proptest::collection::vec(0u32..16, 0..64),
+    ) {
+        let mut g = ConstraintGraph::with_nodes(
+            (0..n).map(|i| st((i % 3) as u8 + 1, 1, (i % 5) as u8 + 1)),
+        );
+        for (i, bits) in edge_bits.iter().enumerate() {
+            let u = i % n;
+            let d = (bits % w as u32) as usize + 1;
+            if u + d < n {
+                g.add_edge(u, u + d, EdgeSet::PO);
+            }
+        }
+        let k = g.bandwidth() as u32;
+        let d = encode(&g, k).unwrap();
+        prop_assert!(d.ids_in_range());
+        let (dg, stats) = decode(&d).unwrap();
+        prop_assert_eq!(dg.to_constraint_graph().unwrap(), g.clone());
+        prop_assert!(stats.max_active <= (k + 1) as usize);
+        // …and strictly below the measured bandwidth, encoding must fail
+        // (bandwidth 0 means an edgeless graph; nothing below to test).
+        if k > 0 {
+            prop_assert!(encode(&g, k - 1).is_err());
+        }
+    }
+}

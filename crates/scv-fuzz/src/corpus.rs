@@ -1,0 +1,315 @@
+//! The shrunk-reproducer regression corpus.
+//!
+//! Every disagreement the fuzzer finds is shrunk and serialized as a
+//! `.case` file — a small, human-readable, self-contained reproducer:
+//! the protocol configuration, the expected streaming-checker verdict,
+//! and the action sequence to replay. Committed cases are replayed
+//! against the real oracles by ordinary `cargo test` (see the workspace
+//! `tests/fuzz_corpus.rs`), so a fixed bug stays fixed.
+//!
+//! ```text
+//! # free-form comments
+//! name: stale-read-mp
+//! config: p=2 b=2 v=1 shared=1 upgrade=0 evict_m=1 evict_s=0 downgrade=0 atomic=0 mutation=stale-read
+//! expect: reject
+//! note: shrunk from seed 42 case 17
+//! actions:
+//! I BusRdX 1
+//! ST 1 1 1
+//! LD 2 1 0
+//! ```
+
+use crate::gen::GenConfig;
+use crate::oracle::{check_run, RunVerdict};
+use crate::shrink::replay;
+use scv_protocol::{Action, LocId};
+use scv_types::{BlockId, Op, ProcId, Value};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::gen::GenProtocol;
+
+/// The verdict a corpus case pins down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// The streaming checker must reject the replayed run.
+    Reject,
+    /// The streaming checker must accept, and the trace must be SC.
+    Accept,
+}
+
+impl Expectation {
+    fn tag(self) -> &'static str {
+        match self {
+            Expectation::Reject => "reject",
+            Expectation::Accept => "accept",
+        }
+    }
+}
+
+/// One serializable regression case.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CorpusCase {
+    /// File-stem-safe identifier.
+    pub name: String,
+    /// The protocol family member to instantiate.
+    pub config: GenConfig,
+    /// The pinned verdict.
+    pub expect: Expectation,
+    /// Free-form provenance (seed, case index, fuzzer version).
+    pub note: String,
+    /// The action sequence to replay from the initial state.
+    pub actions: Vec<Action>,
+}
+
+/// The closed set of internal action names the generated family uses;
+/// parsing maps the textual name back to the `&'static str` the protocol
+/// compares against.
+const INTERNAL_NAMES: [&str; 6] = [
+    "BusRd",
+    "BusRdX",
+    "BusUpgr",
+    "EvictM",
+    "EvictS",
+    "Downgrade",
+];
+
+fn intern_name(s: &str) -> Option<&'static str> {
+    INTERNAL_NAMES.iter().find(|n| **n == s).copied()
+}
+
+fn action_line(a: &Action) -> String {
+    match a {
+        Action::Mem(op) => format!(
+            "{} {} {} {}",
+            if op.is_store() { "ST" } else { "LD" },
+            op.proc.0,
+            op.block.0,
+            op.value.0
+        ),
+        Action::Internal(name, payload) => format!("I {name} {payload}"),
+    }
+}
+
+fn parse_action(line: &str) -> Result<Action, String> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let err = || format!("bad action line: {line:?}");
+    match parts.as_slice() {
+        [kind @ ("ST" | "LD"), p, b, v] => {
+            let p = ProcId(p.parse().map_err(|_| err())?);
+            let b = BlockId(b.parse().map_err(|_| err())?);
+            let v = Value(v.parse().map_err(|_| err())?);
+            Ok(Action::Mem(if *kind == "ST" {
+                Op::store(p, b, v)
+            } else {
+                Op::load(p, b, v)
+            }))
+        }
+        ["I", name, payload] => {
+            let name = intern_name(name).ok_or_else(|| format!("unknown internal: {name}"))?;
+            let payload: LocId = payload.parse().map_err(|_| err())?;
+            Ok(Action::Internal(name, payload))
+        }
+        _ => Err(err()),
+    }
+}
+
+impl CorpusCase {
+    /// Serialize to the `.case` text format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "name: {}", self.name);
+        let _ = writeln!(out, "config: {}", self.config.to_line());
+        let _ = writeln!(out, "expect: {}", self.expect.tag());
+        if !self.note.is_empty() {
+            let _ = writeln!(out, "note: {}", self.note);
+        }
+        let _ = writeln!(out, "actions:");
+        for a in &self.actions {
+            let _ = writeln!(out, "{}", action_line(a));
+        }
+        out
+    }
+
+    /// Parse the `.case` text format.
+    pub fn parse(text: &str) -> Result<CorpusCase, String> {
+        let mut name = None;
+        let mut config = None;
+        let mut expect = None;
+        let mut note = String::new();
+        let mut actions = Vec::new();
+        let mut in_actions = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if in_actions {
+                actions.push(parse_action(line)?);
+                continue;
+            }
+            let (key, val) = line
+                .split_once(':')
+                .ok_or_else(|| format!("bad header line: {line:?}"))?;
+            let val = val.trim();
+            match key.trim() {
+                "name" => name = Some(val.to_string()),
+                "config" => {
+                    config = Some(
+                        GenConfig::from_line(val).ok_or_else(|| format!("bad config: {val}"))?,
+                    )
+                }
+                "expect" => {
+                    expect = Some(match val {
+                        "reject" => Expectation::Reject,
+                        "accept" => Expectation::Accept,
+                        _ => return Err(format!("bad expectation: {val}")),
+                    })
+                }
+                "note" => note = val.to_string(),
+                "actions" => in_actions = true,
+                k => return Err(format!("unknown key: {k}")),
+            }
+        }
+        Ok(CorpusCase {
+            name: name.ok_or("missing name")?,
+            config: config.ok_or("missing config")?,
+            expect: expect.ok_or("missing expect")?,
+            note,
+            actions,
+        })
+    }
+
+    /// Replay the case through the real oracle stack: the actions must
+    /// replay, the full differential check must not disagree, and the
+    /// streaming verdict must match the expectation.
+    pub fn replay_check(&self) -> Result<RunVerdict, String> {
+        let proto = GenProtocol::new(self.config);
+        let run = replay(&proto, &self.actions)
+            .ok_or_else(|| format!("{}: actions do not replay", self.name))?;
+        let v = check_run(&proto, &run, false).map_err(|d| format!("{}: {d}", self.name))?;
+        let want_accept = self.expect == Expectation::Accept;
+        if v.accepted != want_accept {
+            return Err(format!(
+                "{}: expected {} but checker {}",
+                self.name,
+                self.expect.tag(),
+                if v.accepted { "accepted" } else { "rejected" }
+            ));
+        }
+        if want_accept && !v.sc_trace {
+            return Err(format!("{}: accepted trace is not SC", self.name));
+        }
+        Ok(v)
+    }
+
+    /// Write the case into `dir` as `<name>.case`, creating `dir` if
+    /// needed. Returns the path written.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.case", self.name));
+        fs::write(&path, self.serialize())?;
+        Ok(path)
+    }
+}
+
+/// Load every `*.case` file under `dir` (sorted by file name; missing or
+/// empty directories yield an empty corpus).
+pub fn load_corpus(dir: &Path) -> Result<Vec<CorpusCase>, String> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "case"))
+            .collect(),
+        Err(_) => return Ok(Vec::new()),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            CorpusCase::parse(&text).map_err(|e| format!("{}: {e}", p.display()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Mutation;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use scv_protocol::{litmus, realization};
+
+    fn mp_case(m: Mutation) -> CorpusCase {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let config = GenConfig {
+            mutation: Some(m),
+            ..GenConfig::sample_mutated(&mut rng)
+        };
+        let run = realization(
+            &GenProtocol::new(config),
+            &litmus::message_passing().trace,
+            8,
+        )
+        .expect("realizes MP");
+        CorpusCase {
+            name: format!("mp-{}", m.tag()),
+            config,
+            expect: Expectation::Reject,
+            note: "unit test".into(),
+            actions: run.steps.iter().map(|s| s.action).collect(),
+        }
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        for m in Mutation::ALL {
+            let case = mp_case(m);
+            let parsed = CorpusCase::parse(&case.serialize()).unwrap();
+            assert_eq!(parsed, case);
+        }
+    }
+
+    #[test]
+    fn replay_check_validates_real_cases() {
+        for m in Mutation::ALL {
+            let case = mp_case(m);
+            let v = case.replay_check().unwrap_or_else(|e| panic!("{e}"));
+            assert!(!v.accepted && !v.sc_trace);
+        }
+    }
+
+    #[test]
+    fn replay_check_catches_a_wrong_expectation() {
+        let mut case = mp_case(Mutation::StaleRead);
+        case.expect = Expectation::Accept;
+        assert!(case.replay_check().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(CorpusCase::parse("name: x\nactions:\nST 1 1 1").is_err()); // no config
+        assert!(CorpusCase::parse("nonsense").is_err());
+        let good = mp_case(Mutation::RacyStore).serialize();
+        assert!(CorpusCase::parse(&good.replace("reject", "maybe")).is_err());
+        assert!(CorpusCase::parse(&good.replace("ST", "XX")).is_err());
+        let bogus = format!("{good}I BusBogus 1\n");
+        assert!(CorpusCase::parse(&bogus).is_err());
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("scv-fuzz-corpus-{}", std::process::id()));
+        let a = mp_case(Mutation::StaleRead);
+        let b = mp_case(Mutation::LostWriteback);
+        a.save(&dir).unwrap();
+        b.save(&dir).unwrap();
+        let loaded = load_corpus(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.contains(&a) && loaded.contains(&b));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(load_corpus(&dir).unwrap().is_empty());
+    }
+}

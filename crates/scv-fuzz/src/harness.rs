@@ -1,0 +1,489 @@
+//! The fuzzing campaign driver.
+//!
+//! [`run_fuzz`] executes a seeded, budgeted campaign: each case samples a
+//! protocol from the generated family (mutated with probability
+//! [`FuzzOptions::mutated_ratio`]), drives seeded random runs through the
+//! trace-level oracle stack, hunts every injected bug through directed
+//! litmus realization, and periodically cross-checks the model-checking
+//! verdict matrix. Disagreements are shrunk to minimal reproducers and
+//! (optionally) serialized into the regression corpus.
+//!
+//! [`fault_injection_self_test`] validates the pipeline itself: it
+//! manufactures a synthetic disagreement on a known-bad run, then checks
+//! that shrinking produces a ≤ 10-action reproducer that survives a
+//! corpus serialize → parse → replay round-trip.
+
+use crate::corpus::{CorpusCase, Expectation};
+use crate::gen::{GenConfig, GenProtocol, Mutation};
+use crate::oracle::{check_run, drive, mc_matrix, Disagreement};
+use crate::shrink::{ddmin, replay};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use scv_protocol::{litmus, realization, Action, Run, Runner};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Campaign options.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Master seed; every case derives its own rng from it.
+    pub seed: u64,
+    /// Number of cases to attempt.
+    pub cases: usize,
+    /// Wall-clock budget; checked between cases.
+    pub budget: Option<Duration>,
+    /// Probability that a case uses a mutation-injected protocol.
+    pub mutated_ratio: f64,
+    /// Random runs per case fed to the trace-level oracles.
+    pub runs_per_case: usize,
+    /// Steps per random run.
+    pub run_len: usize,
+    /// Run the model-checking matrix every `mc_every` cases (0 = never).
+    pub mc_every: usize,
+    /// Per-combination state cap for the matrix.
+    pub mc_states: usize,
+    /// Where to write shrunk reproducers (`None` = don't write).
+    pub corpus_dir: Option<PathBuf>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0,
+            cases: 50,
+            budget: None,
+            mutated_ratio: 0.4,
+            runs_per_case: 3,
+            run_len: 36,
+            mc_every: 10,
+            mc_states: 400_000,
+            corpus_dir: None,
+        }
+    }
+}
+
+/// A disagreement found by the campaign, with its shrunk reproducer.
+#[derive(Clone, Debug)]
+pub struct FoundDisagreement {
+    /// Case index within the campaign.
+    pub case: usize,
+    /// The sampled configuration.
+    pub config: GenConfig,
+    /// The oracle split.
+    pub disagreement: Disagreement,
+    /// Shrunk reproducer (when the disagreement came with a run).
+    pub shrunk: Option<CorpusCase>,
+}
+
+/// Campaign summary.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// Cases on guaranteed-SC configurations.
+    pub sc_cases: usize,
+    /// Cases on mutation-injected configurations.
+    pub mutated_cases: usize,
+    /// Mutated cases whose injected bug was flagged (realized litmus
+    /// violation rejected by the streaming checker).
+    pub bugs_flagged: usize,
+    /// Random runs pushed through the trace-level stack.
+    pub runs_checked: usize,
+    /// Model-checking matrix invocations.
+    pub mc_runs: usize,
+    /// Matrix combinations that hit their state cap.
+    pub mc_bounded: usize,
+    /// Oracle disagreements (each shrunk where possible).
+    pub disagreements: Vec<FoundDisagreement>,
+    /// The wall-clock budget expired before all cases ran.
+    pub budget_exhausted: bool,
+}
+
+impl FuzzReport {
+    /// Campaign verdict: no disagreements and every injected bug flagged.
+    pub fn ok(&self) -> bool {
+        self.disagreements.is_empty() && self.bugs_flagged == self.mutated_cases
+    }
+}
+
+/// The forbidden litmus outcomes used for directed bug hunting, smallest
+/// first (all fit the clamped mutated parameters).
+fn hunt_traces() -> Vec<litmus::Litmus> {
+    litmus::all().into_iter().filter(|l| !l.sc_allows).collect()
+}
+
+fn case_rng(seed: u64, case: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Shrink a disagreement's run to a minimal reproducer that preserves
+/// "the differential stack still disagrees", and package it as a corpus
+/// case pinned to the ground-truth verdict of the shrunk run.
+fn shrink_disagreement(
+    proto: &GenProtocol,
+    d: &Disagreement,
+    guaranteed_sc: bool,
+    name: String,
+    note: String,
+) -> Option<CorpusCase> {
+    if d.actions.is_empty() {
+        return None;
+    }
+    let disagrees = |run: &Run| check_run(proto, run, guaranteed_sc).is_err();
+    let full = replay(proto, &d.actions)?;
+    if !disagrees(&full) {
+        return None;
+    }
+    let min = ddmin(proto, &d.actions, disagrees);
+    let run = replay(proto, &min)?;
+    let expect = if drive(proto, &run).accepted() {
+        Expectation::Accept
+    } else {
+        Expectation::Reject
+    };
+    Some(CorpusCase {
+        name,
+        config: *proto.config(),
+        expect,
+        note,
+        actions: min,
+    })
+}
+
+fn record_disagreement(
+    report: &mut FuzzReport,
+    opts: &FuzzOptions,
+    case: usize,
+    cfg: GenConfig,
+    d: Disagreement,
+) {
+    let proto = GenProtocol::new(cfg);
+    let shrunk = shrink_disagreement(
+        &proto,
+        &d,
+        cfg.mutation.is_none(),
+        format!("disagree-{}-case{case}", d.kind),
+        format!("seed {} case {case}: {}", opts.seed, d.detail),
+    );
+    if let (Some(case_file), Some(dir)) = (&shrunk, &opts.corpus_dir) {
+        let _ = case_file.save(dir);
+    }
+    if scv_telemetry::enabled() {
+        scv_telemetry::emit_report(
+            scv_telemetry::RunReport::new(format!("fuzz/disagreement/{}", d.kind))
+                .param("config", cfg.to_line())
+                .param("case", case)
+                .metric(
+                    "shrunk_len",
+                    shrunk.as_ref().map_or(-1.0, |c| c.actions.len() as f64),
+                )
+                .with_verdict(d.detail.clone()),
+        );
+    }
+    report.disagreements.push(FoundDisagreement {
+        case,
+        config: cfg,
+        disagreement: d,
+        shrunk,
+    });
+}
+
+/// Run one fuzz case on a guaranteed-SC configuration.
+fn sc_case(report: &mut FuzzReport, opts: &FuzzOptions, case: usize, rng: &mut SmallRng) {
+    let cfg = GenConfig::sample(rng);
+    report.sc_cases += 1;
+    for _ in 0..opts.runs_per_case {
+        let mut r = Runner::new(GenProtocol::new(cfg));
+        r.run_random(opts.run_len, 0.5, rng);
+        report.runs_checked += 1;
+        if let Err(d) = check_run(r.protocol(), r.run(), true) {
+            record_disagreement(report, opts, case, cfg, d);
+        }
+    }
+    if opts.mc_every > 0 && case.is_multiple_of(opts.mc_every) {
+        report.mc_runs += 1;
+        match mc_matrix(&cfg, false, 2, opts.mc_states.min(60_000), rng) {
+            Ok(check) => report.mc_bounded += check.any_bounded as usize,
+            Err(d) => record_disagreement(report, opts, case, cfg, d),
+        }
+    }
+}
+
+/// Run one fuzz case on a mutation-injected configuration.
+fn mutated_case(report: &mut FuzzReport, opts: &FuzzOptions, case: usize, rng: &mut SmallRng) {
+    let cfg = GenConfig::sample_mutated(rng);
+    report.mutated_cases += 1;
+    let proto = GenProtocol::new(cfg);
+    // Directed hunt: some forbidden litmus outcome must be realizable, and
+    // the realized run must be rejected by the streaming checker (both are
+    // cross-checked against the whole stack by check_run).
+    let mut flagged = false;
+    for l in hunt_traces() {
+        if !l.trace.in_bounds(&cfg.params) {
+            continue;
+        }
+        if let Some(run) = realization(&proto, &l.trace, 8) {
+            match check_run(&proto, &run, false) {
+                Ok(v) if !v.accepted => flagged = true,
+                Ok(_) => {
+                    // Accepted a realization of a forbidden outcome —
+                    // check_run only lets this through if the trace were
+                    // SC, which a forbidden litmus never is.
+                    unreachable!("forbidden litmus accepted as SC");
+                }
+                Err(d) => record_disagreement(report, opts, case, cfg, d),
+            }
+            break;
+        }
+    }
+    if flagged {
+        report.bugs_flagged += 1;
+    } else {
+        record_disagreement(
+            report,
+            opts,
+            case,
+            cfg,
+            Disagreement {
+                kind: "unflagged-mutation",
+                detail: format!("no forbidden litmus realizable on {cfg}"),
+                actions: Vec::new(),
+            },
+        );
+    }
+    // Undirected runs through the stack (mutation bugs may or may not
+    // fire; the oracles must agree either way).
+    for _ in 0..opts.runs_per_case {
+        let mut r = Runner::new(proto.clone());
+        r.run_random(opts.run_len, 0.5, rng);
+        report.runs_checked += 1;
+        if let Err(d) = check_run(r.protocol(), r.run(), false) {
+            record_disagreement(report, opts, case, cfg, d);
+        }
+    }
+    if opts.mc_every > 0 && case.is_multiple_of(opts.mc_every) {
+        report.mc_runs += 1;
+        match mc_matrix(&cfg, true, 1, opts.mc_states, rng) {
+            Ok(check) => report.mc_bounded += check.any_bounded as usize,
+            Err(d) => record_disagreement(report, opts, case, cfg, d),
+        }
+    }
+}
+
+/// Execute a fuzzing campaign.
+pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
+    let start = Instant::now();
+    let mut report = FuzzReport::default();
+    for case in 0..opts.cases {
+        if let Some(budget) = opts.budget {
+            if start.elapsed() >= budget {
+                report.budget_exhausted = true;
+                break;
+            }
+        }
+        let mut rng = case_rng(opts.seed, case);
+        let before = report.disagreements.len();
+        let mutated = rng.gen_bool(opts.mutated_ratio);
+        if mutated {
+            mutated_case(&mut report, opts, case, &mut rng);
+        } else {
+            sc_case(&mut report, opts, case, &mut rng);
+        }
+        report.cases += 1;
+        if scv_telemetry::enabled() {
+            scv_telemetry::emit_report(
+                scv_telemetry::RunReport::new(format!("fuzz/case-{case}"))
+                    .param("seed", opts.seed)
+                    .param("mutated", mutated)
+                    .metric("runs", opts.runs_per_case as f64)
+                    .metric(
+                        "disagreements",
+                        (report.disagreements.len() - before) as f64,
+                    )
+                    .with_verdict(if report.disagreements.len() == before {
+                        "ok"
+                    } else {
+                        "disagree"
+                    }),
+            );
+        }
+    }
+    if scv_telemetry::enabled() {
+        scv_telemetry::emit_report(
+            scv_telemetry::RunReport::new("fuzz/summary")
+                .param("seed", opts.seed)
+                .param("budget_exhausted", report.budget_exhausted)
+                .metric("cases", report.cases as f64)
+                .metric("sc_cases", report.sc_cases as f64)
+                .metric("mutated_cases", report.mutated_cases as f64)
+                .metric("bugs_flagged", report.bugs_flagged as f64)
+                .metric("runs_checked", report.runs_checked as f64)
+                .metric("mc_runs", report.mc_runs as f64)
+                .metric("mc_bounded", report.mc_bounded as f64)
+                .metric("disagreements", report.disagreements.len() as f64)
+                .with_verdict(if report.ok() { "ok" } else { "FAIL" }),
+        );
+    }
+    report
+}
+
+/// Self-test of the disagreement pipeline by fault injection: pretend the
+/// streaming checker's rejection of a known-bad run is an oracle
+/// disagreement, and require that shrinking + corpus serialization works
+/// end to end. Returns the shrunk case; errors describe which stage broke.
+pub fn fault_injection_self_test(seed: u64) -> Result<CorpusCase, String> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cfg = GenConfig {
+        mutation: Some(Mutation::StaleRead),
+        ..GenConfig::sample_mutated(&mut rng)
+    };
+    let proto = GenProtocol::new(cfg);
+    let core = realization(&proto, &litmus::message_passing().trace, 8)
+        .ok_or("stale-read protocol failed to realize MP")?;
+    // Bury the violation in noise: replay the core then walk randomly.
+    let mut r = Runner::new(proto.clone());
+    for s in &core.steps {
+        let t = r
+            .enabled()
+            .into_iter()
+            .find(|t| t.action == s.action)
+            .ok_or("core run stopped replaying")?;
+        r.take(t);
+    }
+    r.run_random(20, 0.5, &mut rng);
+    let noisy: Vec<Action> = r.run().steps.iter().map(|s| s.action).collect();
+    // Injected fault: treat "checker rejects" as the disagreement signal.
+    let fails = |run: &Run| !drive(&proto, run).accepted();
+    if !fails(r.run()) {
+        return Err("noisy run unexpectedly accepted".into());
+    }
+    let min = ddmin(&proto, &noisy, fails);
+    if min.len() > 10 {
+        return Err(format!(
+            "shrunk reproducer has {} actions (want ≤ 10)",
+            min.len()
+        ));
+    }
+    let case = CorpusCase {
+        name: "self-test-stale-read".into(),
+        config: cfg,
+        expect: Expectation::Reject,
+        note: format!("fault-injection self-test, seed {seed}"),
+        actions: min,
+    };
+    // The reproducer must survive serialize → parse → replay.
+    let parsed = CorpusCase::parse(&case.serialize()).map_err(|e| format!("parse: {e}"))?;
+    if parsed != case {
+        return Err("serialize/parse round-trip changed the case".into());
+    }
+    parsed.replay_check().map_err(|e| format!("replay: {e}"))?;
+    Ok(case)
+}
+
+/// The deterministic reference corpus committed under
+/// `tests/corpus/fuzz`: one shrunk message-passing reproducer per
+/// mutation operator, one accepting SC random walk, and the
+/// fault-injection self-test reproducer. Regenerate the committed files
+/// with `SCV_WRITE_CORPUS=1 cargo test --test fuzz_corpus`.
+pub fn reference_corpus() -> Vec<CorpusCase> {
+    let mut out = Vec::new();
+    for m in Mutation::ALL {
+        let cfg = GenConfig {
+            mutation: Some(m),
+            ..GenConfig::sample_mutated(&mut SmallRng::seed_from_u64(0))
+        };
+        let proto = GenProtocol::new(cfg);
+        let run = realization(&proto, &litmus::message_passing().trace, 8)
+            .expect("every mutation realizes MP");
+        let actions: Vec<Action> = run.steps.iter().map(|s| s.action).collect();
+        let rejects = |r: &Run| !drive(&proto, r).accepted();
+        let min = ddmin(&proto, &actions, rejects);
+        out.push(CorpusCase {
+            name: format!("mp-{}", m.tag()),
+            config: cfg,
+            expect: Expectation::Reject,
+            note: "shrunk message-passing reproducer".into(),
+            actions: min,
+        });
+    }
+    let cfg = GenConfig::sample(&mut SmallRng::seed_from_u64(1));
+    let mut r = Runner::new(GenProtocol::new(cfg));
+    r.run_random(24, 0.5, &mut SmallRng::seed_from_u64(2));
+    out.push(CorpusCase {
+        name: "sc-random-walk".into(),
+        config: cfg,
+        expect: Expectation::Accept,
+        note: "random walk on an SC-by-construction configuration".into(),
+        actions: r.run().steps.iter().map(|s| s.action).collect(),
+    });
+    out.push(fault_injection_self_test(42).expect("self-test reproducer"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_is_clean_and_flags_all_bugs() {
+        let opts = FuzzOptions {
+            seed: 42,
+            cases: 8,
+            mc_every: 0, // matrix covered by oracle tests; keep this fast
+            runs_per_case: 2,
+            ..FuzzOptions::default()
+        };
+        let report = run_fuzz(&opts);
+        assert_eq!(report.cases, 8);
+        assert!(report.sc_cases + report.mutated_cases == 8);
+        assert!(
+            report.disagreements.is_empty(),
+            "disagreements: {:?}",
+            report
+                .disagreements
+                .iter()
+                .map(|d| d.disagreement.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(report.bugs_flagged, report.mutated_cases);
+        assert!(report.ok());
+    }
+
+    #[test]
+    fn budget_cuts_a_campaign_short() {
+        let opts = FuzzOptions {
+            seed: 7,
+            cases: 10_000,
+            budget: Some(Duration::from_millis(200)),
+            mc_every: 0,
+            ..FuzzOptions::default()
+        };
+        let report = run_fuzz(&opts);
+        assert!(report.budget_exhausted);
+        assert!(report.cases < 10_000);
+    }
+
+    #[test]
+    fn self_test_shrinks_and_roundtrips() {
+        let case = fault_injection_self_test(42).unwrap_or_else(|e| panic!("{e}"));
+        assert!(case.actions.len() <= 10);
+        assert!(case.replay_check().is_ok());
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_in_the_seed() {
+        let opts = FuzzOptions {
+            seed: 5,
+            cases: 6,
+            mc_every: 0,
+            runs_per_case: 1,
+            ..FuzzOptions::default()
+        };
+        let a = run_fuzz(&opts);
+        let b = run_fuzz(&opts);
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.sc_cases, b.sc_cases);
+        assert_eq!(a.runs_checked, b.runs_checked);
+        assert_eq!(a.bugs_flagged, b.bugs_flagged);
+    }
+}

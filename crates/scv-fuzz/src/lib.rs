@@ -1,0 +1,37 @@
+//! Randomized-protocol differential fuzzing for the SC verification
+//! pipeline.
+//!
+//! The crates below `scv-fuzz` each implement a piece of the Condon & Hu
+//! verification method — observer generation, descriptor encoding, the
+//! streaming checker, model checking. This crate tests the *composition*
+//! by adversarial random search:
+//!
+//! * [`gen`] — a seeded generator of well-formed coherence-protocol FSMs
+//!   with tracking labels: SC-by-construction family members, plus
+//!   [`gen::Mutation`] operators injecting realistic bugs (dropped
+//!   invalidations, stale reads, racy stores, lost writebacks);
+//! * [`oracle`] — the differential stack: streamed checker vs whole-trace
+//!   serial search vs descriptor round-trip vs the Gibbons–Korach
+//!   baseline vs the model-checking verdict matrix — any disagreement is
+//!   a bug in one of them;
+//! * [`shrink`] — delta-debugging reduction of a disagreeing run to a
+//!   1-minimal action sequence;
+//! * [`corpus`] — shrunk reproducers serialized as committed `.case`
+//!   files, replayed against the real oracles by ordinary `cargo test`;
+//! * [`harness`] — the seeded, wall-clock-budgeted campaign driver behind
+//!   `scv fuzz`, plus the fault-injection self-test of the pipeline.
+
+pub mod corpus;
+pub mod gen;
+pub mod harness;
+pub mod oracle;
+pub mod shrink;
+
+pub use corpus::{load_corpus, CorpusCase, Expectation};
+pub use gen::{GenConfig, GenProtocol, Mutation};
+pub use harness::{
+    fault_injection_self_test, reference_corpus, run_fuzz, FoundDisagreement, FuzzOptions,
+    FuzzReport,
+};
+pub use oracle::{check_run, drive, mc_matrix, Disagreement, Drive, McCheck, RunVerdict};
+pub use shrink::{ddmin, replay};

@@ -1,0 +1,148 @@
+//! Counterexample shrinking by delta debugging.
+//!
+//! A fuzz disagreement arrives as a run of tens of actions; most of them
+//! are irrelevant. [`ddmin`] reduces the action sequence to a locally
+//! minimal subsequence that (a) still *replays* — every action is enabled
+//! in order from the initial state — and (b) still satisfies the caller's
+//! failure predicate. Replay is unambiguous for the generated family:
+//! within one state, no two enabled transitions carry the same action.
+
+use scv_protocol::{Action, Protocol, Run, Runner};
+
+/// Replay an action sequence from the initial state, taking at each step
+/// the enabled transition whose action matches exactly. Returns `None` if
+/// some action is not enabled when its turn comes.
+pub fn replay<P: Protocol + Clone>(protocol: &P, actions: &[Action]) -> Option<Run> {
+    let mut r = Runner::new(protocol.clone());
+    for a in actions {
+        let t = r.enabled().into_iter().find(|t| t.action == *a)?;
+        r.take(t);
+    }
+    Some(r.into_run())
+}
+
+/// Delta-debug `actions` down to a locally minimal subsequence whose
+/// replayed run still satisfies `failing`. The input must itself replay
+/// and fail; the result is 1-minimal (no single action can be dropped).
+pub fn ddmin<P, F>(protocol: &P, actions: &[Action], failing: F) -> Vec<Action>
+where
+    P: Protocol + Clone,
+    F: Fn(&Run) -> bool,
+{
+    debug_assert!(replay(protocol, actions).is_some_and(|r| failing(&r)));
+    let still_fails = |cand: &[Action]| replay(protocol, cand).is_some_and(|r| failing(&r));
+    let mut cur = actions.to_vec();
+    let mut granularity = 2usize;
+    'outer: while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(granularity);
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let cand: Vec<Action> = cur[..start].iter().chain(&cur[end..]).copied().collect();
+            if still_fails(&cand) {
+                cur = cand;
+                granularity = granularity.saturating_sub(1).max(2);
+                continue 'outer;
+            }
+            start = end;
+        }
+        if granularity >= cur.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(cur.len());
+    }
+    // Polish until a fixed point: one-at-a-time elimination, then
+    // pair elimination. Correlated actions (e.g. a BusRd fill and the
+    // EvictS that undoes it) are each required by the other, so neither
+    // can be dropped singly — only removing the pair makes progress.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < cur.len() {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            if still_fails(&cand) {
+                cur = cand;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+        'pairs: for i in 0..cur.len() {
+            for j in (i + 1)..cur.len() {
+                let mut cand = cur.clone();
+                cand.remove(j);
+                cand.remove(i);
+                if still_fails(&cand) {
+                    cur = cand;
+                    changed = true;
+                    break 'pairs;
+                }
+            }
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GenConfig, GenProtocol, Mutation};
+    use crate::oracle::drive;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use scv_protocol::{litmus, realization};
+
+    fn stale_read() -> GenProtocol {
+        let mut rng = SmallRng::seed_from_u64(0);
+        GenProtocol::new(GenConfig {
+            mutation: Some(Mutation::StaleRead),
+            ..GenConfig::sample_mutated(&mut rng)
+        })
+    }
+
+    #[test]
+    fn replay_reproduces_a_run_and_rejects_garbage() {
+        let proto = stale_read();
+        let run = realization(&proto, &litmus::message_passing().trace, 8).unwrap();
+        let actions: Vec<Action> = run.steps.iter().map(|s| s.action).collect();
+        assert_eq!(replay(&proto, &actions).unwrap(), run);
+        // Reversing breaks enabledness (a load of value 1 cannot come
+        // before any store).
+        let reversed: Vec<Action> = actions.iter().rev().copied().collect();
+        assert!(replay(&proto, &reversed).is_none());
+    }
+
+    #[test]
+    fn ddmin_reduces_a_padded_violation_to_its_core() {
+        let proto = stale_read();
+        let run = realization(&proto, &litmus::message_passing().trace, 8).unwrap();
+        let mut actions: Vec<Action> = run.steps.iter().map(|s| s.action).collect();
+        // Pad with 20 more random steps; the rejection persists.
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut r = Runner::new(proto.clone());
+        for a in &actions {
+            let t = r.enabled().into_iter().find(|t| t.action == *a).unwrap();
+            r.take(t);
+        }
+        r.run_random(20, 0.5, &mut rng);
+        actions = r.run().steps.iter().map(|s| s.action).collect();
+        assert!(actions.len() > run.len());
+        let rejects = |run: &Run| !drive(&proto, run).accepted();
+        assert!(rejects(r.run()));
+        let min = ddmin(&proto, &actions, rejects);
+        assert!(min.len() <= 10, "shrunk to {} actions: {min:?}", min.len());
+        let min_run = replay(&proto, &min).unwrap();
+        assert!(rejects(&min_run), "shrunk run still rejected");
+        // 1-minimality: dropping any single action loses the failure.
+        for i in 0..min.len() {
+            let mut cand = min.clone();
+            cand.remove(i);
+            assert!(
+                !replay(&proto, &cand).is_some_and(|r| rejects(&r)),
+                "action {i} was removable"
+            );
+        }
+    }
+}

@@ -66,6 +66,62 @@ impl Witness {
         Witness { inh, st_order }
     }
 
+    /// Extract the witness recorded in a constraint graph over `trace`:
+    /// `inh` edges name each load's inheritance source, and the `STo`
+    /// edge chains give each block's serial store order. Node `i` of the
+    /// graph must be operation `i` of the trace (the layout produced by
+    /// decoding an observer descriptor). Stores a chain leaves out are
+    /// appended in trace order, so the result always has permutation
+    /// shape; [`Witness::validate`] still arbitrates correctness.
+    pub fn from_constraint_graph(trace: &Trace, g: &ConstraintGraph) -> Witness {
+        let n = trace.len();
+        let n_blocks = trace.iter().map(|op| op.block.idx() + 1).max().unwrap_or(0);
+        let mut inh = vec![None; n];
+        let mut succ: Vec<Option<usize>> = vec![None; n];
+        let mut has_pred = vec![false; n];
+        for (u, v, ann) in g.edges() {
+            if ann.contains(EdgeSet::INH) && v < n {
+                inh[v] = Some(u);
+            }
+            if ann.contains(EdgeSet::STO) && u < n && v < n {
+                succ[u] = Some(v);
+                has_pred[v] = true;
+            }
+        }
+        // ⊥ loads carry no inheritance in a witness (their constraint is
+        // the forced edge to the first ST, not an inh edge).
+        for (j, op) in trace.iter().enumerate() {
+            if !op.is_load() || op.value.is_bottom() {
+                inh[j] = None;
+            }
+        }
+        let mut st_order = vec![Vec::new(); n_blocks];
+        for (b, order) in st_order.iter_mut().enumerate() {
+            let stores = trace.stores_to(scv_types::BlockId::from_idx(b));
+            let mut placed = vec![false; n];
+            for &start in &stores {
+                if has_pred[start] {
+                    continue;
+                }
+                let mut cur = Some(start);
+                while let Some(i) = cur {
+                    if placed[i] {
+                        break;
+                    }
+                    placed[i] = true;
+                    order.push(i);
+                    cur = succ[i];
+                }
+            }
+            for &i in &stores {
+                if !placed[i] {
+                    order.push(i);
+                }
+            }
+        }
+        Witness { inh, st_order }
+    }
+
     /// Validate shape invariants against the trace.
     pub fn validate(&self, trace: &Trace) -> Result<(), WitnessError> {
         if self.inh.len() != trace.len() {
@@ -182,6 +238,13 @@ pub enum BaselineVerdict {
     /// The saturated graph has a cycle (returned as a node sequence):
     /// no serial reordering is consistent with the witness.
     Cyclic(Vec<usize>),
+}
+
+impl BaselineVerdict {
+    /// Did the baseline find a consistent serial reordering?
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, BaselineVerdict::Consistent(_))
+    }
 }
 
 /// The whole-trace baseline checker: build the saturated graph and test
@@ -341,6 +404,32 @@ mod tests {
             BaselineChecker::check(&t, &w),
             BaselineVerdict::Cyclic(_)
         ));
+    }
+
+    #[test]
+    fn witness_roundtrips_through_saturated_graph() {
+        // Saturate a graph from a witness, re-extract the witness from the
+        // graph, and check both arbitrate identically.
+        let (t, r) = figure3();
+        let w = Witness::from_serial_reordering(&t, &r);
+        let g = saturated_graph(&t, &w);
+        let w2 = Witness::from_constraint_graph(&t, &g);
+        assert_eq!(w2.validate(&t), Ok(()));
+        assert_eq!(w2.inh, w.inh);
+        assert_eq!(w2.st_order, w.st_order);
+        assert!(BaselineChecker::check(&t, &w2).is_consistent());
+    }
+
+    #[test]
+    fn extraction_repairs_a_broken_chain() {
+        // STo edges that miss a store: the leftover store is appended in
+        // trace order, keeping permutation shape for validate().
+        let t = Trace::from_ops([st(1, 1, 1), st(2, 1, 2), st(1, 1, 3)]);
+        let mut g = ConstraintGraph::with_nodes(t.iter().copied());
+        g.add_edge(0, 1, EdgeSet::STO);
+        let w = Witness::from_constraint_graph(&t, &g);
+        assert_eq!(w.st_order, vec![vec![0, 1, 2]]);
+        assert_eq!(w.validate(&t), Ok(()));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod random;
 pub mod serial_search;
 
 pub use axioms::{validate_constraint_graph, AxiomViolation};
-pub use baseline::{saturated_graph, BaselineChecker, Witness};
+pub use baseline::{saturated_graph, BaselineChecker, BaselineVerdict, Witness, WitnessError};
 pub use dot::{to_dot, to_dot_with_cycle};
 pub use edge::EdgeSet;
 pub use graph::ConstraintGraph;

@@ -1,0 +1,216 @@
+//! Contract tests for the public option builders and the typed rejection
+//! channel.
+//!
+//! The builder defaults are load-bearing: the CLI, the fuzz harness, and
+//! the experiment battery all construct `VerifyOptions::new()` and adjust
+//! only the knobs they care about, so a silently changed default would
+//! shift every caller at once. Likewise `RejectReason`'s `Display` text
+//! is diffed across versions by log-comparison tooling, so it is pinned
+//! here for every `ScErrorKind` variant in both rejection stages.
+
+use scv_checker::{ScError, ScErrorKind};
+use scv_mc::{BfsOptions, RejectReason, SearchStrategy, SymmetryMode, VerifyOptions};
+
+/// Every `ScErrorKind` variant, exactly once. A new variant shows up as a
+/// non-exhaustive-match compile error in `kind_name`, which forces this
+/// list (and therefore the Display pins below) to be extended.
+fn all_kinds() -> Vec<ScErrorKind> {
+    vec![
+        ScErrorKind::CycleClosed,
+        ScErrorKind::DanglingEdge,
+        ScErrorKind::IdOutOfRange,
+        ScErrorKind::UnlabeledNode,
+        ScErrorKind::UnlabeledEdge,
+        ScErrorKind::TooManyRetained,
+        ScErrorKind::ProgramOrder("po-test"),
+        ScErrorKind::StOrder("st-test"),
+        ScErrorKind::Inheritance("inh-test"),
+        ScErrorKind::ForcedUnsatisfied,
+        ScErrorKind::BottomUnsatisfied,
+    ]
+}
+
+fn kind_name(kind: &ScErrorKind) -> &'static str {
+    match kind {
+        ScErrorKind::CycleClosed => "CycleClosed",
+        ScErrorKind::DanglingEdge => "DanglingEdge",
+        ScErrorKind::IdOutOfRange => "IdOutOfRange",
+        ScErrorKind::UnlabeledNode => "UnlabeledNode",
+        ScErrorKind::UnlabeledEdge => "UnlabeledEdge",
+        ScErrorKind::TooManyRetained => "TooManyRetained",
+        ScErrorKind::ProgramOrder(_) => "ProgramOrder",
+        ScErrorKind::StOrder(_) => "StOrder",
+        ScErrorKind::Inheritance(_) => "Inheritance",
+        ScErrorKind::ForcedUnsatisfied => "ForcedUnsatisfied",
+        ScErrorKind::BottomUnsatisfied => "BottomUnsatisfied",
+    }
+}
+
+#[test]
+fn every_kind_appears_exactly_once() {
+    let kinds = all_kinds();
+    let mut names: Vec<&str> = kinds.iter().map(kind_name).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), kinds.len(), "duplicate kind in all_kinds()");
+}
+
+#[test]
+fn stream_rejections_display_the_checker_error_verbatim() {
+    for kind in all_kinds() {
+        let err = ScError {
+            position: Some(7),
+            kind: kind.clone(),
+        };
+        let reason = RejectReason::Stream(err.clone());
+        assert_eq!(reason.error(), &err);
+        let text = reason.to_string();
+        assert_eq!(text, err.to_string());
+        assert!(
+            text.starts_with("rejected at symbol 7: "),
+            "{text:?} for {}",
+            kind_name(&kind)
+        );
+        assert!(text.contains(kind_name(&kind)), "{text:?}");
+    }
+}
+
+#[test]
+fn run_end_rejections_get_the_run_end_prefix() {
+    for kind in all_kinds() {
+        // End-of-string rejections carry no symbol position.
+        let err = ScError {
+            position: None,
+            kind: kind.clone(),
+        };
+        let reason = RejectReason::RunEnd(err.clone());
+        assert_eq!(reason.error(), &err);
+        let text = reason.to_string();
+        assert_eq!(text, format!("at run end: {err}"));
+        assert!(
+            text.starts_with("at run end: rejected at end of input: "),
+            "{text:?} for {}",
+            kind_name(&kind)
+        );
+        assert!(text.contains(kind_name(&kind)), "{text:?}");
+    }
+}
+
+#[test]
+fn reject_reason_distinguishes_the_stage_not_just_the_error() {
+    let err = ScError {
+        position: Some(1),
+        kind: ScErrorKind::CycleClosed,
+    };
+    let stream = RejectReason::Stream(err.clone());
+    let run_end = RejectReason::RunEnd(err);
+    assert_ne!(stream, run_end);
+    assert_eq!(stream.error(), run_end.error());
+    assert_eq!(stream, stream.clone());
+}
+
+#[test]
+fn parameterized_kinds_carry_their_rule_text() {
+    for (kind, rule) in [
+        (ScErrorKind::ProgramOrder("c2-rule"), "c2-rule"),
+        (ScErrorKind::StOrder("c3-rule"), "c3-rule"),
+        (ScErrorKind::Inheritance("c4-rule"), "c4-rule"),
+    ] {
+        let reason = RejectReason::Stream(ScError {
+            position: Some(0),
+            kind,
+        });
+        assert!(reason.to_string().contains(rule), "{reason}");
+    }
+}
+
+#[test]
+fn bfs_options_defaults() {
+    let opts = BfsOptions::new();
+    assert_eq!(opts.max_states, 1_000_000);
+    assert_eq!(opts.max_depth, usize::MAX);
+    assert_eq!(opts.max_states, BfsOptions::default().max_states);
+    assert_eq!(opts.max_depth, BfsOptions::default().max_depth);
+}
+
+#[test]
+fn bfs_options_builders_touch_only_their_field() {
+    let opts = BfsOptions::new().max_states(42);
+    assert_eq!(opts.max_states, 42);
+    assert_eq!(opts.max_depth, usize::MAX);
+
+    let opts = BfsOptions::new().max_depth(9);
+    assert_eq!(opts.max_states, 1_000_000);
+    assert_eq!(opts.max_depth, 9);
+}
+
+#[test]
+fn verify_options_defaults() {
+    for opts in [VerifyOptions::new(), VerifyOptions::default()] {
+        // Sequential by default; the 200k cap keeps an accidental
+        // unbounded product search from running away.
+        assert_eq!(opts.threads, 1);
+        assert_eq!(opts.bfs.max_states, 200_000);
+        assert_eq!(opts.bfs.max_depth, usize::MAX);
+        assert!(matches!(opts.strategy, SearchStrategy::WorkStealing));
+        assert_eq!(opts.strategy, SearchStrategy::default());
+        assert_eq!(opts.batch_size, 128);
+        assert!(matches!(opts.symmetry, SymmetryMode::Off));
+    }
+}
+
+#[test]
+fn verify_options_builders_touch_only_their_field() {
+    let base = VerifyOptions::new();
+
+    let opts = VerifyOptions::new().threads(8);
+    assert_eq!(opts.threads, 8);
+    assert_eq!(opts.bfs.max_states, base.bfs.max_states);
+    assert_eq!(opts.batch_size, base.batch_size);
+
+    let opts = VerifyOptions::new().max_states(777);
+    assert_eq!(opts.bfs.max_states, 777);
+    assert_eq!(opts.bfs.max_depth, usize::MAX);
+    assert_eq!(opts.threads, 1);
+
+    let opts = VerifyOptions::new().max_depth(5);
+    assert_eq!(opts.bfs.max_depth, 5);
+    assert_eq!(opts.bfs.max_states, base.bfs.max_states);
+
+    let opts = VerifyOptions::new().bfs(BfsOptions::new());
+    assert_eq!(opts.bfs.max_states, 1_000_000);
+    assert_eq!(opts.threads, 1);
+
+    let opts = VerifyOptions::new().strategy(SearchStrategy::LevelSync);
+    assert!(matches!(opts.strategy, SearchStrategy::LevelSync));
+    assert_eq!(opts.threads, 1);
+
+    let opts = VerifyOptions::new().batch_size(64);
+    assert_eq!(opts.batch_size, 64);
+    assert_eq!(opts.bfs.max_states, base.bfs.max_states);
+
+    let opts = VerifyOptions::new().symmetry(SymmetryMode::Full);
+    assert!(matches!(opts.symmetry, SymmetryMode::Full));
+    assert_eq!(opts.threads, 1);
+}
+
+#[test]
+fn builders_chain_in_any_order() {
+    let a = VerifyOptions::new()
+        .threads(4)
+        .max_states(10_000)
+        .strategy(SearchStrategy::LevelSync)
+        .symmetry(SymmetryMode::Proc)
+        .batch_size(32);
+    let b = VerifyOptions::new()
+        .batch_size(32)
+        .symmetry(SymmetryMode::Proc)
+        .strategy(SearchStrategy::LevelSync)
+        .max_states(10_000)
+        .threads(4);
+    assert_eq!(a.threads, b.threads);
+    assert_eq!(a.bfs.max_states, b.bfs.max_states);
+    assert_eq!(a.strategy, b.strategy);
+    assert_eq!(a.batch_size, b.batch_size);
+    assert!(matches!(b.symmetry, SymmetryMode::Proc));
+}

@@ -45,6 +45,7 @@ pub use api::{Action, CopySrc, LocId, Protocol, StOrderPolicy, Tracking, Transit
 pub use directory::DirectoryProtocol;
 pub use fig4::Fig4Protocol;
 pub use lazy::LazyCaching;
+pub use litmus::{realizable, realization, Litmus};
 pub use mesi::MesiProtocol;
 pub use msi::MsiProtocol;
 pub use runner::{Run, Runner, StIndexTracker, Step};

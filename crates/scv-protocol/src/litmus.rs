@@ -11,6 +11,7 @@
 //! principles.
 
 use crate::api::{Action, Protocol};
+use crate::runner::{Run, Step};
 use scv_types::{BlockId, Op, ProcId, Trace, Value};
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -177,6 +178,84 @@ pub fn realizable<P: Protocol>(protocol: &P, target: &Trace, internal_budget: us
     )
 }
 
+/// Like [`realizable`], but returns the witnessing run itself (with
+/// tracking labels), so the realization can be replayed through the
+/// observer/checker pipeline or shrunk into a regression case.
+pub fn realization<P: Protocol>(
+    protocol: &P,
+    target: &Trace,
+    internal_budget: usize,
+) -> Option<Run> {
+    #[allow(clippy::too_many_arguments)]
+    fn dfs<P: Protocol>(
+        protocol: &P,
+        state: P::State,
+        target: &Trace,
+        matched: usize,
+        fuel: usize,
+        budget: usize,
+        seen: &mut HashSet<(P::State, usize, usize)>,
+        steps: &mut Vec<Step>,
+    ) -> bool
+    where
+        P::State: Hash + Eq + Clone,
+    {
+        if matched == target.len() {
+            return true;
+        }
+        if !seen.insert((state.clone(), matched, fuel)) {
+            return false;
+        }
+        for t in protocol.transitions(&state) {
+            let (advance, next_fuel) = match t.action {
+                Action::Mem(op) => {
+                    if op != target[matched] {
+                        continue;
+                    }
+                    (1, budget)
+                }
+                Action::Internal(..) => {
+                    if fuel == 0 {
+                        continue;
+                    }
+                    (0, fuel - 1)
+                }
+            };
+            steps.push(Step {
+                action: t.action,
+                tracking: t.tracking.clone(),
+            });
+            if dfs(
+                protocol,
+                t.next,
+                target,
+                matched + advance,
+                next_fuel,
+                budget,
+                seen,
+                steps,
+            ) {
+                return true;
+            }
+            steps.pop();
+        }
+        false
+    }
+    let mut seen = HashSet::new();
+    let mut steps = Vec::new();
+    dfs(
+        protocol,
+        protocol.initial(),
+        target,
+        0,
+        internal_budget,
+        internal_budget,
+        &mut seen,
+        &mut steps,
+    )
+    .then_some(Run { steps })
+}
+
 /// Run the battery against a protocol: returns, per litmus, whether the
 /// outcome is realizable. A protocol is *observationally SC on the
 /// battery* iff it realizes no `sc_allows == false` litmus.
@@ -285,6 +364,19 @@ mod tests {
         let mp = message_passing();
         let p = MesiProtocol::buggy(mp.min_params());
         assert!(realizable(&p, &mp.trace, 8));
+    }
+
+    #[test]
+    fn realization_returns_the_witnessing_run() {
+        // The run's trace must be exactly the target, and realization must
+        // agree with the boolean probe on both outcomes.
+        let mp = message_passing();
+        let p = MsiProtocol::buggy(mp.min_params());
+        let run = realization(&p, &mp.trace, 6).expect("buggy MSI realizes MP");
+        assert_eq!(run.trace(), mp.trace);
+        let p_ok = MsiProtocol::new(mp.min_params());
+        assert!(realization(&p_ok, &mp.trace, 6).is_none());
+        assert!(!realizable(&p_ok, &mp.trace, 6));
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //!                       [--symmetry off|proc|full]
 //! scv observe <protocol> [--steps N] [--seed N]     # one random run's descriptor
 //! scv monitor <protocol> [--steps N] [--seed N]     # §5 runtime testing mode
+//! scv fuzz [--seed N] [--cases N] [--budget SECS]   # differential fuzzing
+//!          [--mc-every N] [--mc-states N] [--runs N] [--run-len N]
+//!          [--corpus DIR] [--no-self-test]
 //! scv list                                          # available protocols
 //! ```
 //!
@@ -247,7 +250,10 @@ fn main() -> ExitCode {
     // non-flag argument is then a protocol name and the command is `verify`.
     if !matches!(mode, TelemetryMode::Off) {
         if let Some(first) = argv.first() {
-            if !matches!(first.as_str(), "verify" | "observe" | "monitor" | "list") {
+            if !matches!(
+                first.as_str(),
+                "verify" | "observe" | "monitor" | "fuzz" | "list"
+            ) {
                 argv.insert(0, "verify".to_string());
             }
         }
@@ -257,11 +263,123 @@ fn main() -> ExitCode {
     code
 }
 
+/// `scv fuzz`: a seeded, budgeted differential-fuzzing campaign over the
+/// generated protocol family, plus the fault-injection self-test.
+fn run_fuzz_cmd(rest: &[String]) -> ExitCode {
+    use sc_verify::fuzz::{fault_injection_self_test, run_fuzz, FuzzOptions};
+    let mut opts = FuzzOptions {
+        seed: 42,
+        cases: 200,
+        ..FuzzOptions::default()
+    };
+    let mut self_test = true;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        let parsed = match flag.as_str() {
+            "--seed" => val("--seed").map(|v| opts.seed = v),
+            "--cases" => val("--cases").map(|v| opts.cases = v as usize),
+            "--budget" => {
+                val("--budget").map(|v| opts.budget = Some(std::time::Duration::from_secs(v)))
+            }
+            "--mc-every" => val("--mc-every").map(|v| opts.mc_every = v as usize),
+            "--mc-states" => val("--mc-states").map(|v| opts.mc_states = v as usize),
+            "--runs" => val("--runs").map(|v| opts.runs_per_case = v as usize),
+            "--run-len" => val("--run-len").map(|v| opts.run_len = v as usize),
+            "--corpus" => match it.next() {
+                Some(dir) => {
+                    opts.corpus_dir = Some(std::path::PathBuf::from(dir));
+                    Ok(())
+                }
+                None => Err("--corpus needs a directory".to_string()),
+            },
+            "--no-self-test" => {
+                self_test = false;
+                Ok(())
+            }
+            other => Err(format!("unknown flag {other}")),
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "fuzzing: seed {}, {} cases{}, {} runs/case, mc every {} case(s)…",
+        opts.seed,
+        opts.cases,
+        opts.budget
+            .map(|b| format!(", budget {}s", b.as_secs()))
+            .unwrap_or_default(),
+        opts.runs_per_case,
+        opts.mc_every
+    );
+    let report = run_fuzz(&opts);
+    println!(
+        "ran {} cases ({} SC, {} mutated){}: {} runs through the oracle stack, {} mc matrix runs ({} bounded)",
+        report.cases,
+        report.sc_cases,
+        report.mutated_cases,
+        if report.budget_exhausted {
+            " [budget exhausted]"
+        } else {
+            ""
+        },
+        report.runs_checked,
+        report.mc_runs,
+        report.mc_bounded
+    );
+    println!(
+        "injected bugs flagged: {}/{}",
+        report.bugs_flagged, report.mutated_cases
+    );
+    for d in &report.disagreements {
+        println!(
+            "DISAGREEMENT (case {}, {}): {}",
+            d.case, d.config, d.disagreement
+        );
+        if let Some(shrunk) = &d.shrunk {
+            println!(
+                "  shrunk to {} actions as `{}`",
+                shrunk.actions.len(),
+                shrunk.name
+            );
+        }
+    }
+    let mut ok = report.ok();
+    if self_test {
+        match fault_injection_self_test(opts.seed) {
+            Ok(case) => println!(
+                "self-test: synthetic disagreement shrunk to {} actions and replayed from the corpus format",
+                case.actions.len()
+            ),
+            Err(e) => {
+                println!("SELF-TEST FAILED: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        println!("fuzzing clean: all oracles agreed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run(argv: &[String]) -> ExitCode {
     let Some(cmd) = argv.first() else {
-        eprintln!("usage: scv <verify|observe|monitor|list> [protocol] [flags]");
+        eprintln!("usage: scv <verify|observe|monitor|fuzz|list> [protocol] [flags]");
         return ExitCode::from(2);
     };
+    if cmd == "fuzz" {
+        return run_fuzz_cmd(&argv[1..]);
+    }
     if cmd == "list" {
         println!("serial       atomic serial memory (SC)");
         println!("msi          snooping MSI, atomic bus (SC)");
@@ -326,11 +444,6 @@ fn run(argv: &[String]) -> ExitCode {
             );
             let s = out.stats();
             if telemetry::enabled() {
-                let verdict = match &out {
-                    Outcome::Verified { .. } => "verified",
-                    Outcome::Violation { .. } => "violation",
-                    Outcome::Bounded { .. } => "bounded",
-                };
                 let report = telemetry::RunReport::new(format!("verify/{proto_label}"))
                     .param("protocol", &proto_label)
                     .param("p", args.p.to_string())
@@ -341,7 +454,7 @@ fn run(argv: &[String]) -> ExitCode {
                     .param("batch", args.batch.to_string())
                     .param("max_states", args.max_states.to_string())
                     .param("symmetry", format!("{:?}", args.symmetry))
-                    .with_verdict(verdict)
+                    .with_verdict(verdict_str(&out))
                     .metric("states", s.states as f64)
                     .metric("transitions", s.transitions as f64)
                     .metric("depth", s.depth as f64)

@@ -57,6 +57,7 @@
 //! | [`observer`] | §4 | automatic witness observers, §4.4 size bounds |
 //! | [`automata`] | Thm 3.1 | NFA/DFA, language inclusion |
 //! | [`mc`] | §3.4 | sequential + parallel explicit-state model checking |
+//! | [`fuzz`] | — | randomized-protocol differential fuzzing of the whole pipeline |
 
 pub mod testing;
 pub mod verifier;
@@ -64,6 +65,7 @@ pub mod verifier;
 pub use scv_automata as automata;
 pub use scv_checker as checker;
 pub use scv_descriptor as descriptor;
+pub use scv_fuzz as fuzz;
 pub use scv_graph as graph;
 pub use scv_mc as mc;
 pub use scv_observer as observer;
@@ -73,9 +75,10 @@ pub use scv_types as types;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use crate::verifier::Verifier;
+    pub use crate::verifier::{verdict_str, Verifier};
     pub use scv_checker::{CycleChecker, ScChecker};
     pub use scv_descriptor::{decode, encode, naive_descriptor, Descriptor, Symbol};
+    pub use scv_fuzz::{run_fuzz, FuzzOptions, FuzzReport, GenConfig, GenProtocol, Mutation};
     pub use scv_graph::{
         has_serial_reordering, validate_constraint_graph, ConstraintGraph, EdgeSet,
     };

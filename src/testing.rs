@@ -134,6 +134,19 @@ impl RunMonitor {
     }
 }
 
+/// Monitor a complete recorded run in one call: feed every step and run
+/// the end-of-string checks. Equivalent to a `feed` loop followed by
+/// [`RunMonitor::finish`], returning the first violation either way.
+pub fn monitor_run<P: Protocol>(protocol: &P, run: &scv_protocol::Run) -> ScVerdict {
+    let mut m = RunMonitor::new(protocol);
+    for step in &run.steps {
+        if let MonitorStep::Violation(e) = m.feed(step) {
+            return Err(e);
+        }
+    }
+    m.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +168,27 @@ mod tests {
             assert_eq!(monitor.feed(step), MonitorStep::Consistent);
         }
         assert!(monitor.finish().is_ok());
+    }
+
+    #[test]
+    fn monitor_run_matches_the_fuzz_drive_oracle() {
+        // The online monitor and the fuzzer's batch drive are independent
+        // paths over the same observer + checker; verdicts must agree on
+        // runs of randomly generated protocols, mutated or not.
+        let mut rng = SmallRng::seed_from_u64(73);
+        for i in 0..12 {
+            let cfg = if i % 2 == 0 {
+                crate::fuzz::GenConfig::sample(&mut rng)
+            } else {
+                crate::fuzz::GenConfig::sample_mutated(&mut rng)
+            };
+            let proto = crate::fuzz::GenProtocol::new(cfg);
+            let mut runner = Runner::new(proto.clone());
+            runner.run_random(30, 0.5, &mut rng);
+            let online = monitor_run(&proto, runner.run());
+            let batch = crate::fuzz::drive(&proto, runner.run()).verdict;
+            assert_eq!(online, batch, "paths split on {cfg}");
+        }
     }
 
     #[test]

@@ -25,6 +25,17 @@ use scv_protocol::Symmetry;
 
 pub use scv_mc::RejectReason;
 
+/// Canonical short verdict string for an [`Outcome`] — the single
+/// spelling shared by the `verify/…` telemetry reports, the CLI summary
+/// lines, and the fuzz harness.
+pub fn verdict_str(out: &Outcome) -> &'static str {
+    match out {
+        Outcome::Verified { .. } => "verified",
+        Outcome::Violation { .. } => "violation",
+        Outcome::Bounded { .. } => "bounded",
+    }
+}
+
 /// Builder-style facade over the product construction and search.
 ///
 /// Construction is deferred: option setters only record the request, and
@@ -105,11 +116,7 @@ where
         let out = verify_system(&system, self.options);
         if scv_telemetry::enabled() {
             let s = out.stats();
-            let verdict = match &out {
-                Outcome::Verified { .. } => "verified",
-                Outcome::Violation { .. } => "violation",
-                Outcome::Bounded { .. } => "bounded",
-            };
+            let verdict = verdict_str(&out);
             let report = scv_telemetry::RunReport::new(format!("verify/{name}"))
                 .param("protocol", &name)
                 .param("p", params.p.to_string())
@@ -136,6 +143,18 @@ mod tests {
     use super::*;
     use scv_protocol::MsiProtocol;
     use scv_types::Params;
+
+    #[test]
+    fn verdict_strings_are_stable() {
+        let bounded = Verifier::new(MsiProtocol::new(Params::new(2, 1, 2)))
+            .max_states(100)
+            .run();
+        assert_eq!(verdict_str(&bounded), "bounded");
+        let verified = Verifier::new(MsiProtocol::new(Params::new(1, 1, 1)))
+            .max_states(500_000)
+            .run();
+        assert_eq!(verdict_str(&verified), "verified");
+    }
 
     #[test]
     fn facade_matches_verify_protocol() {

@@ -1,0 +1,91 @@
+//! Replay of the committed fuzz regression corpus.
+//!
+//! Every `.case` file under `tests/corpus/fuzz/` is a shrunk reproducer
+//! from a past (or self-test-synthesized) fuzzing disagreement. Each is
+//! replayed through the real oracle stack on every `cargo test`, pinning
+//! the streaming checker's verdict — a fixed bug stays fixed.
+//!
+//! Regenerate the reference corpus after intentional changes with:
+//!
+//! ```text
+//! SCV_WRITE_CORPUS=1 cargo test --test fuzz_corpus
+//! ```
+
+use sc_verify::fuzz::{load_corpus, reference_corpus, Expectation};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+        .join("fuzz")
+}
+
+/// With `SCV_WRITE_CORPUS=1`, (re)write the reference corpus instead of
+/// checking it; the committed files are the output of this test.
+#[test]
+fn committed_corpus_replays_clean() {
+    let dir = corpus_dir();
+    if std::env::var_os("SCV_WRITE_CORPUS").is_some() {
+        for case in reference_corpus() {
+            let path = case.save(&dir).expect("write corpus case");
+            println!("wrote {}", path.display());
+        }
+        return;
+    }
+    let corpus = load_corpus(&dir).expect("corpus parses");
+    assert!(
+        !corpus.is_empty(),
+        "no corpus at {} — regenerate with SCV_WRITE_CORPUS=1",
+        dir.display()
+    );
+    for case in &corpus {
+        let v = case
+            .replay_check()
+            .unwrap_or_else(|e| panic!("corpus regression: {e}"));
+        match case.expect {
+            Expectation::Reject => assert!(!v.accepted, "{}", case.name),
+            Expectation::Accept => assert!(v.accepted && v.sc_trace, "{}", case.name),
+        }
+    }
+}
+
+/// The committed files must stay in sync with the deterministic
+/// reference corpus (same names, same verdicts — byte-level equality of
+/// the action sequences is also deterministic, so check it too).
+#[test]
+fn committed_corpus_matches_the_reference() {
+    if std::env::var_os("SCV_WRITE_CORPUS").is_some() {
+        return;
+    }
+    let committed = load_corpus(&corpus_dir()).expect("corpus parses");
+    let mut reference = reference_corpus();
+    reference.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut committed = committed;
+    committed.sort_by(|a, b| a.name.cmp(&b.name));
+    assert_eq!(
+        committed, reference,
+        "committed corpus drifted from reference_corpus(); \
+         regenerate with SCV_WRITE_CORPUS=1 cargo test --test fuzz_corpus"
+    );
+}
+
+/// Shrunk reproducers must stay small — the whole point of the corpus is
+/// that a human can read a case.
+#[test]
+fn corpus_reject_cases_are_minimal() {
+    if std::env::var_os("SCV_WRITE_CORPUS").is_some() {
+        return;
+    }
+    let corpus = load_corpus(&corpus_dir()).expect("corpus parses");
+    for case in corpus {
+        if case.expect == Expectation::Reject {
+            assert!(
+                case.actions.len() <= 10,
+                "{} has {} actions",
+                case.name,
+                case.actions.len()
+            );
+        }
+    }
+}

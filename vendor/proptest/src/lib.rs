@@ -15,7 +15,10 @@
 //! generated from a **fixed seed derived from the test name** (fully
 //! deterministic across runs and machines — the repo's test battery
 //! depends on reproducible searches), and there is **no shrinking** (a
-//! failure reports the exact generated inputs instead).
+//! failure reports the reproducing seed and the exact generated inputs
+//! instead). The case body runs under `catch_unwind`, so a direct panic
+//! inside it — an `unwrap`, an out-of-bounds index — gets the same
+//! seed-and-inputs report as a `prop_assert!` failure.
 
 pub mod strategy {
     /// The RNG handed to strategies (deterministic, seeded per test case).
@@ -257,6 +260,18 @@ pub mod test_runner {
         }
     }
 
+    /// Extract a human-readable message from a caught panic payload
+    /// (`panic!` with a literal yields `&str`, with formatting a `String`).
+    pub fn panic_message(payload: &(dyn core::any::Any + Send)) -> &str {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            s
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.as_str()
+        } else {
+            "<non-string panic payload>"
+        }
+    }
+
     /// FNV-1a of the test name: the per-test base seed. Deterministic
     /// across runs, processes, and platforms.
     pub fn name_seed(name: &str) -> u64 {
@@ -309,21 +324,39 @@ macro_rules! __proptest_impl {
                 // name with a generated value inside the loop.
                 $(let $arg = $strat;)+
                 for __case in 0..__cfg.cases {
-                    let mut __rng = <$crate::strategy::TestRng as rand::SeedableRng>::seed_from_u64(
-                        __base ^ (__case as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                    );
+                    let __seed = __base ^ (__case as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    let mut __rng =
+                        <$crate::strategy::TestRng as rand::SeedableRng>::seed_from_u64(__seed);
                     $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
                     let __inputs = ::std::format!("{:#?}", ($(&$arg,)+));
-                    let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| {
+                    // Run the body under catch_unwind so that even a direct
+                    // panic (an `unwrap`, an out-of-bounds index) — not just
+                    // a prop_assert! — reports which seed reproduces it.
+                    // (allow: a body that ends by diverging makes Ok(())
+                    // unreachable, which is fine.)
+                    #[allow(unreachable_code)]
+                    let __run =
+                        || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
                             $body
                             ::core::result::Result::Ok(())
-                        })();
-                    if let ::core::result::Result::Err(__e) = __result {
-                        ::std::panic!(
-                            "proptest {} failed at case {}/{}: {}\ninputs: {}",
-                            stringify!($name), __case + 1, __cfg.cases, __e, __inputs,
-                        );
+                        };
+                    let __result =
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run));
+                    match __result {
+                        ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                        ::core::result::Result::Ok(::core::result::Result::Err(__e)) => {
+                            ::std::panic!(
+                                "proptest {} failed at case {}/{} (seed {:#018x}): {}\ninputs: {}",
+                                stringify!($name), __case + 1, __cfg.cases, __seed, __e, __inputs,
+                            );
+                        }
+                        ::core::result::Result::Err(__payload) => {
+                            let __msg = $crate::test_runner::panic_message(&*__payload);
+                            ::std::panic!(
+                                "proptest {} panicked at case {}/{} (seed {:#018x}): {}\ninputs: {}",
+                                stringify!($name), __case + 1, __cfg.cases, __seed, __msg, __inputs,
+                            );
+                        }
                     }
                 }
             }
@@ -411,6 +444,39 @@ mod tests {
                 prop_assert!(x < 2);
             }
         }
+    }
+
+    // Compiled without `#[test]` so the tests below can invoke them under
+    // catch_unwind and inspect the failure report.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        fn always_fails(x in 0u32..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+
+        fn always_panics(x in 0u32..10) {
+            panic!("boom at {x}");
+        }
+    }
+
+    #[test]
+    fn prop_assert_failure_reports_the_seed() {
+        let payload = std::panic::catch_unwind(always_fails).unwrap_err();
+        let msg = crate::test_runner::panic_message(&*payload);
+        assert!(msg.contains("failed at case"), "{msg}");
+        assert!(msg.contains("seed 0x"), "{msg}");
+        assert!(msg.contains("inputs:"), "{msg}");
+    }
+
+    #[test]
+    fn body_panic_reports_the_seed() {
+        let payload = std::panic::catch_unwind(always_panics).unwrap_err();
+        let msg = crate::test_runner::panic_message(&*payload);
+        assert!(msg.contains("panicked at case"), "{msg}");
+        assert!(msg.contains("seed 0x"), "{msg}");
+        assert!(msg.contains("boom at"), "{msg}");
+        assert!(msg.contains("inputs:"), "{msg}");
     }
 
     #[test]
