@@ -9,7 +9,7 @@ use std::time::Instant;
 
 fn run<P: Symmetry + Sync + Clone>(name: &str, p: P, cap: usize, threads: usize)
 where
-    P::State: Send + Sync,
+    P::State: Send + Sync + 'static,
 {
     scv_telemetry::event(scv_telemetry::Event::RunStart {
         name: format!("probe_one/{name}"),

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 fn probe<P: Symmetry + Sync + Clone>(name: &str, p: P)
 where
-    P::State: Send + Sync,
+    P::State: Send + Sync + 'static,
 {
     let t0 = Instant::now();
     let out = verify_protocol(p, VerifyOptions::new().max_states(3_000_000).threads(4));

@@ -97,8 +97,21 @@ impl std::error::Error for ScError {}
 pub type ScVerdict = Result<(), ScError>;
 
 /// A growable bitset over slot indices (the reachability closure rows).
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(PartialEq, Eq, Debug, Default)]
 struct SlotSet(Vec<u64>);
+
+// Manual `Clone` so `clone_from` reuses the word buffer: closure rows are
+// copied once per replayed candidate on the lazy expansion path, and the
+// derived impl would reallocate each row.
+impl Clone for SlotSet {
+    fn clone(&self) -> Self {
+        SlotSet(self.0.clone())
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.0.clone_from(&source.0);
+    }
+}
 
 impl SlotSet {
     #[inline]
@@ -162,7 +175,7 @@ enum HeadState {
     ConfirmedGone,
 }
 
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(PartialEq, Eq, Debug)]
 struct NodeRec {
     gen: u32,
     label: Op,
@@ -214,6 +227,63 @@ struct NodeRec {
     reach: SlotSet,
 }
 
+// Manual `Clone` so `clone_from` reuses the record's edge lists and
+// closure row. The checker is replayed into scratch copies once per
+// candidate transition on the lazy expansion path; with the derived impl
+// every replay reallocated `bot_forced`/`heirs`/`forced_out`/`reach` for
+// every retained record.
+impl Clone for NodeRec {
+    fn clone(&self) -> Self {
+        NodeRec {
+            gen: self.gen,
+            label: self.label,
+            birth: self.birth,
+            id_count: self.id_count,
+            po_in: self.po_in,
+            po_out: self.po_out,
+            sto_in: self.sto_in,
+            sto_out: self.sto_out,
+            inh_in: self.inh_in,
+            forced_target: self.forced_target,
+            target_dead: self.target_dead,
+            forced_done: self.forced_done,
+            waiting_succ: self.waiting_succ,
+            superseded: self.superseded,
+            bot_resolved: self.bot_resolved,
+            bot_forced: self.bot_forced.clone(),
+            sto_succ: self.sto_succ,
+            succ_dead: self.succ_dead,
+            heirs: self.heirs.clone(),
+            forced_out: self.forced_out.clone(),
+            reach: self.reach.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.gen = source.gen;
+        self.label = source.label;
+        self.birth = source.birth;
+        self.id_count = source.id_count;
+        self.po_in = source.po_in;
+        self.po_out = source.po_out;
+        self.sto_in = source.sto_in;
+        self.sto_out = source.sto_out;
+        self.inh_in = source.inh_in;
+        self.forced_target = source.forced_target;
+        self.target_dead = source.target_dead;
+        self.forced_done = source.forced_done;
+        self.waiting_succ = source.waiting_succ;
+        self.superseded = source.superseded;
+        self.bot_resolved = source.bot_resolved;
+        self.bot_forced.clone_from(&source.bot_forced);
+        self.sto_succ = source.sto_succ;
+        self.succ_dead = source.succ_dead;
+        self.heirs.clone_from(&source.heirs);
+        self.forced_out.clone_from(&source.forced_out);
+        self.reach.clone_from(&source.reach);
+    }
+}
+
 impl NodeRec {
     fn is_load(&self) -> bool {
         self.label.kind == OpKind::Load
@@ -254,7 +324,7 @@ pub struct ScStats {
 }
 
 /// The finite-state sequential-consistency checker (Theorem 3.1).
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(PartialEq, Eq, Debug)]
 pub struct ScChecker {
     k: u32,
     owner: Vec<Option<Handle>>,
@@ -271,6 +341,44 @@ pub struct ScChecker {
     last_bot: BTreeMap<(u8, u8), Handle>,
     stats: ScStats,
     rejected: Option<ScError>,
+}
+
+// Manual `Clone` so `clone_from` reuses the target's allocations
+// field-by-field. Lazy expansion replays candidate transitions into a
+// scratch checker via `clone_from` on the model checker's hot path; the
+// derived impl reallocates `slots`/`owner` and all three maps per replay.
+impl Clone for ScChecker {
+    fn clone(&self) -> Self {
+        ScChecker {
+            k: self.k,
+            owner: self.owner.clone(),
+            slots: self.slots.clone(),
+            free_slots: self.free_slots.clone(),
+            next_gen: self.next_gen,
+            birth: self.birth,
+            position: self.position,
+            proc_tally: self.proc_tally.clone(),
+            block_tally: self.block_tally.clone(),
+            last_bot: self.last_bot.clone(),
+            stats: self.stats,
+            rejected: self.rejected.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.k = source.k;
+        self.owner.clone_from(&source.owner);
+        self.slots.clone_from(&source.slots);
+        self.free_slots.clone_from(&source.free_slots);
+        self.next_gen = source.next_gen;
+        self.birth = source.birth;
+        self.position = source.position;
+        self.proc_tally.clone_from(&source.proc_tally);
+        self.block_tally.clone_from(&source.block_tally);
+        self.last_bot.clone_from(&source.last_bot);
+        self.stats = source.stats;
+        self.rejected = source.rejected.clone();
+    }
 }
 
 impl ScChecker {
@@ -514,7 +622,7 @@ impl ScChecker {
     /// observer's encoding *first*, so the renaming is consistent across
     /// the product state. Two checkers with the same encoding accept
     /// exactly the same future symbol streams up to that renaming.
-    pub fn canonical_encoding(&self, out: &mut Vec<u64>, ids: &mut scv_descriptor::IdCanon) {
+    pub fn canonical_encoding(&self, out: &mut Vec<u64>, ids: &mut scv_descriptor::IdCanon<'_>) {
         self.encode_canonical(out, ids, None);
     }
 
@@ -527,7 +635,7 @@ impl ScChecker {
     pub fn canonical_encoding_with(
         &self,
         out: &mut Vec<u64>,
-        ids: &mut scv_descriptor::IdCanon,
+        ids: &mut scv_descriptor::IdCanon<'_>,
         view: &scv_descriptor::SymView<'_>,
     ) {
         self.encode_canonical(out, ids, Some(view));
@@ -536,11 +644,10 @@ impl ScChecker {
     fn encode_canonical(
         &self,
         out: &mut Vec<u64>,
-        ids: &mut scv_descriptor::IdCanon,
+        ids: &mut scv_descriptor::IdCanon<'_>,
         view: Option<&scv_descriptor::SymView<'_>>,
     ) {
         use scv_types::{BlockId, ProcId, Value};
-        use std::collections::HashMap as Map;
         // Identity renamings for labels/tallies; the sorts below restore
         // the renamed structure's emission order.
         let re_p = |p: u8| view.map_or(p, |v| v.perm.proc(ProcId(p)).0);
@@ -567,17 +674,26 @@ impl ScChecker {
             })
             .collect();
         retained.sort_unstable_by_key(|&(b, _)| b);
-        let rank: Map<Handle, u64> = retained
-            .iter()
-            .enumerate()
-            .map(|(i, &(_, h))| (h, i as u64))
-            .collect();
-        let slot_rank: Map<u32, u64> = retained
-            .iter()
-            .enumerate()
-            .map(|(i, &(_, h))| (h.slot, i as u64))
-            .collect();
-        let tok = |h: Option<Handle>| -> u64 { h.map_or(u64::MAX, |h| rank[&h]) };
+        // Rank table indexed directly by slot: each live slot holds at
+        // most one retained handle, so this replaces two hash maps on a
+        // path the model checker hits per sealed candidate. The
+        // generation rides along to catch tokens referencing a stale
+        // handle (which the old `rank[&h]` indexing would have caught by
+        // panicking).
+        let mut rank_by_slot: Vec<(u32, u64)> = vec![(0, u64::MAX); self.slots.len()];
+        for (i, &(_, h)) in retained.iter().enumerate() {
+            rank_by_slot[h.slot as usize] = (h.gen, i as u64);
+        }
+        let tok = |h: Option<Handle>| -> u64 {
+            h.map_or(u64::MAX, |h| {
+                let (gen, r) = rank_by_slot[h.slot as usize];
+                debug_assert!(
+                    r != u64::MAX && gen == h.gen,
+                    "token references a non-retained handle"
+                );
+                r
+            })
+        };
         out.push(retained.len() as u64);
         // Owner table keyed by canonical ID (location IDs are fixed
         // points; auxiliary IDs were renamed by the observer's encoding).
@@ -594,6 +710,11 @@ impl ScChecker {
             out.push(id);
             out.push(t);
         }
+        // Per-record emission buffers, reused across the record walk.
+        let mut bf: Vec<u64> = Vec::new();
+        let mut heirs: Vec<(u8, u64)> = Vec::new();
+        let mut fo: Vec<u64> = Vec::new();
+        let mut reach_ranks: Vec<u64> = Vec::new();
         for &(_, h) in &retained {
             let r = self.rec(h);
             // A load's value is never read again once its inheritance bit
@@ -631,33 +752,33 @@ impl ScChecker {
             );
             out.push(tok(r.forced_target));
             out.push(tok(r.sto_succ));
-            let mut bf: Vec<u64> = r.bot_forced.iter().map(|&x| tok(Some(x))).collect();
+            bf.clear();
+            bf.extend(r.bot_forced.iter().map(|&x| tok(Some(x))));
             bf.sort_unstable();
             out.push(bf.len() as u64);
-            out.extend(bf);
-            let mut heirs: Vec<(u8, u64)> = r
-                .heirs
-                .iter()
-                .map(|&(p, x)| (re_p(p), tok(Some(x))))
-                .collect();
+            out.extend_from_slice(&bf);
+            heirs.clear();
+            heirs.extend(r.heirs.iter().map(|&(p, x)| (re_p(p), tok(Some(x)))));
             heirs.sort_unstable();
             out.push(heirs.len() as u64);
-            for (p, x) in heirs {
+            for &(p, x) in &heirs {
                 out.push((p as u64) << 32 | x);
             }
-            let mut fo: Vec<u64> = r.forced_out.iter().map(|&x| tok(Some(x))).collect();
+            fo.clear();
+            fo.extend(r.forced_out.iter().map(|&x| tok(Some(x))));
             fo.sort_unstable();
             out.push(fo.len() as u64);
-            out.extend(fo);
-            // Reachability closure as a rank set.
-            let mut reach_ranks: Vec<u64> = r
-                .reach
-                .iter()
-                .filter_map(|s| slot_rank.get(&s).copied())
-                .collect();
+            out.extend_from_slice(&fo);
+            // Reachability closure as a rank set (slots retained under any
+            // generation, exactly as the old slot-keyed map behaved).
+            reach_ranks.clear();
+            reach_ranks.extend(r.reach.iter().filter_map(|s| {
+                let (_, rr) = rank_by_slot[s as usize];
+                (rr != u64::MAX).then_some(rr)
+            }));
             reach_ranks.sort_unstable();
             out.push(reach_ranks.len() as u64);
-            out.extend(reach_ranks);
+            out.extend_from_slice(&reach_ranks);
         }
         // Tallies are keyed by processor/block number: rename the keys and
         // re-sort so emission order matches the renamed BTreeMaps.

@@ -39,14 +39,19 @@ pub struct SymView<'a> {
 
 /// First-use canonical renaming for IDs above a fixed base, optionally
 /// composed with a location permutation on the fixed IDs.
+///
+/// The location map is *borrowed*: one canonicalization per group element
+/// per sealed state runs on the model checker's hot path, and the maps are
+/// precomputed once per group element — cloning a `Vec<u32>` into every
+/// `IdCanon` was pure allocator traffic.
 #[derive(Clone, Debug)]
-pub struct IdCanon {
+pub struct IdCanon<'a> {
     base: IdNum,
     map: HashMap<IdNum, u64>,
-    locs: Option<Vec<u32>>,
+    locs: Option<&'a [u32]>,
 }
 
-impl IdCanon {
+impl<'a> IdCanon<'a> {
     /// IDs `1..=base` are fixed (returned as-is); higher IDs are renamed.
     pub fn new(base: IdNum) -> Self {
         IdCanon {
@@ -60,7 +65,7 @@ impl IdCanon {
     /// (`locs[id]` for `id <= base`) instead of staying fixed — used when
     /// encoding a structure under a block/processor symmetry view whose
     /// location IDs are renamed by the protocol's location permutation.
-    pub fn with_locs(base: IdNum, locs: Vec<u32>) -> Self {
+    pub fn with_locs(base: IdNum, locs: &'a [u32]) -> Self {
         debug_assert!(locs.len() > base as usize, "locs must cover 1..=base");
         IdCanon {
             base,
@@ -74,13 +79,38 @@ impl IdCanon {
     /// first-use index.
     pub fn canon(&mut self, id: IdNum) -> u64 {
         if id <= self.base {
-            return match &self.locs {
+            return match self.locs {
                 Some(locs) => locs[id as usize] as u64,
                 None => id as u64,
             };
         }
         let next = self.base as u64 + 1 + self.map.len() as u64;
         *self.map.entry(id).or_insert(next)
+    }
+
+    /// Reset to a fresh renaming (same base, same borrowed location map),
+    /// keeping the map's allocation — scratch reuse for callers that seal
+    /// many states in a row.
+    pub fn reset(&mut self) {
+        self.map.clear();
+    }
+
+    /// Reset to a fresh renaming over plain (identity) locations with a
+    /// possibly different base, keeping the map's allocation. Lets one
+    /// `IdCanon` stored in long-lived scratch serve every candidate of an
+    /// expansion without a per-candidate map allocation.
+    pub fn reset_with(&mut self, base: IdNum) {
+        self.base = base;
+        self.locs = None;
+        self.map.clear();
+    }
+
+    /// Swap in a different borrowed location map (the renaming map is
+    /// *not* cleared — pair with [`IdCanon::reset`]). Used by the orbit
+    /// enumeration to reuse one renaming map across group elements.
+    pub fn set_locs(&mut self, locs: &'a [u32]) {
+        debug_assert!(locs.len() > self.base as usize, "locs must cover 1..=base");
+        self.locs = Some(locs);
     }
 
     /// Number of auxiliary IDs renamed so far.
@@ -116,7 +146,7 @@ mod tests {
     fn location_map_renames_fixed_ids() {
         // Swap locations 1 and 2; location 3 stays. Aux IDs still rename
         // first-use.
-        let mut c = IdCanon::with_locs(3, vec![0, 2, 1, 3]);
+        let mut c = IdCanon::with_locs(3, &[0, 2, 1, 3]);
         assert_eq!(c.canon(1), 2);
         assert_eq!(c.canon(2), 1);
         assert_eq!(c.canon(3), 3);

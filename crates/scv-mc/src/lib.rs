@@ -32,12 +32,12 @@ pub mod verify;
 pub mod ws;
 
 pub use mc::{
-    bfs, bfs_parallel, BfsOptions, Counterexample, McStats, SearchResult, SearchStrategy,
-    TransitionSystem,
+    bfs, bfs_parallel, eager_expand, BfsOptions, Counterexample, ExpandScratch, Fingerprinter,
+    McStats, SearchResult, SearchStrategy, TransitionSystem,
 };
 pub use seen::StripedSeen;
 pub use verify::{
-    verify_protocol, verify_system, Outcome, RejectReason, SymmetryMode, VerifyOptions,
+    verify_protocol, verify_system, EncRef, Outcome, RejectReason, SymmetryMode, VerifyOptions,
     VerifyState, VerifySystem,
 };
 pub use ws::{ws_search, ws_search_detailed, WorkerStats};

@@ -15,7 +15,12 @@ use std::time::{Duration, Instant};
 /// 128 bits the probability across even 10⁹ states is ~10⁻²⁰, far below
 /// any practical concern (the same trade Holzmann's bitstate hashing makes
 /// far more aggressively).
-pub(crate) struct Fingerprinter {
+///
+/// Public so [`TransitionSystem::expand_admitted`] implementations can
+/// fingerprint successors *before* materializing them; the keys are
+/// per-instance random, so fingerprints are only comparable within one
+/// search.
+pub struct Fingerprinter {
     a: RandomState,
     b: RandomState,
 }
@@ -28,8 +33,74 @@ impl Fingerprinter {
         }
     }
 
-    pub(crate) fn fp<S: Hash>(&self, s: &S) -> u128 {
+    /// The 128-bit fingerprint of any hashable value. Implementations of
+    /// [`TransitionSystem::expand_admitted`] must ensure the value they
+    /// hash here is hash-identical to the `State` they would materialize.
+    pub fn fp<S: Hash>(&self, s: &S) -> u128 {
         (self.a.hash_one(s) as u128) << 64 | self.b.hash_one(s) as u128
+    }
+
+    /// A half-width fingerprint (one hasher pass instead of two) for
+    /// worker-local caching, where a collision costs a wrong cache answer
+    /// bounded by the cache's size, not the whole search. At ≤2^16 cached
+    /// keys the collision probability is ~2^-33 per cache lifetime —
+    /// negligible next to the 128-bit birthday bound the global seen-set
+    /// already accepts.
+    pub(crate) fn fp64<S: Hash>(&self, s: &S) -> u64 {
+        self.a.hash_one(s)
+    }
+}
+
+/// Opaque per-worker scratch space for [`TransitionSystem::expand_admitted`].
+///
+/// Engines obtain one per worker via [`TransitionSystem::expand_scratch`]
+/// and thread it through every expansion on that worker; what lives inside
+/// is the system's business (the product system keeps replay copies of the
+/// observer/checker, encoding arenas, and its orbit-seal cache here).
+/// Systems that don't override the lazy path use [`ExpandScratch::none`].
+pub struct ExpandScratch(Box<dyn std::any::Any + Send>);
+
+impl ExpandScratch {
+    /// The empty scratch used by the default (materialize-first) path.
+    pub fn none() -> Self {
+        ExpandScratch(Box::new(()))
+    }
+
+    /// Wrap a concrete scratch value.
+    pub fn new<S: std::any::Any + Send>(scratch: S) -> Self {
+        ExpandScratch(Box::new(scratch))
+    }
+
+    /// Downcast to the concrete scratch type, if this is one.
+    pub fn get_mut<S: std::any::Any + Send>(&mut self) -> Option<&mut S> {
+        self.0.downcast_mut::<S>()
+    }
+}
+
+/// The reference implementation of admission-gated expansion: materialize
+/// every successor eagerly, fingerprint them, then let `admit` filter.
+///
+/// This is both the trait default (correct for any system) and the
+/// explicit "eager" mode of the product system — it reproduces the
+/// pre-gating cost profile (full clone + encode per successor, admitted or
+/// not), which is what the lazy path is benchmarked against.
+pub fn eager_expand<T: TransitionSystem + ?Sized>(
+    sys: &T,
+    s: &T::State,
+    fper: &Fingerprinter,
+    admit: &mut dyn FnMut(&[u128], &mut Vec<bool>),
+    out: &mut Vec<(T::Label, T::State, u128)>,
+) {
+    let mut succs = Vec::new();
+    sys.successors_into(s, &mut succs);
+    let fps: Vec<u128> = succs.iter().map(|(_, t)| fper.fp(t)).collect();
+    let mut keep = Vec::new();
+    admit(&fps, &mut keep);
+    debug_assert_eq!(keep.len(), fps.len());
+    for (i, (label, t)) in succs.into_iter().enumerate() {
+        if keep[i] {
+            out.push((label, t, fps[i]));
+        }
     }
 }
 
@@ -61,6 +132,45 @@ pub trait TransitionSystem {
     /// [`TransitionSystem::successors`]).
     fn successors_into(&self, s: &Self::State, out: &mut Vec<(Self::Label, Self::State)>) {
         out.extend(self.successors(s));
+    }
+
+    /// Per-worker scratch for [`TransitionSystem::expand_admitted`];
+    /// engines create one per worker and reuse it for every expansion.
+    fn expand_scratch(&self) -> ExpandScratch {
+        ExpandScratch::none()
+    }
+
+    /// Admission-gated expansion: fingerprint every successor of `s`
+    /// first, ask `admit` which fingerprints are worth keeping, and push
+    /// only the admitted `(label, state, fingerprint)` triples to `out`.
+    ///
+    /// The contract, which all three engines rely on:
+    ///
+    /// * every candidate successor's fingerprint is passed to `admit`
+    ///   (possibly across several calls), and `admit` fills one `bool` per
+    ///   fingerprint — `true` means materialize;
+    /// * an admitted triple's fingerprint is exactly what `admit` saw, and
+    ///   hashing the materialized state through `fper` reproduces it;
+    /// * `admit` is a *hint*, not a claim: engines still insert admitted
+    ///   fingerprints into their seen-set authoritatively, so false
+    ///   positives (a racing worker admitted the state first, or the same
+    ///   fingerprint appears twice in one expansion) cost a wasted
+    ///   materialization, never a duplicate or dropped state.
+    ///
+    /// The default materializes everything first (via
+    /// [`TransitionSystem::successors_into`]) and filters afterwards —
+    /// correct for any system; systems with expensive states override this
+    /// to defer the clone/allocate work until after admission.
+    fn expand_admitted(
+        &self,
+        s: &Self::State,
+        scratch: &mut ExpandScratch,
+        fper: &Fingerprinter,
+        admit: &mut dyn FnMut(&[u128], &mut Vec<bool>),
+        out: &mut Vec<(Self::Label, Self::State, u128)>,
+    ) {
+        let _ = scratch;
+        eager_expand(self, s, fper, admit, out);
     }
 }
 
@@ -276,20 +386,31 @@ fn bfs_inner<T: TransitionSystem>(
     }
     frontier.push((init, 0));
 
+    let mut scratch = sys.expand_scratch();
+    let mut admitted: Vec<(T::Label, T::State, u128)> = Vec::new();
     let mut depth = 0usize;
     let mut truncated = false;
     while !frontier.is_empty() && depth < opts.max_depth {
         depth += 1;
         let mut next = Vec::new();
         for (s, si) in frontier.drain(..) {
-            for (label, t) in sys.successors(&s) {
-                stats.transitions += 1;
-                let fp = fper.fp(&t);
-                if index.contains_key(&fp) {
-                    continue;
-                }
+            // Admission gate: probe the seen-set with fingerprints so
+            // duplicate successors are rejected before materialization.
+            admitted.clear();
+            let mut admit = |fps: &[u128], keep: &mut Vec<bool>| {
+                stats.transitions += fps.len();
+                keep.clear();
+                keep.extend(fps.iter().map(|fp| !index.contains_key(fp)));
+            };
+            sys.expand_admitted(&s, &mut scratch, &fper, &mut admit, &mut admitted);
+            for (label, t, fp) in admitted.drain(..) {
+                // Authoritative insert: within-expansion duplicates both
+                // pass the probe, so re-check here.
                 let ti = parents.len() as u32;
-                index.insert(fp, ti);
+                match index.entry(fp) {
+                    std::collections::hash_map::Entry::Occupied(_) => continue,
+                    std::collections::hash_map::Entry::Vacant(v) => v.insert(ti),
+                };
                 parents.push(Some((si, label)));
                 stats.states += 1;
                 stats.depth = depth;
@@ -399,6 +520,9 @@ where
     let mut frontier: Vec<(T::State, u128)> = vec![(init, init_fp)];
     let mut depth = 0usize;
     let mut truncated = false;
+    // Per-worker expansion scratch, hoisted out of the level loop so the
+    // replay buffers and seal caches survive across levels.
+    let mut scratches: Vec<ExpandScratch> = (0..threads).map(|_| sys.expand_scratch()).collect();
 
     while !frontier.is_empty() && depth < opts.max_depth && !stop.load(Ordering::Relaxed) {
         depth += 1;
@@ -407,7 +531,8 @@ where
         let next: Vec<Vec<(T::State, u128)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
-                .map(|chunk| {
+                .zip(scratches.iter_mut())
+                .map(|(chunk, scratch)| {
                     let shards = &shards;
                     let n_states = &n_states;
                     let n_trans = &n_trans;
@@ -417,13 +542,24 @@ where
                     let shard_of = &shard_of;
                     scope.spawn(move || {
                         let mut local = Vec::new();
+                        let mut admitted: Vec<(T::Label, T::State, u128)> = Vec::new();
                         for (s, sfp) in chunk {
                             if stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                            for (label, t) in sys.successors(s) {
-                                n_trans.fetch_add(1, Ordering::Relaxed);
-                                let tfp = fper.fp(&t);
+                            // Probe-only admission (one shard lock per
+                            // candidate); the insert below stays
+                            // authoritative, so probe races are safe.
+                            admitted.clear();
+                            let mut admit = |fps: &[u128], keep: &mut Vec<bool>| {
+                                n_trans.fetch_add(fps.len() as u64, Ordering::Relaxed);
+                                keep.clear();
+                                keep.extend(fps.iter().map(|fp| {
+                                    !shards[shard_of(*fp)].lock().unwrap().contains_key(fp)
+                                }));
+                            };
+                            sys.expand_admitted(s, scratch, fper, &mut admit, &mut admitted);
+                            for (label, t, tfp) in admitted.drain(..) {
                                 {
                                     let mut m = shards[shard_of(tfp)].lock().unwrap();
                                     if m.contains_key(&tfp) {

@@ -31,6 +31,11 @@ struct Shard {
     slots: Box<[u128]>,
     /// Occupied slots.
     len: usize,
+    /// Cached `slots.len() / 2`: the occupancy at which the next insert
+    /// must grow first. Hot single inserts compare against this field
+    /// instead of recomputing the load factor (the old code called
+    /// `reserve(1)` — a function call plus two multiplies — per insert).
+    grow_at: usize,
 }
 
 impl Shard {
@@ -38,6 +43,7 @@ impl Shard {
         Shard {
             slots: vec![0u128; INITIAL_SHARD_CAPACITY].into_boxed_slice(),
             len: 0,
+            grow_at: INITIAL_SHARD_CAPACITY / 2,
         }
     }
 
@@ -85,7 +91,7 @@ impl Shard {
     /// Keep load at or below 1/2 for short probe chains.
     fn reserve(&mut self, incoming: usize) {
         let needed = self.len + incoming;
-        if needed * 2 <= self.slots.len() {
+        if needed <= self.grow_at {
             return;
         }
         let mut cap = self.slots.len();
@@ -94,6 +100,7 @@ impl Shard {
         }
         let old = std::mem::replace(&mut self.slots, vec![0u128; cap].into_boxed_slice());
         self.len = 0;
+        self.grow_at = cap / 2;
         for fp in old.iter().copied().filter(|&fp| fp != 0) {
             self.insert_raw(fp);
         }
@@ -133,16 +140,25 @@ impl StripedSeen {
 
     /// The stripe a fingerprint belongs to. Uses the high 64 bits so the
     /// in-shard probe index (low bits) stays independent of shard choice.
+    ///
+    /// The map is a fixed-point multiply-shift — `(hi · n) >> 64` sends a
+    /// uniform 64-bit value to `[0, n)` with at most one slot of bias —
+    /// instead of `hi % n`: a 64×64→128 multiply retires in a few cycles
+    /// where the hardware divide the `%` compiled to costs tens, and this
+    /// runs once per successor fingerprint on the hot path.
     #[inline]
     pub fn shard_of(&self, fp: u128) -> usize {
-        (((desentinel(fp) >> 64) as u64) % self.shards.len() as u64) as usize
+        let hi = (desentinel(fp) >> 64) as u64;
+        ((hi as u128 * self.shards.len() as u128) >> 64) as usize
     }
 
     /// Insert one fingerprint; returns `true` if it was not yet present.
     pub fn insert(&self, fp: u128) -> bool {
         let fp = desentinel(fp);
         let mut shard = self.shards[self.shard_of(fp)].lock().unwrap();
-        shard.reserve(1);
+        if shard.len >= shard.grow_at {
+            shard.reserve(1);
+        }
         shard.insert_raw(fp)
     }
 
@@ -186,6 +202,53 @@ impl StripedSeen {
             }
         }
         new
+    }
+
+    /// Probe a batch of fingerprints that all map to shard `shard` under a
+    /// single lock acquisition, **without inserting anything**. Pushes one
+    /// bool per fingerprint onto `absent`, in order: `true` iff the
+    /// fingerprint is not in the set. This is the admission gate's read
+    /// side: a `true` answer is a *hint* (a racing worker may insert the
+    /// fingerprint right after the lock drops), so callers must still
+    /// treat [`StripedSeen::insert_batch`] as the authoritative admission.
+    /// A `false` answer is definitive — fingerprints are never removed.
+    pub fn probe_batch(&self, shard: usize, fps: &[u128], absent: &mut Vec<bool>) {
+        debug_assert!(fps.iter().all(|&fp| self.shard_of(fp) == shard));
+        let guard = self.shards[shard].lock().unwrap();
+        absent.extend(fps.iter().map(|&fp| !guard.contains(desentinel(fp))));
+    }
+
+    /// Probe an unsorted batch of fingerprints (any mix of stripes),
+    /// writing `absent[i] == true` iff `fps[i]` is not in the set. Groups
+    /// the batch by stripe internally so each touched stripe is locked
+    /// exactly once; `order` is caller-provided scratch (cleared here,
+    /// reused across calls to stay allocation-free in steady state).
+    /// Duplicates *within* the batch all report the same answer — the
+    /// authoritative dedup happens at [`StripedSeen::insert_batch`].
+    pub fn probe_many(&self, fps: &[u128], absent: &mut Vec<bool>, order: &mut Vec<(u32, u32)>) {
+        absent.clear();
+        absent.resize(fps.len(), false);
+        order.clear();
+        order.extend(
+            fps.iter()
+                .enumerate()
+                .map(|(i, &fp)| (self.shard_of(fp) as u32, i as u32)),
+        );
+        order.sort_unstable();
+        let mut at = 0usize;
+        while at < order.len() {
+            let stripe = order[at].0;
+            let end = at
+                + order[at..]
+                    .iter()
+                    .take_while(|&&(s, _)| s == stripe)
+                    .count();
+            let guard = self.shards[stripe as usize].lock().unwrap();
+            for &(_, i) in &order[at..end] {
+                absent[i as usize] = !guard.contains(desentinel(fps[i as usize]));
+            }
+            at = end;
+        }
     }
 
     /// Occupancy of every stripe, for end-of-run load-balance gauges.
@@ -245,6 +308,66 @@ mod tests {
         for i in 1..=n {
             assert!(seen.contains(i << 32));
         }
+    }
+
+    #[test]
+    fn shard_of_covers_every_stripe() {
+        // The multiply-shift map must still reach every shard (it sends
+        // uniform high bits to [0, n) with at most one slot of bias).
+        for shards in [1usize, 3, 8, 13] {
+            let seen = StripedSeen::new(shards);
+            let mut hit = vec![false; shards];
+            for i in 0..4096u128 {
+                let fp = (i * 0x9E3779B97F4A7C15) << 64 | i;
+                let s = seen.shard_of(fp);
+                assert!(s < shards);
+                hit[s] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "{shards} stripes all reachable");
+        }
+    }
+
+    #[test]
+    fn probe_batch_and_probe_many_report_membership_without_inserting() {
+        let seen = StripedSeen::new(5);
+        let present: Vec<u128> = (1..100u128).map(|i| i * 0x1234567890AB).collect();
+        for &fp in &present {
+            seen.insert(fp);
+        }
+        let absent_fps: Vec<u128> = (1..100u128).map(|i| i * 0xFEDCBA987654321).collect();
+        // probe_batch: per-stripe, membership answers in order.
+        let mut by_shard: Vec<Vec<u128>> = vec![Vec::new(); seen.shard_count()];
+        for &fp in present.iter().chain(&absent_fps) {
+            by_shard[seen.shard_of(fp)].push(fp);
+        }
+        for (shard, group) in by_shard.iter().enumerate() {
+            let mut flags = Vec::new();
+            seen.probe_batch(shard, group, &mut flags);
+            for (i, &fp) in group.iter().enumerate() {
+                assert_eq!(flags[i], !present.contains(&fp), "fp {fp:x}");
+            }
+        }
+        // probe_many: interleaved stripes, same answers, nothing inserted.
+        let mixed: Vec<u128> = present
+            .iter()
+            .zip(&absent_fps)
+            .flat_map(|(&a, &b)| [a, b])
+            .collect();
+        let mut flags = Vec::new();
+        let mut order = Vec::new();
+        seen.probe_many(&mixed, &mut flags, &mut order);
+        for (i, &fp) in mixed.iter().enumerate() {
+            assert_eq!(flags[i], !present.contains(&fp));
+        }
+        assert_eq!(seen.len(), present.len(), "probing must not insert");
+        // The zero fingerprint probes through the sentinel remap.
+        let mut flags = Vec::new();
+        seen.probe_many(&[0], &mut flags, &mut order);
+        assert!(flags[0]);
+        seen.insert(0);
+        let mut flags = Vec::new();
+        seen.probe_many(&[0, 1], &mut flags, &mut order);
+        assert!(!flags[0] && !flags[1], "0 aliases to 1 by design");
     }
 
     #[test]

@@ -3,15 +3,19 @@
 //! symmetry group.
 
 use crate::mc::{
-    bfs, bfs_parallel, BfsOptions, McStats, SearchResult, SearchStrategy, TransitionSystem,
+    bfs, bfs_parallel, eager_expand, BfsOptions, ExpandScratch, Fingerprinter, McStats,
+    SearchResult, SearchStrategy, TransitionSystem,
 };
 use crate::ws::ws_search;
 use scv_checker::{ScChecker, ScError};
+use scv_descriptor::Symbol;
 use scv_observer::{Observer, ObserverConfig};
-use scv_protocol::{location_maps, Action, Step, Symmetry};
+use scv_protocol::{location_maps, Action, Step, Symmetry, Transition};
 use scv_types::{Op, SymDims, SymPerm, Trace};
+use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Why a product state was rejected — the typed replacement for the old
 /// stringly error channel. [`fmt::Display`] reproduces the exact text the
@@ -85,6 +89,62 @@ impl SymmetryMode {
 /// orbit-minimum representative.
 const GROUP_CAP: usize = 1024;
 
+/// An arena-interned canonical encoding: a view into a shared chunk.
+///
+/// Admission-gated expansion freezes *one* `Arc<[u64]>` per parent
+/// expansion, covering the encodings of every admitted successor, instead
+/// of allocating a `Vec<u64>` per successor. Equality and hashing go
+/// through the viewed slice, so an interned encoding is indistinguishable
+/// from an owned one — in particular it hashes exactly like the
+/// `Vec<u64>` it replaced (both are length-prefixed slice hashes).
+#[derive(Clone, Debug)]
+pub struct EncRef {
+    chunk: Arc<[u64]>,
+    start: u32,
+    len: u32,
+}
+
+impl EncRef {
+    /// Intern a standalone encoding in its own chunk (initial state and
+    /// eager-mode successors).
+    fn owned(enc: &[u64]) -> Self {
+        EncRef {
+            chunk: Arc::from(enc),
+            start: 0,
+            len: enc.len() as u32,
+        }
+    }
+
+    /// A view into an already-frozen chunk.
+    fn view(chunk: &Arc<[u64]>, start: usize, len: usize) -> Self {
+        debug_assert!(start + len <= chunk.len());
+        EncRef {
+            chunk: Arc::clone(chunk),
+            start: start as u32,
+            len: len as u32,
+        }
+    }
+
+    /// The encoding payload.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.chunk[self.start as usize..(self.start + self.len) as usize]
+    }
+}
+
+impl PartialEq for EncRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for EncRef {}
+
+impl Hash for EncRef {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
 /// A product state: the protocol state paired with the live observer and
 /// checker. Equality and hashing go through the canonical encodings, so
 /// two product states that behave identically compare equal — this is
@@ -103,10 +163,37 @@ pub struct VerifyState<PS> {
     pub chk: ScChecker,
     /// Rejection raised while reaching this state, if any.
     pub error: Option<RejectReason>,
-    enc: Vec<u64>,
+    enc: EncRef,
     /// True when `enc` is an orbit-canonical encoding that already covers
     /// the protocol component (hash/eq then ignore `proto`).
     sym: bool,
+}
+
+impl<PS> VerifyState<PS> {
+    /// The canonical encoding this state hashes and compares through.
+    pub fn encoding(&self) -> &[u64] {
+        self.enc.as_slice()
+    }
+}
+
+/// The hashable projection of a product state that the admission gate
+/// fingerprints *before* materializing it: protocol component iff the
+/// encoding is not symmetry-sealed, then the canonical encoding. Must
+/// hash exactly like [`VerifyState`] (same field order, and `&[u64]`
+/// hashes identically to the `EncRef`/`Vec<u64>` it stands in for) —
+/// `tests/lazy_expand_props.rs` pins this equivalence.
+struct FpParts<'a, PS> {
+    proto: Option<&'a PS>,
+    enc: &'a [u64],
+}
+
+impl<PS: Hash> Hash for FpParts<'_, PS> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        if let Some(p) = self.proto {
+            p.hash(state);
+        }
+        self.enc.hash(state);
+    }
 }
 
 impl<PS: Eq> PartialEq for VerifyState<PS> {
@@ -140,6 +227,96 @@ struct PermEntry {
     locs_inv: Vec<u32>,
 }
 
+/// Size bound for the per-worker orbit-seal cache: past this many entries
+/// the cache is cleared wholesale (regrowing is cheap next to the group
+/// enumerations a warm cache skips). Entries are two fingerprints — 32
+/// bytes — so even the full cache is a few MB per worker.
+const SEAL_CACHE_CAP: usize = 1 << 16;
+
+/// Sentinel for [`CandSlot::enc_len`]: the candidate's canonical encoding
+/// was *not* written to the scratch arena (its fingerprint came from the
+/// orbit-seal cache). If such a candidate is admitted — rare: only probe
+/// races and within-expansion duplicates, since a cache hit normally means
+/// the state is already in the seen-set — the encoding is recomputed at
+/// freeze time.
+const ENC_UNSEALED: usize = usize::MAX;
+
+/// One replay slot of the lazy expansion scratch: the observer/checker
+/// copies (and protocol successor) for a single candidate transition,
+/// plus where its canonical encoding landed in the scratch arena.
+///
+/// `proto`/`obs`/`chk` are `Option` so an admitted candidate's components
+/// can be *moved* into the materialized state with no extra copy; the
+/// next expansion re-fills an emptied slot with a fresh clone, and a
+/// still-full slot through allocation-reusing `clone_from`.
+struct CandSlot<PS> {
+    action: Action,
+    proto: Option<PS>,
+    obs: Option<Observer>,
+    chk: Option<ScChecker>,
+    /// The transition emitted no symbols, so the candidate's checker state
+    /// *is* the parent's: the slot's `chk` copy was skipped (encoding read
+    /// the parent directly) and materialization clones the parent instead.
+    chk_is_parent: bool,
+    error: Option<RejectReason>,
+    enc_start: usize,
+    enc_len: usize,
+}
+
+/// Per-worker scratch for admission-gated lazy expansion, carried by the
+/// engines inside an opaque [`ExpandScratch`]. Everything here is reused
+/// across expansions: the replay slots, the symbol and encoding buffers,
+/// and the orbit-seal cache (per worker, hence lock-free).
+pub(crate) struct SealScratch<PS> {
+    slots: Vec<CandSlot<PS>>,
+    syms: Vec<Symbol>,
+    /// Reused transition-enumeration buffer (fed to
+    /// [`scv_protocol::Protocol::transitions_into`]).
+    trans: Vec<Transition<PS>>,
+    /// Concatenated candidate encodings for the current expansion.
+    enc: Vec<u64>,
+    /// Orbit-minimization work buffers.
+    best: Vec<u64>,
+    cand: Vec<u64>,
+    /// Candidate fingerprints and the admission verdicts they received.
+    fps: Vec<u128>,
+    keep: Vec<bool>,
+    /// Freeze buffer: admitted encodings, compacted before interning.
+    frozen: Vec<u64>,
+    /// Reusable aux-ID renaming for the per-candidate identity encodings
+    /// (no location map — `'static` is the no-borrow case).
+    ids: scv_descriptor::IdCanon<'static>,
+    /// Orbit-seal cache: half-width fingerprint of the *identity* encoding
+    /// → the orbit-minimum state fingerprint. The identity encoding starts
+    /// with the injective protocol encoding, so it determines the product
+    /// state; re-deriving the same state from another parent hits here and
+    /// skips the whole group enumeration. Only the fingerprint is cached —
+    /// a hit is almost always a duplicate the admission probe rejects, so
+    /// the canonical *encoding* is recomputed in the rare admitted case
+    /// rather than stored for every miss. The 64-bit key halves the
+    /// key-hashing cost per candidate; see [`Fingerprinter::fp64`] for the
+    /// collision-probability argument.
+    cache: HashMap<u64, u128>,
+}
+
+impl<PS> SealScratch<PS> {
+    fn new() -> Self {
+        SealScratch {
+            slots: Vec::new(),
+            syms: Vec::new(),
+            trans: Vec::new(),
+            enc: Vec::with_capacity(1024),
+            best: Vec::with_capacity(160),
+            cand: Vec::with_capacity(160),
+            fps: Vec::new(),
+            keep: Vec::new(),
+            frozen: Vec::with_capacity(1024),
+            ids: scv_descriptor::IdCanon::new(0),
+            cache: HashMap::new(),
+        }
+    }
+}
+
 /// The product transition system for a protocol.
 ///
 /// Built plain ([`VerifySystem::new`]) or with symmetry reduction
@@ -151,6 +328,11 @@ pub struct VerifySystem<P: Symmetry> {
     /// Identity-first symmetry group; empty when reduction is off or the
     /// effective group is trivial.
     perms: Vec<PermEntry>,
+    /// Admission-gated lazy materialization (the default). `false` forces
+    /// the eager reference path in `expand_admitted`: every successor is
+    /// fully materialized before the seen-set probe — the pre-gating cost
+    /// profile, kept for differential testing and benchmarking.
+    lazy: bool,
 }
 
 impl<P: Symmetry> VerifySystem<P> {
@@ -184,12 +366,27 @@ impl<P: Symmetry> VerifySystem<P> {
         if scv_telemetry::enabled() {
             scv_telemetry::set_gauge("symmetry.group_size", perms.len().max(1) as f64);
         }
-        VerifySystem { protocol, perms }
+        VerifySystem {
+            protocol,
+            perms,
+            lazy: true,
+        }
     }
 
     /// The wrapped protocol.
     pub fn protocol(&self) -> &P {
         &self.protocol
+    }
+
+    /// Toggle admission-gated lazy materialization (on by default; see
+    /// the `lazy` field).
+    pub fn set_lazy(&mut self, lazy: bool) {
+        self.lazy = lazy;
+    }
+
+    /// Is lazy (admission-gated) expansion active?
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
     }
 
     /// Order of the effective symmetry group (1 = no reduction).
@@ -231,7 +428,7 @@ impl<P: Symmetry> VerifySystem<P> {
                 obs,
                 chk,
                 error,
-                enc,
+                enc: EncRef::owned(&enc),
                 sym: false,
             };
         }
@@ -248,13 +445,43 @@ impl<P: Symmetry> VerifySystem<P> {
             obs.canonical_encoding(&mut best, &mut ids);
             chk.canonical_encoding(&mut best, &mut ids);
         }
+        let mut cand = Vec::with_capacity(best.len());
+        self.orbit_min(&proto, &obs, &chk, base, proto_len, &mut best, &mut cand);
+        VerifyState {
+            proto,
+            obs,
+            chk,
+            error,
+            enc: EncRef::owned(&best),
+            sym: true,
+        }
+    }
+
+    /// The orbit-minimization inner loop shared by [`VerifySystem::seal`]
+    /// and the lazy expansion path. On entry `best` holds the identity
+    /// candidate (injective protocol prefix of `proto_len` words, then the
+    /// plain canonical encodings); on exit it holds the lexicographic
+    /// minimum over the whole group, computed without materialising any
+    /// renamed structure.
+    #[allow(clippy::too_many_arguments)]
+    fn orbit_min(
+        &self,
+        proto: &P::State,
+        obs: &Observer,
+        chk: &ScChecker,
+        base: u32,
+        proto_len: usize,
+        best: &mut Vec<u64>,
+        cand: &mut Vec<u64>,
+    ) {
         let mut ties = 1usize; // group elements mapping this state to the current minimum
         let mut beaten = false;
-        let mut cand = Vec::with_capacity(best.len());
+        // One renaming map reused across the whole group enumeration.
+        let mut ids = scv_descriptor::IdCanon::new(base);
         for e in &self.perms[1..] {
             cand.clear();
-            let ps = self.protocol.permute_state(&proto, &e.perm);
-            self.protocol.encode_state(&ps, &mut cand);
+            let ps = self.protocol.permute_state(proto, &e.perm);
+            self.protocol.encode_state(&ps, cand);
             // Lexicographic fast path: if the renamed protocol prefix
             // already exceeds the current minimum's, the full candidate
             // cannot win or tie — skip the observer/checker walk.
@@ -266,12 +493,13 @@ impl<P: Symmetry> VerifySystem<P> {
                 loc: &e.locs,
                 loc_inv: &e.locs_inv,
             };
-            let mut ids = scv_descriptor::IdCanon::with_locs(base, e.locs.clone());
-            obs.canonical_encoding_with(&mut cand, &mut ids, &view);
-            chk.canonical_encoding_with(&mut cand, &mut ids, &view);
-            match cand.cmp(&best) {
+            ids.reset();
+            ids.set_locs(&e.locs);
+            obs.canonical_encoding_with(cand, &mut ids, &view);
+            chk.canonical_encoding_with(cand, &mut ids, &view);
+            match (*cand).cmp(best) {
                 std::cmp::Ordering::Less => {
-                    std::mem::swap(&mut best, &mut cand);
+                    std::mem::swap(best, cand);
                     ties = 1;
                     beaten = true;
                 }
@@ -286,20 +514,12 @@ impl<P: Symmetry> VerifySystem<P> {
             // Orbit-stabilizer: |orbit| = |G| / |{g : E(g·s) = min}|.
             scv_telemetry::record(Hist::SymOrbitSize, (self.perms.len() / ties) as u64);
         }
-        VerifyState {
-            proto,
-            obs,
-            chk,
-            error,
-            enc: best,
-            sym: true,
-        }
     }
 }
 
 impl<P: Symmetry> TransitionSystem for VerifySystem<P>
 where
-    P::State: Send,
+    P::State: Send + 'static,
 {
     type State = VerifyState<P::State>;
     type Label = Action;
@@ -325,17 +545,17 @@ where
             return; // rejection is absorbing
         }
         let _t = scv_telemetry::timer(scv_telemetry::Phase::Expand);
+        let mut syms = Vec::new(); // hoisted: one symbol buffer per expansion
         for t in self.protocol.transitions(&s.proto) {
+            let Transition {
+                action,
+                next,
+                tracking,
+            } = t;
             let mut obs = s.obs.clone();
             let mut chk = s.chk.clone();
-            let mut syms = Vec::new();
-            obs.step(
-                &Step {
-                    action: t.action,
-                    tracking: t.tracking.clone(),
-                },
-                &mut syms,
-            );
+            syms.clear();
+            obs.step(&Step { action, tracking }, &mut syms);
             let mut error = None;
             {
                 let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::CheckerStep);
@@ -346,7 +566,293 @@ where
                     }
                 }
             }
-            out.push((t.action, self.seal(t.next, obs, chk, error)));
+            out.push((action, self.seal(next, obs, chk, error)));
+        }
+    }
+
+    fn expand_scratch(&self) -> ExpandScratch {
+        ExpandScratch::new(SealScratch::<P::State>::new())
+    }
+
+    // The admission-gated hot path: replay each candidate transition into
+    // reused scratch copies, seal only as far as a fingerprint, let the
+    // engine's `admit` probe reject duplicates, and materialize (move out
+    // of the scratch slots + intern the encodings in one frozen chunk)
+    // only what survived. In dense product graphs the majority of
+    // candidates are duplicates, so the majority of clone/alloc work is
+    // skipped — `mc.clones_avoided` counts exactly how much.
+    fn expand_admitted(
+        &self,
+        s: &Self::State,
+        scratch: &mut ExpandScratch,
+        fper: &Fingerprinter,
+        admit: &mut dyn FnMut(&[u128], &mut Vec<bool>),
+        out: &mut Vec<(Action, Self::State, u128)>,
+    ) {
+        if s.error.is_some() {
+            return; // rejection is absorbing
+        }
+        if !self.lazy {
+            let _t = scv_telemetry::timer(scv_telemetry::Phase::Expand);
+            eager_expand(self, s, fper, admit, out);
+            return;
+        }
+        let Some(sc) = scratch.get_mut::<SealScratch<P::State>>() else {
+            // A foreign scratch: some engine didn't thread ours through.
+            // The reference path is always correct.
+            eager_expand(self, s, fper, admit, out);
+            return;
+        };
+        let _t = scv_telemetry::timer(scv_telemetry::Phase::Expand);
+        let base = s.obs.location_count();
+        let sym = !self.perms.is_empty();
+        // Taken out of the scratch so the loop can mutate `sc` while
+        // draining it; the allocation is handed back at the end.
+        let mut trans = std::mem::take(&mut sc.trans);
+        trans.clear();
+        self.protocol.transitions_into(&s.proto, &mut trans);
+        let n = trans.len();
+        if n == 0 {
+            sc.trans = trans;
+            return;
+        }
+        sc.enc.clear();
+        sc.fps.clear();
+        for (i, t) in trans.drain(..).enumerate() {
+            let Transition {
+                action,
+                next,
+                tracking,
+            } = t;
+            if sc.slots.len() <= i {
+                sc.slots.push(CandSlot {
+                    action,
+                    proto: None,
+                    obs: None,
+                    chk: None,
+                    chk_is_parent: false,
+                    error: None,
+                    enc_start: 0,
+                    enc_len: 0,
+                });
+            }
+            let slot = &mut sc.slots[i];
+            slot.action = action;
+            slot.error = None;
+            slot.proto = Some(next);
+            // Replay into the slot's scratch copies: `clone_from` reuses
+            // the previous round's allocations; only an emptied slot (its
+            // components were moved into an admitted state) pays a fresh
+            // clone — which the eager path paid for *every* candidate.
+            match &mut slot.obs {
+                Some(o) => o.clone_from(&s.obs),
+                None => slot.obs = Some(s.obs.clone()),
+            }
+            sc.syms.clear();
+            slot.obs
+                .as_mut()
+                .expect("slot.obs filled above")
+                .step(&Step { action, tracking }, &mut sc.syms);
+            // A transition with no symbols (an internal protocol action)
+            // leaves the checker untouched: skip the checker copy and
+            // encode through the parent's checker directly. Materializing
+            // such a candidate clones the parent checker then — but only
+            // for admitted candidates, where the eager path cloned it for
+            // every one.
+            slot.chk_is_parent = sc.syms.is_empty();
+            if !slot.chk_is_parent {
+                match &mut slot.chk {
+                    Some(c) => c.clone_from(&s.chk),
+                    None => slot.chk = Some(s.chk.clone()),
+                }
+                let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::CheckerStep);
+                let chk = slot.chk.as_mut().expect("slot.chk filled above");
+                for symbol in &sc.syms {
+                    if let Err(e) = chk.step(symbol) {
+                        slot.error = Some(RejectReason::Stream(e));
+                        break;
+                    }
+                }
+            }
+            // Fingerprint-only seal: canonical encoding into the scratch
+            // arena, no state construction.
+            let obs = slot.obs.as_ref().expect("slot.obs filled above");
+            let chk = if slot.chk_is_parent {
+                &s.chk
+            } else {
+                slot.chk.as_ref().expect("slot.chk filled above")
+            };
+            let start = sc.enc.len();
+            let fp = if !sym {
+                let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::DescriptorEncode);
+                sc.ids.reset_with(base);
+                obs.canonical_encoding(&mut sc.enc, &mut sc.ids);
+                chk.canonical_encoding(&mut sc.enc, &mut sc.ids);
+                fper.fp(&FpParts {
+                    proto: slot.proto.as_ref(),
+                    enc: &sc.enc[start..],
+                })
+            } else {
+                let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::Canonicalize);
+                let proto_next = slot.proto.as_ref().expect("slot.proto filled above");
+                // Identity candidate first — also the orbit-seal cache
+                // key, because its injective protocol prefix makes it
+                // determine the product state.
+                sc.best.clear();
+                self.protocol.encode_state(proto_next, &mut sc.best);
+                let proto_len = sc.best.len();
+                sc.ids.reset_with(base);
+                obs.canonical_encoding(&mut sc.best, &mut sc.ids);
+                chk.canonical_encoding(&mut sc.best, &mut sc.ids);
+                // Keying the cache costs a hash pass over the identity
+                // encoding, while a hit saves the `|G| - 1` renamed
+                // encodings of `orbit_min` — worthwhile only when the
+                // group is big enough to amortize the key.
+                let use_cache = self.perms.len() >= 4;
+                let key = if use_cache {
+                    let key = fper.fp64(&FpParts::<P::State> {
+                        proto: None,
+                        enc: &sc.best,
+                    });
+                    if let Some(cached_fp) = sc.cache.get(&key) {
+                        scv_telemetry::add(scv_telemetry::Metric::SealCacheHits, 1);
+                        slot.enc_start = start;
+                        slot.enc_len = ENC_UNSEALED;
+                        sc.fps.push(*cached_fp);
+                        continue;
+                    }
+                    scv_telemetry::add(scv_telemetry::Metric::SealCacheMisses, 1);
+                    Some(key)
+                } else {
+                    None
+                };
+                self.orbit_min(
+                    proto_next,
+                    obs,
+                    chk,
+                    base,
+                    proto_len,
+                    &mut sc.best,
+                    &mut sc.cand,
+                );
+                let fp = fper.fp(&FpParts::<P::State> {
+                    proto: None,
+                    enc: &sc.best,
+                });
+                if let Some(key) = key {
+                    if sc.cache.len() >= SEAL_CACHE_CAP {
+                        sc.cache.clear();
+                    }
+                    sc.cache.insert(key, fp);
+                }
+                sc.enc.extend_from_slice(&sc.best);
+                fp
+            };
+            slot.enc_start = start;
+            slot.enc_len = sc.enc.len() - start;
+            sc.fps.push(fp);
+        }
+        sc.trans = trans; // drained; hand the allocation back
+
+        admit(&sc.fps, &mut sc.keep);
+        debug_assert_eq!(sc.keep.len(), n);
+        let admitted = sc.keep.iter().filter(|k| **k).count();
+        if scv_telemetry::enabled() {
+            scv_telemetry::add(
+                scv_telemetry::Metric::McClonesAvoided,
+                (n - admitted) as u64,
+            );
+        }
+        if admitted == 0 {
+            return;
+        }
+
+        // Freeze the admitted encodings into one shared chunk: a single
+        // allocation per parent instead of one per successor.
+        sc.frozen.clear();
+        for i in 0..n {
+            if !sc.keep[i] {
+                continue;
+            }
+            if sc.slots[i].enc_len == ENC_UNSEALED {
+                // Admitted on a cache hit (probe race or within-expansion
+                // duplicate): the fingerprint was cached but the canonical
+                // encoding was never written — recompute it now.
+                let new_len = {
+                    let slot = &sc.slots[i];
+                    let proto_next = slot.proto.as_ref().expect("slot.proto filled above");
+                    let obs = slot.obs.as_ref().expect("slot.obs filled above");
+                    let chk = if slot.chk_is_parent {
+                        &s.chk
+                    } else {
+                        slot.chk.as_ref().expect("slot.chk filled above")
+                    };
+                    sc.best.clear();
+                    self.protocol.encode_state(proto_next, &mut sc.best);
+                    let proto_len = sc.best.len();
+                    {
+                        let mut ids = scv_descriptor::IdCanon::new(base);
+                        obs.canonical_encoding(&mut sc.best, &mut ids);
+                        chk.canonical_encoding(&mut sc.best, &mut ids);
+                    }
+                    self.orbit_min(
+                        proto_next,
+                        obs,
+                        chk,
+                        base,
+                        proto_len,
+                        &mut sc.best,
+                        &mut sc.cand,
+                    );
+                    debug_assert_eq!(
+                        fper.fp(&FpParts::<P::State> {
+                            proto: None,
+                            enc: &sc.best,
+                        }),
+                        sc.fps[i],
+                        "recomputed orbit minimum disagrees with the cached fingerprint"
+                    );
+                    sc.frozen.extend_from_slice(&sc.best);
+                    sc.best.len()
+                };
+                sc.slots[i].enc_len = new_len;
+            } else {
+                let slot = &sc.slots[i];
+                sc.frozen
+                    .extend_from_slice(&sc.enc[slot.enc_start..slot.enc_start + slot.enc_len]);
+            }
+        }
+        let chunk: Arc<[u64]> = sc.frozen.as_slice().into();
+        if scv_telemetry::enabled() {
+            scv_telemetry::add(
+                scv_telemetry::Metric::McArenaAllocBytes,
+                (sc.frozen.len() * std::mem::size_of::<u64>()) as u64,
+            );
+        }
+        let mut off = 0usize;
+        for i in 0..n {
+            if !sc.keep[i] {
+                continue;
+            }
+            let slot = &mut sc.slots[i];
+            let enc = EncRef::view(&chunk, off, slot.enc_len);
+            off += slot.enc_len;
+            out.push((
+                slot.action,
+                VerifyState {
+                    proto: slot.proto.take().expect("admitted slot has proto"),
+                    obs: slot.obs.take().expect("admitted slot has obs"),
+                    chk: if slot.chk_is_parent {
+                        s.chk.clone()
+                    } else {
+                        slot.chk.take().expect("admitted slot has chk")
+                    },
+                    error: slot.error.take(),
+                    enc,
+                    sym,
+                },
+                sc.fps[i],
+            ));
         }
     }
 
@@ -410,6 +916,12 @@ pub struct VerifyOptions {
     /// Symmetry reduction: quotient the product space by the protocol's
     /// declared symmetry group.
     pub symmetry: SymmetryMode,
+    /// Admission-gated lazy state materialization (the default). `false`
+    /// selects the eager reference path: every successor is fully
+    /// materialized before the seen-set probe. Consumed by
+    /// [`verify_protocol`] when it builds the system; [`verify_system`]
+    /// runs whatever the passed-in system was configured with.
+    pub lazy: bool,
 }
 
 impl Default for VerifyOptions {
@@ -420,6 +932,7 @@ impl Default for VerifyOptions {
             strategy: SearchStrategy::default(),
             batch_size: 128,
             symmetry: SymmetryMode::Off,
+            lazy: true,
         }
     }
 }
@@ -470,6 +983,13 @@ impl VerifyOptions {
     /// Symmetry reduction mode.
     pub fn symmetry(mut self, m: SymmetryMode) -> Self {
         self.symmetry = m;
+        self
+    }
+
+    /// Admission-gated lazy materialization (`true`, the default) or the
+    /// eager reference expansion path (`false`).
+    pub fn lazy(mut self, on: bool) -> Self {
+        self.lazy = on;
         self
     }
 }
@@ -534,7 +1054,7 @@ impl Outcome {
 pub fn verify_system<P>(sys: &VerifySystem<P>, opts: VerifyOptions) -> Outcome
 where
     P: Symmetry + Sync,
-    P::State: Send + Sync,
+    P::State: Send + Sync + 'static,
 {
     let result = if opts.threads > 1 {
         match opts.strategy {
@@ -563,9 +1083,10 @@ where
 pub fn verify_protocol<P>(protocol: P, opts: VerifyOptions) -> Outcome
 where
     P: Symmetry + Sync,
-    P::State: Send + Sync,
+    P::State: Send + Sync + 'static,
 {
-    let sys = VerifySystem::with_symmetry(protocol, opts.symmetry);
+    let mut sys = VerifySystem::with_symmetry(protocol, opts.symmetry);
+    sys.set_lazy(opts.lazy);
     verify_system(&sys, opts)
 }
 

@@ -50,7 +50,8 @@
 //! `tests/parallel_mc.rs` pins this battery down across the protocol zoo.
 
 use crate::mc::{
-    BfsOptions, Counterexample, Fingerprinter, McStats, SearchResult, TransitionSystem,
+    BfsOptions, Counterexample, ExpandScratch, Fingerprinter, McStats, SearchResult,
+    TransitionSystem,
 };
 use crate::seen::StripedSeen;
 use std::collections::{HashMap, VecDeque};
@@ -148,9 +149,13 @@ type ParentLog<L> = Vec<(u128, u128, L)>;
 
 /// One worker's long-lived scratch space (the "successor arena"): every
 /// vector here is drained and reused across chunks, so steady-state
-/// expansion performs no frontier allocation at all.
+/// expansion performs no frontier allocation at all. `expand` is the
+/// system's own scratch (replay copies, encoding arena, seal cache for the
+/// product system), threaded through every admission-gated expansion.
 struct Scratch<T: TransitionSystem> {
-    succs: Vec<(T::Label, T::State)>,
+    expand: ExpandScratch,
+    admitted: Vec<(T::Label, T::State, u128)>,
+    probe_order: Vec<(u32, u32)>,
     stripes: Vec<Vec<PendingSucc<T>>>,
     fp_scratch: Vec<u128>,
     flag_scratch: Vec<bool>,
@@ -164,7 +169,9 @@ fn worker_loop<T: TransitionSystem>(
 ) -> (WorkerStats, ParentLog<T::Label>) {
     let mut stats = WorkerStats::default();
     let mut scratch = Scratch::<T> {
-        succs: Vec::new(),
+        expand: shared.sys.expand_scratch(),
+        admitted: Vec::new(),
+        probe_order: Vec::new(),
         stripes: (0..shared.seen.shard_count()).map(|_| Vec::new()).collect(),
         fp_scratch: Vec::new(),
         flag_scratch: Vec::new(),
@@ -205,18 +212,35 @@ fn worker_loop<T: TransitionSystem>(
                 break;
             }
             stats.expanded += 1;
-            // Temporarily detach the successor buffer so `flush_stripe`
-            // can borrow the rest of the scratch space mid-iteration.
-            let mut succs = std::mem::take(&mut scratch.succs);
-            succs.clear();
-            shared.sys.successors_into(state, &mut succs);
-            stats.transitions += succs.len();
+            // Admission gate: batch-probe the seen-set with successor
+            // fingerprints so duplicates are rejected before the system
+            // materializes them. The probe is a hint; `insert_batch` in
+            // `flush_stripe` stays authoritative, so a racing worker
+            // admitting the same state first costs only the one wasted
+            // materialization.
+            let mut admitted = std::mem::take(&mut scratch.admitted);
+            admitted.clear();
+            let mut n_cand = 0usize;
+            {
+                let probe_order = &mut scratch.probe_order;
+                let mut admit = |fps: &[u128], keep: &mut Vec<bool>| {
+                    n_cand += fps.len();
+                    shared.seen.probe_many(fps, keep, probe_order);
+                };
+                shared.sys.expand_admitted(
+                    state,
+                    &mut scratch.expand,
+                    &shared.fper,
+                    &mut admit,
+                    &mut admitted,
+                );
+            }
+            stats.transitions += n_cand;
             if scv_telemetry::enabled() {
                 scv_telemetry::add(scv_telemetry::Metric::McStatesExpanded, 1);
-                scv_telemetry::add(scv_telemetry::Metric::McTransitions, succs.len() as u64);
+                scv_telemetry::add(scv_telemetry::Metric::McTransitions, n_cand as u64);
             }
-            for (label, succ) in succs.drain(..) {
-                let sfp = shared.fper.fp(&succ);
+            for (label, succ, sfp) in admitted.drain(..) {
                 let stripe = shared.seen.shard_of(sfp);
                 scratch.stripes[stripe].push(PendingSucc {
                     fp: sfp,
@@ -232,7 +256,7 @@ fn worker_loop<T: TransitionSystem>(
                     }
                 }
             }
-            scratch.succs = succs;
+            scratch.admitted = admitted;
         }
         // End of chunk: flush every dirty stripe, hand off any full output
         // chunk, and only then retire the input chunk from `pending`.

@@ -76,7 +76,7 @@ impl Pins {
     }
 }
 
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct ObsNode {
     /// The operation labeling this node (kept for diagnostics).
     #[allow(dead_code)]
@@ -94,8 +94,94 @@ struct ObsNode {
     heirs: Vec<(u8, Key)>,
 }
 
+// Manual `Clone` so `clone_from` reuses the heir list's allocation when
+// the lazy expansion path replays candidates into a scratch observer.
+impl Clone for ObsNode {
+    fn clone(&self) -> Self {
+        ObsNode {
+            op: self.op,
+            loc_count: self.loc_count,
+            aux: self.aux,
+            pins: self.pins.clone(),
+            sto_succ: self.sto_succ,
+            heirs: self.heirs.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.op = source.op;
+        self.loc_count = source.loc_count;
+        self.aux = source.aux;
+        self.pins = source.pins.clone();
+        self.sto_succ = source.sto_succ;
+        self.heirs.clone_from(&source.heirs);
+    }
+}
+
+/// The live node store, sorted by key. Keys are allocated monotonically,
+/// so insertion is a push; lookup is a binary search over the handful of
+/// live nodes, which beats hashing at these sizes. Unlike a `HashMap`,
+/// `clone_from` can reuse every node's allocations — the lazy expansion
+/// path clones the observer into scratch once per candidate transition —
+/// and the canonical encoding walks the entries already in key order.
+#[derive(Debug, Default)]
+struct NodeMap(Vec<(Key, ObsNode)>);
+
+impl Clone for NodeMap {
+    fn clone(&self) -> Self {
+        NodeMap(self.0.clone())
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        let keep = self.0.len().min(source.0.len());
+        self.0.truncate(source.0.len());
+        for (dst, src) in self.0.iter_mut().zip(&source.0[..keep]) {
+            dst.0 = src.0;
+            dst.1.clone_from(&src.1);
+        }
+        self.0.extend(source.0[keep..].iter().cloned());
+    }
+}
+
+impl NodeMap {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The live `(key, node)` entries in ascending key order.
+    fn entries(&self) -> &[(Key, ObsNode)] {
+        &self.0
+    }
+
+    fn idx(&self, key: Key) -> Result<usize, usize> {
+        self.0.binary_search_by_key(&key, |e| e.0)
+    }
+
+    fn contains_key(&self, key: &Key) -> bool {
+        self.idx(*key).is_ok()
+    }
+
+    fn get(&self, key: &Key) -> Option<&ObsNode> {
+        self.idx(*key).ok().map(|i| &self.0[i].1)
+    }
+
+    fn get_mut(&mut self, key: &Key) -> Option<&mut ObsNode> {
+        self.idx(*key).ok().map(|i| &mut self.0[i].1)
+    }
+
+    fn insert(&mut self, key: Key, node: ObsNode) {
+        match self.idx(key) {
+            Ok(i) => self.0[i].1 = node,
+            Err(i) => self.0.insert(i, (key, node)),
+        }
+    }
+
+    fn remove(&mut self, key: &Key) -> Option<ObsNode> {
+        self.idx(*key).ok().map(|i| self.0.remove(i).1)
+    }
+}
+
 /// The automatically generated witness observer.
-#[derive(Clone)]
 pub struct Observer {
     cfg: ObserverConfig,
     /// Owner (node key) per location ID `1..=L`.
@@ -104,7 +190,7 @@ pub struct Observer {
     aux_free: Vec<IdNum>,
     aux_total: usize,
     /// Live node records.
-    nodes: HashMap<Key, ObsNode>,
+    nodes: NodeMap,
     next_key: Key,
     /// Latest operation node per processor.
     last_op: Vec<Option<Key>>,
@@ -122,6 +208,48 @@ pub struct Observer {
     stats: ObserverStats,
     /// Per-step edge accumulation (merged annotations).
     edges: Vec<((Key, Key), EdgeSet)>,
+}
+
+// Manual `Clone` so `clone_from` reuses the target's allocations
+// field-by-field. The lazy expansion path replays every candidate
+// transition into a scratch observer via `clone_from`; the derived impl
+// would drop and reallocate all the maps and vectors on each replay.
+impl Clone for Observer {
+    fn clone(&self) -> Self {
+        Observer {
+            cfg: self.cfg.clone(),
+            loc_owner: self.loc_owner.clone(),
+            aux_free: self.aux_free.clone(),
+            aux_total: self.aux_total,
+            nodes: self.nodes.clone(),
+            next_key: self.next_key,
+            last_op: self.last_op.clone(),
+            sto_tail: self.sto_tail.clone(),
+            first_st: self.first_st.clone(),
+            bot_anchor: self.bot_anchor.clone(),
+            pending: self.pending.clone(),
+            serialization_of: self.serialization_of.clone(),
+            stats: self.stats,
+            edges: self.edges.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.cfg = source.cfg.clone();
+        self.loc_owner.clone_from(&source.loc_owner);
+        self.aux_free.clone_from(&source.aux_free);
+        self.aux_total = source.aux_total;
+        self.nodes.clone_from(&source.nodes);
+        self.next_key = source.next_key;
+        self.last_op.clone_from(&source.last_op);
+        self.sto_tail.clone_from(&source.sto_tail);
+        self.first_st.clone_from(&source.first_st);
+        self.bot_anchor.clone_from(&source.bot_anchor);
+        self.pending.clone_from(&source.pending);
+        self.serialization_of.clone_from(&source.serialization_of);
+        self.stats = source.stats;
+        self.edges.clone_from(&source.edges);
+    }
 }
 
 impl Observer {
@@ -147,7 +275,7 @@ impl Observer {
             loc_owner: vec![None; l],
             aux_free,
             aux_total,
-            nodes: HashMap::new(),
+            nodes: NodeMap::default(),
             next_key: 0,
             last_op: vec![None; p],
             sto_tail: vec![None; b],
@@ -571,7 +699,7 @@ impl Observer {
     /// descriptor output) on all future inputs; the model checker hashes
     /// product states through this, making the composed state space finite
     /// and collapsing the aux-permutation orbit.
-    pub fn canonical_encoding(&self, out: &mut Vec<u64>, ids: &mut scv_descriptor::IdCanon) {
+    pub fn canonical_encoding(&self, out: &mut Vec<u64>, ids: &mut scv_descriptor::IdCanon<'_>) {
         self.encode_canonical(out, ids, None);
     }
 
@@ -585,7 +713,7 @@ impl Observer {
     pub fn canonical_encoding_with(
         &self,
         out: &mut Vec<u64>,
-        ids: &mut scv_descriptor::IdCanon,
+        ids: &mut scv_descriptor::IdCanon<'_>,
         view: &scv_descriptor::SymView<'_>,
     ) {
         self.encode_canonical(out, ids, Some(view));
@@ -594,29 +722,31 @@ impl Observer {
     fn encode_canonical(
         &self,
         out: &mut Vec<u64>,
-        ids: &mut scv_descriptor::IdCanon,
+        ids: &mut scv_descriptor::IdCanon<'_>,
         view: Option<&scv_descriptor::SymView<'_>>,
     ) {
-        // Rank live keys by creation order (key order).
-        let mut keys: Vec<Key> = self.nodes.keys().copied().collect();
-        keys.sort_unstable();
-        let rank: HashMap<Key, u64> = keys
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| (k, i as u64))
-            .collect();
+        // Rank live keys by creation order (key order). One sorted entry
+        // list serves both rank lookups (binary search — no hashing on a
+        // path the model checker hits per sealed candidate) and the node
+        // walk (no per-key map lookup).
+        let entries = self.nodes.entries();
         // Dead tokens (e.g. a gc'd sto_succ) get stable fresh numbers in
-        // first-appearance order of this deterministic encoding.
-        let mut dead: HashMap<Key, u64> = HashMap::new();
-        let tok = |k: Option<Key>, dead: &mut HashMap<Key, u64>| -> u64 {
+        // first-appearance order of this deterministic encoding; there are
+        // at most a handful per state, so a linear scan beats a map.
+        let mut dead: Vec<(Key, u64)> = Vec::new();
+        let tok = |k: Option<Key>, dead: &mut Vec<(Key, u64)>| -> u64 {
             match k {
                 None => u64::MAX,
-                Some(k) => match rank.get(&k) {
-                    Some(&r) => r,
-                    None => {
-                        let next = 1_000_000 + dead.len() as u64;
-                        *dead.entry(k).or_insert(next)
-                    }
+                Some(k) => match entries.binary_search_by_key(&k, |&(ek, _)| ek) {
+                    Ok(r) => r as u64,
+                    Err(_) => match dead.iter().find(|&&(dk, _)| dk == k) {
+                        Some(&(_, n)) => n,
+                        None => {
+                            let next = 1_000_000 + dead.len() as u64;
+                            dead.push((k, next));
+                            next
+                        }
+                    },
                 },
             }
         };
@@ -627,13 +757,13 @@ impl Observer {
         let b_count = self.cfg.params.b as usize;
         let old_proc = |i: usize| view.map_or(i, |v| v.perm.inv_proc_idx(i));
         let old_block = |i: usize| view.map_or(i, |v| v.perm.inv_block_idx(i));
-        out.push(keys.len() as u64);
+        out.push(entries.len() as u64);
         for i in 0..self.loc_owner.len() {
             let old = view.map_or(i, |v| v.loc_inv[i + 1] as usize - 1);
             out.push(tok(self.loc_owner[old], &mut dead));
         }
-        for &k in &keys {
-            let n = &self.nodes[&k];
+        let mut heirs: Vec<(u8, u64)> = Vec::new();
+        for (_, n) in entries {
             // Deliberately NOT encoded: the node's operation label. The
             // observer emits a node's label exactly once, at creation;
             // afterwards its own behaviour depends only on the structural
@@ -652,17 +782,14 @@ impl Observer {
             out.push(tok(n.pins.heir_of, &mut dead));
             out.push(tok(n.pins.forced_target_of, &mut dead));
             out.push(tok(n.sto_succ, &mut dead));
-            let mut heirs: Vec<(u8, u64)> = n
-                .heirs
-                .iter()
-                .map(|&(p, h)| {
-                    let p = view.map_or(p, |v| v.perm.proc(scv_types::ProcId(p)).0);
-                    (p, tok(Some(h), &mut dead))
-                })
-                .collect();
+            heirs.clear();
+            for &(p, h) in &n.heirs {
+                let p = view.map_or(p, |v| v.perm.proc(scv_types::ProcId(p)).0);
+                heirs.push((p, tok(Some(h), &mut dead)));
+            }
             heirs.sort_unstable();
             out.push(heirs.len() as u64);
-            for (p, h) in heirs {
+            for &(p, h) in &heirs {
                 out.push((p as u64) << 32 | h);
             }
         }

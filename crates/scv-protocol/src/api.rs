@@ -143,6 +143,17 @@ pub trait Protocol {
     /// All transitions enabled in `state`.
     fn transitions(&self, state: &Self::State) -> Vec<Transition<Self::State>>;
 
+    /// All transitions enabled in `state`, appended to `out`.
+    ///
+    /// The model checker's admission-gated expansion calls this with a
+    /// per-worker scratch buffer, so enumeration costs no allocation on
+    /// the hot path. Protocols enumerate by pushing anyway, so the zoo
+    /// overrides this natively and derives [`Protocol::transitions`]
+    /// from it; the default delegates the other way for foreign impls.
+    fn transitions_into(&self, state: &Self::State, out: &mut Vec<Transition<Self::State>>) {
+        out.extend(self.transitions(state));
+    }
+
     /// The ST order policy for the observer's ST order generator.
     fn st_order_policy(&self) -> StOrderPolicy {
         StOrderPolicy::RealTime

@@ -130,6 +130,11 @@ impl Protocol for DirectoryProtocol {
 
     fn transitions(&self, s: &Self::State) -> Vec<Transition<Self::State>> {
         let mut out = Vec::new();
+        self.transitions_into(s, &mut out);
+        out
+    }
+
+    fn transitions_into(&self, s: &Self::State, out: &mut Vec<Transition<Self::State>>) {
         for p in self.params.procs() {
             // Fill completions.
             if let Some((b, wait)) = self.waiting_block(s, p) {
@@ -294,7 +299,6 @@ impl Protocol for DirectoryProtocol {
                 }
             }
         }
-        out
     }
 }
 

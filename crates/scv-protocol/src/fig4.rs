@@ -80,6 +80,11 @@ impl Protocol for Fig4Protocol {
 
     fn transitions(&self, state: &Self::State) -> Vec<Transition<Self::State>> {
         let mut out = Vec::new();
+        self.transitions_into(state, &mut out);
+        out
+    }
+
+    fn transitions_into(&self, state: &Self::State, out: &mut Vec<Transition<Self::State>>) {
         for p in self.params.procs() {
             let base = p.idx() * self.slots as usize;
             // LD from any of p's populated slots.
@@ -139,7 +144,6 @@ impl Protocol for Fig4Protocol {
                 }
             }
         }
-        out
     }
 }
 

@@ -162,6 +162,11 @@ impl Protocol for LazyCaching {
 
     fn transitions(&self, s: &Self::State) -> Vec<Transition<Self::State>> {
         let mut out = Vec::new();
+        self.transitions_into(s, &mut out);
+        out
+    }
+
+    fn transitions_into(&self, s: &Self::State, out: &mut Vec<Transition<Self::State>>) {
         let pb = self.params.b as usize;
         for p in self.params.procs() {
             let out_len = self.out_len(s, p);
@@ -290,7 +295,6 @@ impl Protocol for LazyCaching {
                 }
             }
         }
-        out
     }
 }
 

@@ -150,6 +150,11 @@ impl Protocol for MsiProtocol {
 
     fn transitions(&self, s: &Self::State) -> Vec<Transition<Self::State>> {
         let mut out = Vec::new();
+        self.transitions_into(s, &mut out);
+        out
+    }
+
+    fn transitions_into(&self, s: &Self::State, out: &mut Vec<Transition<Self::State>>) {
         for p in self.params.procs() {
             for b in self.params.blocks() {
                 let (line, val) = self.line(s, p, b);
@@ -261,7 +266,6 @@ impl Protocol for MsiProtocol {
                 }
             }
         }
-        out
     }
 }
 

@@ -41,6 +41,11 @@ impl Protocol for SerialMemory {
 
     fn transitions(&self, state: &Self::State) -> Vec<Transition<Self::State>> {
         let mut out = Vec::new();
+        self.transitions_into(state, &mut out);
+        out
+    }
+
+    fn transitions_into(&self, state: &Self::State, out: &mut Vec<Transition<Self::State>>) {
         for p in self.params.procs() {
             for b in self.params.blocks() {
                 let loc = (b.idx() + 1) as u32;
@@ -62,7 +67,6 @@ impl Protocol for SerialMemory {
                 }
             }
         }
-        out
     }
 }
 

@@ -112,6 +112,11 @@ impl Protocol for StoreBufferTso {
 
     fn transitions(&self, s: &Self::State) -> Vec<Transition<Self::State>> {
         let mut out = Vec::new();
+        self.transitions_into(s, &mut out);
+        out
+    }
+
+    fn transitions_into(&self, s: &Self::State, out: &mut Vec<Transition<Self::State>>) {
         for p in self.params.procs() {
             let len = self.buf_len(s, p);
             // ST: append to the buffer.
@@ -176,7 +181,6 @@ impl Protocol for StoreBufferTso {
                 }
             }
         }
-        out
     }
 }
 

@@ -57,10 +57,24 @@ pub enum Metric {
     /// identity — states whose orbit representative differs from the state
     /// actually reached.
     SymCanonHits,
+    /// Successor candidates rejected by the admission gate *before*
+    /// materialization — each one is a state clone (observer + checker +
+    /// encoding buffer) the lazy expansion path never paid for.
+    McClonesAvoided,
+    /// Orbit-seal cache hits: canonicalizations answered from the
+    /// per-worker fingerprint-keyed cache, skipping the symmetry-group
+    /// enumeration entirely.
+    SealCacheHits,
+    /// Orbit-seal cache misses: canonicalizations that had to enumerate
+    /// the symmetry group and then populated the cache.
+    SealCacheMisses,
+    /// Bytes frozen into per-worker encoding arenas (admitted states'
+    /// interned canonical encodings).
+    McArenaAllocBytes,
 }
 
 /// All metrics, in declaration order (keep in sync with [`Metric`]).
-pub const ALL_METRICS: [Metric; 19] = [
+pub const ALL_METRICS: [Metric; 23] = [
     Metric::McStatesAdmitted,
     Metric::McTransitions,
     Metric::McStatesExpanded,
@@ -80,6 +94,10 @@ pub const ALL_METRICS: [Metric; 19] = [
     Metric::MonitorDivergences,
     Metric::SymCanonicalized,
     Metric::SymCanonHits,
+    Metric::McClonesAvoided,
+    Metric::SealCacheHits,
+    Metric::SealCacheMisses,
+    Metric::McArenaAllocBytes,
 ];
 
 impl Metric {
@@ -105,6 +123,10 @@ impl Metric {
             Metric::MonitorDivergences => "monitor.divergences",
             Metric::SymCanonicalized => "symmetry.canonicalized",
             Metric::SymCanonHits => "symmetry.canon_hits",
+            Metric::McClonesAvoided => "mc.clones_avoided",
+            Metric::SealCacheHits => "symmetry.seal_cache_hits",
+            Metric::SealCacheMisses => "symmetry.seal_cache_misses",
+            Metric::McArenaAllocBytes => "mc.arena_alloc_bytes",
         }
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! scv verify <protocol> [-p N] [-b N] [-v N] [--threads N] [--max-states N]
 //!                       [--strategy ws|level-sync] [--batch N]
-//!                       [--symmetry off|proc|full]
+//!                       [--symmetry off|proc|full] [--expand lazy|eager]
 //! scv observe <protocol> [--steps N] [--seed N]     # one random run's descriptor
 //! scv monitor <protocol> [--steps N] [--seed N]     # §5 runtime testing mode
 //! scv fuzz [--seed N] [--cases N] [--budget SECS]   # differential fuzzing
@@ -42,6 +42,7 @@ struct Args {
     strategy: SearchStrategy,
     batch: usize,
     symmetry: SymmetryMode,
+    lazy: bool,
     steps: usize,
     seed: u64,
 }
@@ -57,6 +58,7 @@ impl Args {
             strategy: SearchStrategy::default(),
             batch: 128,
             symmetry: SymmetryMode::default(),
+            lazy: true,
             steps: 100,
             seed: 0,
         };
@@ -87,7 +89,25 @@ impl Args {
                 }
                 "--steps" => a.steps = val("--steps")? as usize,
                 "--seed" => a.seed = val("--seed")?,
+                "--expand" => {
+                    let v = it.next().ok_or("--expand needs a value (lazy | eager)")?;
+                    a.lazy = match v.as_str() {
+                        "lazy" => true,
+                        "eager" => false,
+                        other => {
+                            return Err(format!("unknown expand mode `{other}` (lazy | eager)"))
+                        }
+                    };
+                }
                 other => {
+                    if let Some(v) = other.strip_prefix("--expand=") {
+                        a.lazy = match v {
+                            "lazy" => true,
+                            "eager" => false,
+                            _ => return Err(format!("unknown expand mode `{v}` (lazy | eager)")),
+                        };
+                        continue;
+                    }
                     let sym = if let Some(v) = other.strip_prefix("--symmetry=") {
                         Some(v.to_string())
                     } else if other == "--symmetry" {
@@ -429,6 +449,10 @@ fn run(argv: &[String]) -> ExitCode {
                         ("strategy".into(), format!("{:?}", args.strategy)),
                         ("max_states".into(), args.max_states.to_string()),
                         ("symmetry".into(), format!("{:?}", args.symmetry)),
+                        (
+                            "expand".into(),
+                            (if args.lazy { "lazy" } else { "eager" }).to_string(),
+                        ),
                     ],
                 });
             }
@@ -440,7 +464,8 @@ fn run(argv: &[String]) -> ExitCode {
                     .threads(args.threads)
                     .strategy(args.strategy)
                     .batch_size(args.batch)
-                    .symmetry(args.symmetry),
+                    .symmetry(args.symmetry)
+                    .lazy(args.lazy),
             );
             let s = out.stats();
             if telemetry::enabled() {
@@ -454,6 +479,7 @@ fn run(argv: &[String]) -> ExitCode {
                     .param("batch", args.batch.to_string())
                     .param("max_states", args.max_states.to_string())
                     .param("symmetry", format!("{:?}", args.symmetry))
+                    .param("expand", if args.lazy { "lazy" } else { "eager" })
                     .with_verdict(verdict_str(&out))
                     .metric("states", s.states as f64)
                     .metric("transitions", s.transitions as f64)

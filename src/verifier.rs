@@ -50,7 +50,7 @@ pub struct Verifier<P: Symmetry> {
 
 impl<P: Symmetry + Sync> Verifier<P>
 where
-    P::State: Send + Sync,
+    P::State: Send + Sync + 'static,
 {
     /// Start from the default options (sequential search, 200k-state cap,
     /// no symmetry reduction).
@@ -105,6 +105,13 @@ where
         self
     }
 
+    /// Admission-gated lazy materialization (`true`, the default) or the
+    /// eager reference expansion path (`false`).
+    pub fn lazy(mut self, on: bool) -> Self {
+        self.options = self.options.lazy(on);
+        self
+    }
+
     /// Build the product system and run the search to an [`Outcome`].
     ///
     /// With telemetry installed, one `RunReport` named
@@ -112,7 +119,8 @@ where
     pub fn run(self) -> Outcome {
         let name = self.protocol.name().to_string();
         let params = self.protocol.params();
-        let system = VerifySystem::with_symmetry(self.protocol, self.options.symmetry);
+        let mut system = VerifySystem::with_symmetry(self.protocol, self.options.symmetry);
+        system.set_lazy(self.options.lazy);
         let out = verify_system(&system, self.options);
         if scv_telemetry::enabled() {
             let s = out.stats();
@@ -126,6 +134,7 @@ where
                 .param("strategy", format!("{:?}", self.options.strategy))
                 .param("symmetry", format!("{:?}", self.options.symmetry))
                 .param("symmetry_group", system.symmetry_group_order().to_string())
+                .param("expand", if self.options.lazy { "lazy" } else { "eager" })
                 .with_verdict(verdict)
                 .metric("states", s.states as f64)
                 .metric("transitions", s.transitions as f64)

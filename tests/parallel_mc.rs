@@ -99,7 +99,7 @@ fn replay_flags_violation<P: Protocol + Clone>(p: &P, run: &[Action]) {
 fn assert_matrix_verdict<P>(p: P, max_states: usize, expected: &str)
 where
     P: Symmetry + Clone + Sync,
-    P::State: Send + Sync,
+    P::State: Send + Sync + 'static,
 {
     for (threads, strategy) in matrix() {
         let out = verify_protocol(p.clone(), opts(max_states, threads, strategy));

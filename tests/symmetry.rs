@@ -177,7 +177,7 @@ fn replay_flags_violation<P: Protocol + Clone>(p: &P, run: &[Action]) {
 fn assert_violation_matrix<P>(p: P, sym: SymmetryMode)
 where
     P: Symmetry + Clone + Sync,
-    P::State: Send + Sync,
+    P::State: Send + Sync + 'static,
 {
     for (threads, strategy) in engines() {
         let out = verify_protocol(p.clone(), opts(2_000_000, threads, strategy, sym));
