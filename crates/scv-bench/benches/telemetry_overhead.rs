@@ -14,6 +14,12 @@
 //!   nonzero if the enabled median exceeds the disabled median by more
 //!   than `TELEMETRY_OVERHEAD_LIMIT_PCT` percent (default 5). CI runs
 //!   this quick mode on every push.
+//!
+//! The gate also has a flight-recorder arm: telemetry *and* recorder on
+//! versus telemetry on alone. The recorder rings buffer per-worker trace
+//! events entirely in thread-local memory, so its budget is separate and
+//! looser — `RECORDER_OVERHEAD_LIMIT_PCT` (default 10) against the
+//! telemetry-enabled baseline. The disabled-path limit is unchanged.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use scv_mc::{verify_protocol, Outcome, VerifyOptions};
@@ -42,6 +48,16 @@ fn with_telemetry_on(f: impl FnOnce()) {
     scv_telemetry::shutdown();
 }
 
+fn with_recorder_on(f: impl FnOnce()) {
+    scv_telemetry::install(Box::new(scv_telemetry::NoopSink));
+    scv_telemetry::recorder::recorder_start(scv_telemetry::DEFAULT_RING_CAPACITY);
+    f();
+    scv_telemetry::recorder::recorder_stop();
+    // Drop the buffered timelines so rounds don't accumulate memory.
+    let _ = scv_telemetry::recorder::drain();
+    scv_telemetry::shutdown();
+}
+
 fn bench_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
     group.sample_size(10);
@@ -52,6 +68,9 @@ fn bench_overhead(c: &mut Criterion) {
     });
     group.bench_function(BenchmarkId::new("mc_verify_msi_20k", "enabled"), |b| {
         b.iter(|| with_telemetry_on(workload))
+    });
+    group.bench_function(BenchmarkId::new("mc_verify_msi_20k", "recorder"), |b| {
+        b.iter(|| with_recorder_on(workload))
     });
     group.finish();
 }
@@ -68,12 +87,18 @@ fn overhead_check() -> i32 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(5.0);
+    let rec_limit_pct: f64 = std::env::var("RECORDER_OVERHEAD_LIMIT_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
     const ROUNDS: usize = 11;
-    // Warm both paths before timing anything.
+    // Warm every path before timing anything.
     with_telemetry_off(workload);
     with_telemetry_on(workload);
+    with_recorder_on(workload);
     let mut off = Vec::with_capacity(ROUNDS);
     let mut on = Vec::with_capacity(ROUNDS);
+    let mut rec = Vec::with_capacity(ROUNDS);
     for round in 0..ROUNDS {
         // Alternate which side goes first within the round.
         let measure_off = || {
@@ -86,28 +111,49 @@ fn overhead_check() -> i32 {
             with_telemetry_on(workload);
             t0.elapsed()
         };
+        let measure_rec = || {
+            let t0 = Instant::now();
+            with_recorder_on(workload);
+            t0.elapsed()
+        };
         if round % 2 == 0 {
             off.push(measure_off());
             on.push(measure_on());
+            rec.push(measure_rec());
         } else {
+            rec.push(measure_rec());
             on.push(measure_on());
             off.push(measure_off());
         }
     }
-    let (m_off, m_on) = (median(off), median(on));
+    let (m_off, m_on, m_rec) = (median(off), median(on), median(rec));
     let overhead_pct = (m_on.as_secs_f64() / m_off.as_secs_f64() - 1.0) * 100.0;
     println!(
         "telemetry overhead check: disabled median {:?}, enabled median {:?}, \
          overhead {overhead_pct:+.2}% (limit {limit_pct}%)",
         m_off, m_on
     );
+    // Recorder budget is measured against the telemetry-enabled baseline:
+    // the ring pushes are the only delta between the two configurations.
+    let rec_pct = (m_rec.as_secs_f64() / m_on.as_secs_f64() - 1.0) * 100.0;
+    println!(
+        "recorder overhead check: enabled median {:?}, recorder median {:?}, \
+         overhead {rec_pct:+.2}% (limit {rec_limit_pct}%)",
+        m_on, m_rec
+    );
+    let mut code = 0;
     if overhead_pct > limit_pct {
         eprintln!("FAIL: enabled-telemetry overhead exceeds {limit_pct}%");
-        1
-    } else {
-        println!("OK");
-        0
+        code = 1;
     }
+    if rec_pct > rec_limit_pct {
+        eprintln!("FAIL: flight-recorder overhead exceeds {rec_limit_pct}%");
+        code = 1;
+    }
+    if code == 0 {
+        println!("OK");
+    }
+    code
 }
 
 criterion_group!(benches, bench_overhead);

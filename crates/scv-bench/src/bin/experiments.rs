@@ -541,11 +541,11 @@ fn main() {
             let after = scv_telemetry::registry().counter_snapshot();
             let mut report = scv_telemetry::RunReport::new(format!("experiments/{name}"))
                 .with_verdict("completed")
-                .metric("elapsed_secs", elapsed.as_secs_f64())
-                .metric(
-                    "peak_rss_bytes",
-                    scv_telemetry::peak_rss_bytes().unwrap_or(0) as f64,
-                );
+                .metric("elapsed_secs", elapsed.as_secs_f64());
+            // Omitted (not zero) when the platform can't report it.
+            if let Some(rss) = scv_telemetry::peak_rss_bytes() {
+                report = report.metric("peak_rss_bytes", rss as f64);
+            }
             for (key, new) in &after {
                 let old = before
                     .iter()

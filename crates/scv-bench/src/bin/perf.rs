@@ -276,15 +276,15 @@ fn main() {
         }
     }
     let total = t_all.elapsed().as_secs_f64();
-    let summary = scv_telemetry::RunReport::new("perf/summary")
+    let mut summary = scv_telemetry::RunReport::new("perf/summary")
         .param("max_states", max_states.to_string())
         .param("cases", cases.to_string())
         .with_verdict("completed")
-        .metric("total_elapsed_secs", total)
-        .metric(
-            "peak_rss_bytes",
-            scv_telemetry::peak_rss_bytes().unwrap_or(0) as f64,
-        );
+        .metric("total_elapsed_secs", total);
+    // Omitted (not zero) when the platform can't report it.
+    if let Some(rss) = scv_telemetry::peak_rss_bytes() {
+        summary = summary.metric("peak_rss_bytes", rss as f64);
+    }
     scv_telemetry::emit_report(summary);
     scv_telemetry::shutdown();
     println!("\n{cases} cases in {total:.1}s → {out_path}");

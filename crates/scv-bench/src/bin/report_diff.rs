@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p scv-bench --bin report_diff -- \
-//!     old.jsonl new.jsonl [--threshold PCT]
+//!     old.jsonl new.jsonl [--threshold PCT] [--json]
 //! ```
 //!
 //! Reports are matched by `name` (e.g. `experiments/e9`, `verify/msi`);
@@ -13,12 +13,15 @@
 //! 1 iff any regression was flagged. Verdict changes are printed for
 //! information but never flagged — correctness is the test suite's job,
 //! this tool watches performance trends.
+//!
+//! `--json` replaces the human-readable table with one machine-readable
+//! JSON document on stdout (same comparison, same exit codes).
 
-use scv_telemetry::{parse_reports, Direction, RunReport};
+use scv_telemetry::{parse_reports, Direction, Json, RunReport};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: report_diff <old.jsonl> <new.jsonl> [--threshold PCT]");
+    eprintln!("usage: report_diff <old.jsonl> <new.jsonl> [--threshold PCT] [--json]");
     ExitCode::from(2)
 }
 
@@ -31,9 +34,11 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold = 10.0f64;
+    let mut json_out = false;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--json" => json_out = true,
             "--threshold" => {
                 let Some(v) = it.next() else {
                     return usage();
@@ -62,49 +67,109 @@ fn main() -> ExitCode {
 
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut report_docs: Vec<Json> = Vec::new();
+    let mut missing: Vec<Json> = Vec::new();
     for o in &old {
         // Last record wins when a name repeats (reruns append).
         let Some(n) = new.iter().rev().find(|n| n.name == o.name) else {
-            println!("~ {}: missing from {new_path}", o.name);
+            if json_out {
+                missing.push(Json::Str(o.name.clone()));
+            } else {
+                println!("~ {}: missing from {new_path}", o.name);
+            }
             continue;
         };
         compared += 1;
-        println!("== {} (threshold {threshold}%)", o.name);
-        if o.verdict != n.verdict {
-            println!("   verdict: {} -> {}", o.verdict, n.verdict);
+        if !json_out {
+            println!("== {} (threshold {threshold}%)", o.name);
+            if o.verdict != n.verdict {
+                println!("   verdict: {} -> {}", o.verdict, n.verdict);
+            }
         }
+        let mut metric_docs: Vec<Json> = Vec::new();
         for d in scv_telemetry::diff_reports(o, n, threshold) {
             let dir = match d.direction {
                 Direction::LowerIsBetter => "↓better",
                 Direction::HigherIsBetter => "↑better",
                 Direction::Neutral => "info",
             };
-            let pct = d
-                .pct
-                .map(|p| format!("{p:+.1}%"))
-                .unwrap_or_else(|| "n/a".to_string());
-            let flag = if d.regression { "  REGRESSION" } else { "" };
-            println!(
-                "   {:<28} {:>14.2} -> {:>14.2}  {:>8} [{dir}]{flag}",
-                d.name, d.old, d.new, pct
-            );
             regressions += d.regression as usize;
+            if json_out {
+                metric_docs.push(Json::obj([
+                    ("name".to_string(), Json::Str(d.name.clone())),
+                    ("old".to_string(), Json::Num(d.old)),
+                    ("new".to_string(), Json::Num(d.new)),
+                    (
+                        "pct".to_string(),
+                        d.pct.map(Json::Num).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "direction".to_string(),
+                        Json::Str(
+                            match d.direction {
+                                Direction::LowerIsBetter => "lower_is_better",
+                                Direction::HigherIsBetter => "higher_is_better",
+                                Direction::Neutral => "neutral",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("regression".to_string(), Json::Bool(d.regression)),
+                ]));
+            } else {
+                let pct = d
+                    .pct
+                    .map(|p| format!("{p:+.1}%"))
+                    .unwrap_or_else(|| "n/a".to_string());
+                let flag = if d.regression { "  REGRESSION" } else { "" };
+                println!(
+                    "   {:<28} {:>14.2} -> {:>14.2}  {:>8} [{dir}]{flag}",
+                    d.name, d.old, d.new, pct
+                );
+            }
+        }
+        if json_out {
+            report_docs.push(Json::obj([
+                ("name".to_string(), Json::Str(o.name.clone())),
+                ("old_verdict".to_string(), Json::Str(o.verdict.clone())),
+                ("new_verdict".to_string(), Json::Str(n.verdict.clone())),
+                ("metrics".to_string(), Json::Arr(metric_docs)),
+            ]));
         }
     }
+    let mut added: Vec<Json> = Vec::new();
     for n in &new {
         if !old.iter().any(|o| o.name == n.name) {
-            println!("+ {}: new in {new_path}", n.name);
+            if json_out {
+                added.push(Json::Str(n.name.clone()));
+            } else {
+                println!("+ {}: new in {new_path}", n.name);
+            }
         }
     }
     if compared == 0 {
         eprintln!("error: no report names in common");
         return ExitCode::from(2);
     }
-    if regressions > 0 {
+    if json_out {
+        let doc = Json::obj([
+            ("schema".to_string(), Json::Num(1.0)),
+            ("threshold_pct".to_string(), Json::Num(threshold)),
+            ("compared".to_string(), Json::Num(compared as f64)),
+            ("regressions".to_string(), Json::Num(regressions as f64)),
+            ("reports".to_string(), Json::Arr(report_docs)),
+            ("missing".to_string(), Json::Arr(missing)),
+            ("added".to_string(), Json::Arr(added)),
+        ]);
+        println!("{}", doc.to_string_compact());
+    } else if regressions > 0 {
         println!("\n{regressions} regression(s) beyond {threshold}%");
-        ExitCode::FAILURE
     } else {
         println!("\nno regressions beyond {threshold}%");
+    }
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
         ExitCode::SUCCESS
     }
 }

@@ -447,6 +447,12 @@ impl ScChecker {
         let result = self.step_inner(sym, pos);
         if let Err(e) = &result {
             self.rejected = Some(e.clone());
+            if scv_telemetry::recorder_enabled() {
+                scv_telemetry::recorder::instant(
+                    scv_telemetry::recorder::InstantKind::CheckerReject,
+                    pos as u64,
+                );
+            }
         }
         self.stats.max_retained = self.stats.max_retained.max(self.retained_count());
         result

@@ -349,7 +349,11 @@ fn bfs_inner<T: TransitionSystem>(
     sys: &T,
     opts: BfsOptions,
 ) -> SearchResult<T::Label, T::Violation> {
+    use scv_telemetry::recorder;
     let start = Instant::now();
+    if recorder::recorder_enabled() {
+        recorder::set_worker("main");
+    }
     let fper = Fingerprinter::new();
     let mut stats = McStats {
         workers: 1,
@@ -392,6 +396,11 @@ fn bfs_inner<T: TransitionSystem>(
     let mut truncated = false;
     while !frontier.is_empty() && depth < opts.max_depth {
         depth += 1;
+        if recorder::recorder_enabled() {
+            recorder::counter(recorder::CounterTrack::FrontierDepth, frontier.len() as f64);
+            recorder::counter(recorder::CounterTrack::SeenStates, stats.states as f64);
+            recorder::set_live(recorder::LiveGauge::FrontierDepth, frontier.len() as u64);
+        }
         let mut next = Vec::new();
         for (s, si) in frontier.drain(..) {
             // Admission gate: probe the seen-set with fingerprints so
@@ -481,8 +490,12 @@ where
     T::State: Sync,
     T::Label: Sync,
 {
+    use scv_telemetry::recorder;
     const SHARDS: usize = 64;
     let start = Instant::now();
+    if recorder::recorder_enabled() {
+        recorder::set_worker("main");
+    }
     let fper = Fingerprinter::new();
     let shard_of = |fp: u128| -> usize { (fp as usize) % SHARDS };
     // Shard maps: fingerprint -> (parent fingerprint, label); the label
@@ -526,13 +539,22 @@ where
 
     while !frontier.is_empty() && depth < opts.max_depth && !stop.load(Ordering::Relaxed) {
         depth += 1;
+        if recorder::recorder_enabled() {
+            recorder::counter(recorder::CounterTrack::FrontierDepth, frontier.len() as f64);
+            recorder::counter(
+                recorder::CounterTrack::SeenStates,
+                n_states.load(Ordering::Relaxed) as f64,
+            );
+            recorder::set_live(recorder::LiveGauge::FrontierDepth, frontier.len() as u64);
+        }
         let chunks: Vec<&[(T::State, u128)]> =
             frontier.chunks(frontier.len().div_ceil(threads)).collect();
         let next: Vec<Vec<(T::State, u128)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .zip(scratches.iter_mut())
-                .map(|(chunk, scratch)| {
+                .enumerate()
+                .map(|(wi, (chunk, scratch))| {
                     let shards = &shards;
                     let n_states = &n_states;
                     let n_trans = &n_trans;
@@ -541,6 +563,9 @@ where
                     let fper = &fper;
                     let shard_of = &shard_of;
                     scope.spawn(move || {
+                        if recorder::recorder_enabled() {
+                            recorder::set_worker(&format!("bfs-{wi}"));
+                        }
                         let mut local = Vec::new();
                         let mut admitted: Vec<(T::Label, T::State, u128)> = Vec::new();
                         for (s, sfp) in chunk {
@@ -580,6 +605,10 @@ where
                                 local.push((t, tfp));
                             }
                         }
+                        // Level threads are short-lived; move their rings
+                        // into the collected set before the scope joins
+                        // (TLS destructors may run after `scope` returns).
+                        recorder::flush_worker();
                         local
                     })
                 })

@@ -188,6 +188,14 @@ impl StripedSeen {
             probes_total += probes;
         }
         drop(guard);
+        if scv_telemetry::recorder_enabled() {
+            // Timeline instant for each admission batch: when the batch
+            // landed and how many of its states were new.
+            scv_telemetry::recorder::instant(
+                scv_telemetry::recorder::InstantKind::AdmissionBatch,
+                new as u64,
+            );
+        }
         if telemetry {
             // Probe lengths at batch granularity: the total probe count
             // feeds the average; the histogram gets one batch-mean sample

@@ -716,12 +716,24 @@ where
                     });
                     if let Some(cached_fp) = sc.cache.get(&key) {
                         scv_telemetry::add(scv_telemetry::Metric::SealCacheHits, 1);
+                        if scv_telemetry::recorder_enabled() {
+                            scv_telemetry::recorder::instant(
+                                scv_telemetry::recorder::InstantKind::SealCacheHit,
+                                0,
+                            );
+                        }
                         slot.enc_start = start;
                         slot.enc_len = ENC_UNSEALED;
                         sc.fps.push(*cached_fp);
                         continue;
                     }
                     scv_telemetry::add(scv_telemetry::Metric::SealCacheMisses, 1);
+                    if scv_telemetry::recorder_enabled() {
+                        scv_telemetry::recorder::instant(
+                            scv_telemetry::recorder::InstantKind::SealCacheMiss,
+                            0,
+                        );
+                    }
                     Some(key)
                 } else {
                     None

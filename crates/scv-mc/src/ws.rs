@@ -117,6 +117,16 @@ impl<T: TransitionSystem> Shared<'_, T> {
         self.peak_frontier.fetch_max(q, Ordering::Relaxed);
         if scv_telemetry::enabled() {
             scv_telemetry::record(scv_telemetry::Hist::McQueueDepth, q as u64);
+            scv_telemetry::recorder::set_live(
+                scv_telemetry::recorder::LiveGauge::FrontierDepth,
+                q as u64,
+            );
+        }
+        if scv_telemetry::recorder_enabled() {
+            scv_telemetry::recorder::counter(
+                scv_telemetry::recorder::CounterTrack::FrontierDepth,
+                q as f64,
+            );
         }
         self.queues[worker].lock().unwrap().push_back(chunk);
         self.epoch.fetch_add(1, Ordering::Release);
@@ -136,6 +146,12 @@ impl<T: TransitionSystem> Shared<'_, T> {
                 self.queued_items.fetch_sub(chunk.len(), Ordering::Relaxed);
                 stats.steals += 1;
                 scv_telemetry::add(scv_telemetry::Metric::McSteals, 1);
+                if scv_telemetry::recorder_enabled() {
+                    scv_telemetry::recorder::instant(
+                        scv_telemetry::recorder::InstantKind::Steal,
+                        chunk.len() as u64,
+                    );
+                }
                 return Some(chunk);
             }
         }
@@ -168,6 +184,9 @@ fn worker_loop<T: TransitionSystem>(
     id: usize,
 ) -> (WorkerStats, ParentLog<T::Label>) {
     let mut stats = WorkerStats::default();
+    if scv_telemetry::recorder_enabled() {
+        scv_telemetry::recorder::set_worker(&format!("ws-{id}"));
+    }
     let mut scratch = Scratch::<T> {
         expand: shared.sys.expand_scratch(),
         admitted: Vec::new(),
@@ -191,6 +210,12 @@ fn worker_loop<T: TransitionSystem>(
             // drains. Spin briefly, then yield the core.
             stats.idle_spins += 1;
             scv_telemetry::add(scv_telemetry::Metric::McIdleSpins, 1);
+            if scv_telemetry::recorder_enabled() {
+                scv_telemetry::recorder::instant(
+                    scv_telemetry::recorder::InstantKind::Idle,
+                    stats.idle_spins as u64,
+                );
+            }
             let seen_epoch = shared.epoch.load(Ordering::Acquire);
             let mut spins = 0u32;
             while shared.epoch.load(Ordering::Acquire) == seen_epoch
@@ -277,6 +302,9 @@ fn worker_loop<T: TransitionSystem>(
         }
         shared.pending.fetch_sub(1, Ordering::SeqCst);
     }
+    // Hand the worker's flight-recorder ring to the collector before the
+    // scope joins us (TLS destructors may outlive the join).
+    scv_telemetry::recorder::flush_worker();
     (stats, scratch.parent_log)
 }
 
@@ -304,6 +332,14 @@ fn flush_stripe<T: TransitionSystem>(
         scv_telemetry::add(scv_telemetry::Metric::McSeenBatches, 1);
         scv_telemetry::add(scv_telemetry::Metric::McStatesAdmitted, batch_new as u64);
         scv_telemetry::record(scv_telemetry::Hist::SeenBatchYield, batch_new as u64);
+    }
+    if scv_telemetry::recorder_enabled() {
+        // `insert_batch` records the batch instant; the running total
+        // (which only this engine knows) becomes the seen-load counter.
+        scv_telemetry::recorder::counter(
+            scv_telemetry::recorder::CounterTrack::SeenStates,
+            shared.states.load(Ordering::Relaxed) as f64 + batch_new as f64,
+        );
     }
 
     let mut max_depth_seen = 0usize;
@@ -368,6 +404,9 @@ where
     T::Label: Send,
 {
     let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
+    if scv_telemetry::recorder_enabled() {
+        scv_telemetry::recorder::set_worker("main");
+    }
     let start = Instant::now();
     let threads = threads.max(1);
     let batch = batch.clamp(1, 4096);

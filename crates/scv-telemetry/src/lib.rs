@@ -33,6 +33,9 @@
 
 pub mod json;
 pub mod metrics;
+pub mod perfetto;
+pub mod progress;
+pub mod recorder;
 pub mod report;
 pub mod sink;
 pub mod span;
@@ -41,6 +44,9 @@ pub use json::Json;
 pub use metrics::{
     bucket_bound, bucket_of, Hist, HistSnapshot, Metric, Registry, ALL_HISTS, ALL_METRICS,
 };
+pub use perfetto::{chrome_trace_json, validate_chrome_trace, write_chrome_trace, TraceStats};
+pub use progress::{start_progress, ProgressHandle, ProgressOptions};
+pub use recorder::{recorder_enabled, WorkerTimeline, DEFAULT_RING_CAPACITY};
 pub use report::{diff_reports, parse_reports, Direction, MetricDelta, RunReport, SCHEMA_VERSION};
 pub use sink::{Event, JsonlSink, MemorySink, NoopSink, Sink, SummarySink};
 pub use span::{current_depth, Phase, PhaseTable, SpanGuard, ALL_PHASES, SAMPLE_PERIOD};
@@ -160,12 +166,24 @@ pub fn emit_report(report: RunReport) {
 }
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`); `None` off Linux or if unreadable.
+/// `/proc/self/status`). **Linux-only**: on every other platform this is
+/// a documented `None` — there is no portable equivalent without a
+/// dependency, so callers and sinks must *omit* the value rather than
+/// report a fake zero (see [`flush`], which only sets the
+/// `process.peak_rss_bytes` gauge when a reading exists).
+#[cfg(target_os = "linux")]
 pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb * 1024)
+}
+
+/// Peak resident set size: always `None` off Linux (no `/proc`). Sinks
+/// and reports omit the gauge entirely rather than emitting zero.
+#[cfg(not(target_os = "linux"))]
+pub fn peak_rss_bytes() -> Option<u64> {
+    None
 }
 
 /// Aggregate everything recorded so far into events (phase summaries,
@@ -212,7 +230,9 @@ pub fn flush() {
             name: h.name(),
             count: snap.count,
             mean: snap.mean(),
-            p99: snap.quantile_bound(0.99),
+            p50: snap.quantile(0.50),
+            p95: snap.quantile(0.95),
+            p99: snap.quantile(0.99),
             max: snap.max,
         });
     }
@@ -326,9 +346,38 @@ mod tests {
     }
 
     #[test]
-    fn peak_rss_is_plausible_on_linux() {
-        if let Some(rss) = peak_rss_bytes() {
-            assert!(rss > 1024, "peak RSS should exceed a kilobyte: {rss}");
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_some_and_plausible_on_linux() {
+        let rss = peak_rss_bytes().expect("Linux always exposes VmHWM");
+        assert!(rss > 1024, "peak RSS should exceed a kilobyte: {rss}");
+    }
+
+    #[test]
+    #[cfg(not(target_os = "linux"))]
+    fn peak_rss_is_none_off_linux() {
+        assert_eq!(peak_rss_bytes(), None);
+    }
+
+    #[test]
+    fn flush_omits_rss_gauge_when_unavailable() {
+        // On any platform: the gauge is present iff a reading exists —
+        // never a fake zero.
+        let s = TestSession::start();
+        flush();
+        let has_reading = peak_rss_bytes().is_some();
+        let gauge = s.events().iter().find_map(|e| match e {
+            Event::Gauges { items } => items
+                .iter()
+                .find(|(k, _)| k == "process.peak_rss_bytes")
+                .map(|(_, v)| *v),
+            _ => None,
+        });
+        match gauge {
+            Some(v) => {
+                assert!(has_reading, "gauge emitted without a reading");
+                assert!(v > 0.0, "gauge must never be a fake zero");
+            }
+            None => assert!(!has_reading, "reading available but gauge omitted"),
         }
     }
 }

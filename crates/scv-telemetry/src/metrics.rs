@@ -284,6 +284,38 @@ impl HistSnapshot {
         }
         self.max
     }
+
+    /// The q-quantile linearly interpolated *within* its log₂ bucket
+    /// (q in [0,1]; 0 when empty). Where [`quantile_bound`] answers
+    /// "p99 ≤ 63", this assumes values spread uniformly across the
+    /// bucket's range and places the quantile proportionally to the
+    /// target rank's position inside the bucket — still an estimate
+    /// (the buckets are lossy), but one that moves smoothly as the
+    /// distribution shifts instead of jumping between powers of two.
+    ///
+    /// [`quantile_bound`]: HistSnapshot::quantile_bound
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut before = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (before + c) as f64 >= target {
+                // Bucket i spans [bound(i-1)+1, bound(i)] (just {0} for
+                // i == 0); the true max tightens the last bucket.
+                let lo = if i == 0 { 0 } else { bucket_bound(i - 1) + 1 };
+                let hi = bucket_bound(i).min(self.max).max(lo);
+                let frac = (target - before as f64) / c as f64;
+                return lo as f64 + frac * (hi - lo) as f64;
+            }
+            before += c;
+        }
+        self.max as f64
+    }
 }
 
 /// The process-wide registry backing every [`Metric`] and [`Hist`], plus
@@ -401,6 +433,37 @@ mod tests {
         // p100 is clamped to the true max, not the bucket's bound.
         assert_eq!(s.quantile_bound(1.0), 100);
         assert_eq!(HistSnapshot::default().quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_pinned() {
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Buckets for 1..=100: {1}:1, {2,3}:2, {4..7}:4, {8..15}:8,
+        // {16..31}:16, {32..63}:32, {64..100}:37 (max tightens 64..127).
+        // p50 → rank 50 in the 32..63 bucket, 31 values before it:
+        //   32 + (50-31)/32 · (63-32) = 50.40625
+        assert!((s.quantile(0.50) - 50.40625).abs() < 1e-9);
+        // p95 → rank 95 in the 64..100 bucket, 63 before:
+        //   64 + (95-63)/37 · (100-64) = 95.135135…
+        assert!((s.quantile(0.95) - (64.0 + 32.0 / 37.0 * 36.0)).abs() < 1e-9);
+        // p99 → 64 + (99-63)/37 · 36 = 99.027027…
+        assert!((s.quantile(0.99) - (64.0 + 36.0 / 37.0 * 36.0)).abs() < 1e-9);
+        // Interpolation stays inside the value range and beats the
+        // bucket bound's power-of-two jump.
+        assert!(s.quantile(1.0) <= 100.0);
+        assert_eq!(HistSnapshot::default().quantile(0.99), 0.0);
+        // A single-bucket histogram degenerates to that bucket's range.
+        let one = Histogram::default();
+        one.record(5);
+        let q = one.snapshot().quantile(0.5);
+        assert!(
+            (4.0..=5.0).contains(&q),
+            "within 4..=5 (max-tightened): {q}"
+        );
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub enum Event {
         /// `(name, value)` pairs in insertion order.
         items: Vec<(String, f64)>,
     },
-    /// Aggregated view of one value histogram.
+    /// Aggregated view of one value histogram. Quantiles are linearly
+    /// interpolated within their log₂ bucket
+    /// (see [`crate::HistSnapshot::quantile`]).
     HistSummary {
         /// Histogram name (see [`crate::Hist::name`]).
         name: &'static str,
@@ -66,10 +68,31 @@ pub enum Event {
         count: u64,
         /// Mean value.
         mean: f64,
-        /// Bucket-resolution p99 value.
-        p99: u64,
+        /// Interpolated median.
+        p50: f64,
+        /// Interpolated p95 value.
+        p95: f64,
+        /// Interpolated p99 value.
+        p99: f64,
         /// Largest recorded value.
         max: u64,
+    },
+    /// One flight-recorder record (see [`crate::recorder`]) — a span
+    /// begin/end, an instant, or a counter sample — exported when a
+    /// drained timeline is streamed through the JSONL sink.
+    Trace {
+        /// Worker track label (e.g. `ws-3`, `main`, `sampler`).
+        worker: String,
+        /// Per-worker monotone sequence number.
+        seq: u64,
+        /// Nanoseconds since the recording session started.
+        ts_ns: u64,
+        /// `begin`, `end`, `instant`, or `counter`.
+        kind: String,
+        /// Phase / instant-kind / counter-track dotted name.
+        name: String,
+        /// Instant argument or counter value (0 for span records).
+        value: f64,
     },
     /// Free-form scoped key/value numbers (probe binaries).
     Kv {
@@ -151,6 +174,8 @@ impl Event {
                 name,
                 count,
                 mean,
+                p50,
+                p95,
                 p99,
                 max,
             } => {
@@ -158,8 +183,26 @@ impl Event {
                 pairs.push(("name".to_string(), Json::Str(name.to_string())));
                 pairs.push(("count".to_string(), Json::Num(*count as f64)));
                 pairs.push(("mean".to_string(), Json::Num(*mean)));
-                pairs.push(("p99".to_string(), Json::Num(*p99 as f64)));
+                pairs.push(("p50".to_string(), Json::Num(*p50)));
+                pairs.push(("p95".to_string(), Json::Num(*p95)));
+                pairs.push(("p99".to_string(), Json::Num(*p99)));
                 pairs.push(("max".to_string(), Json::Num(*max as f64)));
+            }
+            Event::Trace {
+                worker,
+                seq,
+                ts_ns,
+                kind,
+                name,
+                value,
+            } => {
+                pairs.push(typ("trace"));
+                pairs.push(("worker".to_string(), Json::Str(worker.clone())));
+                pairs.push(("seq".to_string(), Json::Num(*seq as f64)));
+                pairs.push(("ts_ns".to_string(), Json::Num(*ts_ns as f64)));
+                pairs.push(("kind".to_string(), Json::Str(kind.clone())));
+                pairs.push(("name".to_string(), Json::Str(name.clone())));
+                pairs.push(("value".to_string(), Json::Num(*value)));
             }
             Event::Kv { scope, items } => {
                 pairs.push(typ("kv"));
@@ -304,12 +347,14 @@ impl SummarySink {
                     name,
                     count,
                     mean,
+                    p50,
+                    p95,
                     p99,
                     max,
                 } => {
                     writeln!(
                         out,
-                        "{name:<32} n={count} mean={mean:.2} p99={p99} max={max}"
+                        "{name:<32} n={count} mean={mean:.2} p50={p50:.1} p95={p95:.1} p99={p99:.1} max={max}"
                     )?;
                 }
                 Event::Kv { scope, items } => {
@@ -443,6 +488,90 @@ mod tests {
         );
         assert_eq!(j.get("step_index").and_then(Json::as_num), Some(7.0));
         // The line parses back.
+        let line = j.to_string_compact();
+        assert_eq!(Json::parse(&line).unwrap(), j);
+    }
+
+    #[test]
+    fn trace_records_round_trip_through_jsonl() {
+        // One record per flight-recorder kind: begin/end/instant/counter.
+        let records = vec![
+            Event::Trace {
+                worker: "ws-0".to_string(),
+                seq: 0,
+                ts_ns: 1_000,
+                kind: "begin".to_string(),
+                name: "search.expand".to_string(),
+                value: 0.0,
+            },
+            Event::Trace {
+                worker: "ws-0".to_string(),
+                seq: 1,
+                ts_ns: 2_000,
+                kind: "end".to_string(),
+                name: "search.expand".to_string(),
+                value: 0.0,
+            },
+            Event::Trace {
+                worker: "ws-1".to_string(),
+                seq: 0,
+                ts_ns: 1_500,
+                kind: "instant".to_string(),
+                name: "mc.steal".to_string(),
+                value: 7.0,
+            },
+            Event::Trace {
+                worker: "sampler".to_string(),
+                seq: 0,
+                ts_ns: 3_000,
+                kind: "counter".to_string(),
+                name: "mc.states_per_sec".to_string(),
+                value: 1234.5,
+            },
+        ];
+        for e in &records {
+            let line = e.to_json().to_string_compact();
+            let j = Json::parse(&line).expect("each trace line parses");
+            assert_eq!(j.get("schema").and_then(Json::as_num), Some(1.0));
+            assert_eq!(j.get("type").and_then(Json::as_str), Some("trace"));
+            let Event::Trace {
+                worker,
+                seq,
+                ts_ns,
+                kind,
+                name,
+                value,
+            } = e
+            else {
+                unreachable!()
+            };
+            assert_eq!(
+                j.get("worker").and_then(Json::as_str),
+                Some(worker.as_str())
+            );
+            assert_eq!(j.get("seq").and_then(Json::as_num), Some(*seq as f64));
+            assert_eq!(j.get("ts_ns").and_then(Json::as_num), Some(*ts_ns as f64));
+            assert_eq!(j.get("kind").and_then(Json::as_str), Some(kind.as_str()));
+            assert_eq!(j.get("name").and_then(Json::as_str), Some(name.as_str()));
+            assert_eq!(j.get("value").and_then(Json::as_num), Some(*value));
+        }
+    }
+
+    #[test]
+    fn hist_summary_serializes_interpolated_quantiles() {
+        let e = Event::HistSummary {
+            name: "seen.probe_len",
+            count: 100,
+            mean: 50.5,
+            p50: 50.40625,
+            p95: 95.1,
+            p99: 99.0,
+            max: 100,
+        };
+        let j = e.to_json();
+        assert_eq!(j.get("p50").and_then(Json::as_num), Some(50.40625));
+        assert_eq!(j.get("p95").and_then(Json::as_num), Some(95.1));
+        assert_eq!(j.get("p99").and_then(Json::as_num), Some(99.0));
         let line = j.to_string_compact();
         assert_eq!(Json::parse(&line).unwrap(), j);
     }

@@ -176,9 +176,15 @@ impl SpanGuard {
             d.set(v + 1);
             v
         });
+        let start = Instant::now();
+        // Flight-recorder piggyback: reuse the clock read the guard
+        // already made; one relaxed load when the recorder is off.
+        if crate::recorder::recorder_enabled() {
+            crate::recorder::span_begin(phase, start);
+        }
         SpanGuard {
             phase,
-            start: Instant::now(),
+            start,
             weight,
             depth,
         }
@@ -190,6 +196,9 @@ impl Drop for SpanGuard {
         let ns = self.start.elapsed().as_nanos() as u64;
         SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         crate::phase_table().record(self.phase, ns, self.weight, self.depth);
+        if crate::recorder::recorder_enabled() {
+            crate::recorder::span_end(self.phase);
+        }
     }
 }
 

@@ -6,11 +6,20 @@
 //!                       [--symmetry off|proc|full] [--expand lazy|eager]
 //! scv observe <protocol> [--steps N] [--seed N]     # one random run's descriptor
 //! scv monitor <protocol> [--steps N] [--seed N]     # §5 runtime testing mode
+//! scv trace <protocol> [--out trace.json] [verify flags]
+//!                                                   # verify with the flight recorder on,
+//!                                                   # exporting a Perfetto/Chrome trace
+//! scv explain <protocol> [--dot FILE] [verify flags]
+//!                                                   # find a violation and explain it:
+//!                                                   # annotated constraint graph + narration
 //! scv fuzz [--seed N] [--cases N] [--budget SECS]   # differential fuzzing
 //!          [--mc-every N] [--mc-states N] [--runs N] [--run-len N]
 //!          [--corpus DIR] [--no-self-test]
 //! scv list                                          # available protocols
 //! ```
+//!
+//! `--progress` (verify/trace) prints a live stderr ticker: states/sec,
+//! frontier depth, admission rate, seal-cache hit rate, and an ETA bound.
 //!
 //! Protocols: serial | msi | msi-buggy | mesi | mesi-buggy | directory |
 //! lazy | tso | fig4.
@@ -45,6 +54,9 @@ struct Args {
     lazy: bool,
     steps: usize,
     seed: u64,
+    progress: bool,
+    out: Option<String>,
+    dot: Option<String>,
 }
 
 impl Args {
@@ -61,6 +73,9 @@ impl Args {
             lazy: true,
             steps: 100,
             seed: 0,
+            progress: false,
+            out: None,
+            dot: None,
         };
         let mut it = rest.iter();
         while let Some(flag) = it.next() {
@@ -89,6 +104,13 @@ impl Args {
                 }
                 "--steps" => a.steps = val("--steps")? as usize,
                 "--seed" => a.seed = val("--seed")?,
+                "--progress" => a.progress = true,
+                "--out" => {
+                    a.out = Some(it.next().ok_or("--out needs a path".to_string())?.clone());
+                }
+                "--dot" => {
+                    a.dot = Some(it.next().ok_or("--dot needs a path".to_string())?.clone());
+                }
                 "--expand" => {
                     let v = it.next().ok_or("--expand needs a value (lazy | eager)")?;
                     a.lazy = match v.as_str() {
@@ -253,8 +275,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The progress ticker and the flight recorder's counter tracks read
+    // the metrics registry, whose counters only advance while telemetry
+    // is enabled — so `--progress` and `scv trace` without an explicit
+    // sink get a NoopSink (enabled pipeline, no output).
+    let needs_counters =
+        argv.iter().any(|a| a == "--progress") || argv.first().is_some_and(|c| c == "trace");
     match &mode {
-        TelemetryMode::Off => {}
+        TelemetryMode::Off => {
+            if needs_counters {
+                telemetry::install(Box::new(telemetry::NoopSink));
+            }
+        }
         TelemetryMode::Summary => telemetry::install(Box::new(telemetry::SummarySink::default())),
         TelemetryMode::Jsonl(path) => {
             match telemetry::JsonlSink::create(std::path::Path::new(path)) {
@@ -272,7 +304,7 @@ fn main() -> ExitCode {
         if let Some(first) = argv.first() {
             if !matches!(
                 first.as_str(),
-                "verify" | "observe" | "monitor" | "fuzz" | "list"
+                "verify" | "observe" | "monitor" | "trace" | "explain" | "fuzz" | "list"
             ) {
                 argv.insert(0, "verify".to_string());
             }
@@ -394,7 +426,7 @@ fn run_fuzz_cmd(rest: &[String]) -> ExitCode {
 
 fn run(argv: &[String]) -> ExitCode {
     let Some(cmd) = argv.first() else {
-        eprintln!("usage: scv <verify|observe|monitor|fuzz|list> [protocol] [flags]");
+        eprintln!("usage: scv <verify|observe|monitor|trace|explain|fuzz|list> [protocol] [flags]");
         return ExitCode::from(2);
     };
     if cmd == "fuzz" {
@@ -457,6 +489,12 @@ fn run(argv: &[String]) -> ExitCode {
                 });
             }
             let proto_label = p.name().to_string();
+            let ticker = args.progress.then(|| {
+                telemetry::start_progress(telemetry::ProgressOptions {
+                    target_states: Some(args.max_states as u64),
+                    ..Default::default()
+                })
+            });
             let out = verify_protocol(
                 p,
                 VerifyOptions::new()
@@ -467,9 +505,12 @@ fn run(argv: &[String]) -> ExitCode {
                     .symmetry(args.symmetry)
                     .lazy(args.lazy),
             );
+            if let Some(t) = ticker {
+                t.stop();
+            }
             let s = out.stats();
             if telemetry::enabled() {
-                let report = telemetry::RunReport::new(format!("verify/{proto_label}"))
+                let mut report = telemetry::RunReport::new(format!("verify/{proto_label}"))
                     .param("protocol", &proto_label)
                     .param("p", args.p.to_string())
                     .param("b", args.b.to_string())
@@ -488,11 +529,11 @@ fn run(argv: &[String]) -> ExitCode {
                     .metric("states_per_sec", s.states_per_sec())
                     .metric("peak_frontier", s.peak_frontier as f64)
                     .metric("steals", s.steals as f64)
-                    .metric("seen_batches", s.seen_batches as f64)
-                    .metric(
-                        "peak_rss_bytes",
-                        telemetry::peak_rss_bytes().unwrap_or(0) as f64,
-                    );
+                    .metric("seen_batches", s.seen_batches as f64);
+                // Omitted (not zero) when the platform can't report it.
+                if let Some(rss) = telemetry::peak_rss_bytes() {
+                    report = report.metric("peak_rss_bytes", rss as f64);
+                }
                 telemetry::emit_report(report);
             }
             match out {
@@ -526,6 +567,127 @@ fn run(argv: &[String]) -> ExitCode {
                     println!(
                         "INCONCLUSIVE: state cap reached ({} states); raise --max-states",
                         s.states
+                    );
+                    ExitCode::from(3)
+                }
+            }
+        }),
+        "trace" => dispatch!(proto_name, args.params(), |p| {
+            let out_path = args.out.clone().unwrap_or_else(|| "trace.json".to_string());
+            println!(
+                "tracing {} (p={}, b={}, v={}) with {} thread(s), cap {} states → {out_path}",
+                p.name(),
+                args.p,
+                args.b,
+                args.v,
+                args.threads,
+                args.max_states
+            );
+            telemetry::recorder::recorder_start(telemetry::DEFAULT_RING_CAPACITY);
+            let ticker = args.progress.then(|| {
+                telemetry::start_progress(telemetry::ProgressOptions {
+                    target_states: Some(args.max_states as u64),
+                    ..Default::default()
+                })
+            });
+            let out = verify_protocol(
+                p,
+                VerifyOptions::new()
+                    .max_states(args.max_states)
+                    .threads(args.threads)
+                    .strategy(args.strategy)
+                    .batch_size(args.batch)
+                    .symmetry(args.symmetry)
+                    .lazy(args.lazy),
+            );
+            if let Some(t) = ticker {
+                t.stop();
+            }
+            telemetry::recorder::recorder_stop();
+            let timelines = telemetry::recorder::drain();
+            let s = out.stats();
+            match telemetry::write_chrome_trace(std::path::Path::new(&out_path), &timelines) {
+                Ok(()) => {
+                    let events: usize = timelines.iter().map(|t| t.events.len()).sum();
+                    let dropped: u64 = timelines.iter().map(|t| t.dropped).sum();
+                    println!(
+                        "wrote {out_path}: {} track(s), {events} events ({dropped} dropped); \
+                         open at https://ui.perfetto.dev or chrome://tracing",
+                        timelines.len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("error: cannot write {out_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            println!(
+                "verdict: {} ({} states, {} transitions, depth {}, {:?})",
+                verdict_str(&out),
+                s.states,
+                s.transitions,
+                s.depth,
+                s.elapsed
+            );
+            match out {
+                Outcome::Verified { .. } | Outcome::Bounded { .. } => ExitCode::SUCCESS,
+                Outcome::Violation { .. } => ExitCode::FAILURE,
+            }
+        }),
+        "explain" => dispatch!(proto_name, args.params(), |p| {
+            println!(
+                "searching {} (p={}, b={}, v={}) for an SC violation, cap {} states…",
+                p.name(),
+                args.p,
+                args.b,
+                args.v,
+                args.max_states
+            );
+            let out = verify_protocol(
+                p.clone(),
+                VerifyOptions::new()
+                    .max_states(args.max_states)
+                    .threads(args.threads)
+                    .strategy(args.strategy)
+                    .batch_size(args.batch)
+                    .symmetry(args.symmetry)
+                    .lazy(args.lazy),
+            );
+            match out {
+                Outcome::Violation { run, .. } => match explain_violation(&p, &run) {
+                    Ok(ex) => {
+                        print!("{}", ex.narration);
+                        match &args.dot {
+                            Some(path) => {
+                                if let Err(e) = std::fs::write(path, &ex.dot) {
+                                    eprintln!("error: cannot write {path}: {e}");
+                                    return ExitCode::from(2);
+                                }
+                                println!(
+                                    "constraint graph written to {path} \
+                                     (render with: dot -Tsvg {path})"
+                                );
+                            }
+                            None => println!("\n{}", ex.dot),
+                        }
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot explain the violating run: {e}");
+                        ExitCode::FAILURE
+                    }
+                },
+                Outcome::Verified { stats } => {
+                    println!(
+                        "nothing to explain: protocol verified ({} states)",
+                        stats.states
+                    );
+                    ExitCode::FAILURE
+                }
+                Outcome::Bounded { stats } => {
+                    println!(
+                        "nothing to explain: no violation within {} states; raise --max-states",
+                        stats.states
                     );
                     ExitCode::from(3)
                 }

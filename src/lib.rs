@@ -59,6 +59,7 @@
 //! | [`mc`] | §3.4 | sequential + parallel explicit-state model checking |
 //! | [`fuzz`] | — | randomized-protocol differential fuzzing of the whole pipeline |
 
+pub mod explain;
 pub mod testing;
 pub mod verifier;
 
@@ -75,6 +76,7 @@ pub use scv_types as types;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use crate::explain::{explain_descriptor, explain_violation, ExplainError, Explanation};
     pub use crate::verifier::{verdict_str, Verifier};
     pub use scv_checker::{CycleChecker, ScChecker};
     pub use scv_descriptor::{decode, encode, naive_descriptor, Descriptor, Symbol};

@@ -14,6 +14,7 @@
 //! protocol's location count, not by the run length.
 
 use scv_checker::{ScChecker, ScError, ScVerdict};
+use scv_descriptor::{Descriptor, Symbol};
 use scv_observer::{Observer, ObserverConfig};
 use scv_protocol::{Protocol, Step};
 
@@ -23,6 +24,9 @@ pub struct RunMonitor {
     checker: ScChecker,
     steps: usize,
     failed: Option<ScError>,
+    /// When recording, every symbol fed to the checker (for
+    /// [`RunMonitor::explain`]); empty otherwise.
+    recorded: Option<Vec<Symbol>>,
 }
 
 /// Outcome of feeding one step.
@@ -45,7 +49,44 @@ impl RunMonitor {
             checker,
             steps: 0,
             failed: None,
+            recorded: None,
         }
+    }
+
+    /// Like [`RunMonitor::new`], but additionally record the descriptor
+    /// symbol stream so a violation can be explained afterwards with
+    /// [`RunMonitor::explain`]. Memory grows with the run length (one
+    /// symbol record per descriptor symbol), unlike the plain monitor.
+    pub fn new_recording<P: Protocol>(protocol: &P) -> Self {
+        let mut m = Self::new(protocol);
+        m.recorded = Some(Vec::new());
+        m
+    }
+
+    /// The descriptor recorded so far (monitor must have been built with
+    /// [`RunMonitor::new_recording`]). The end-of-run flush symbols are
+    /// appended only if no mid-stream violation fired, mirroring what
+    /// [`RunMonitor::probe`] checks.
+    pub fn recorded_descriptor(&self) -> Option<Descriptor> {
+        let recorded = self.recorded.as_ref()?;
+        let mut d = Descriptor::new(self.observer.k());
+        d.symbols = recorded.clone();
+        if self.failed.is_none() {
+            let mut obs = self.observer.clone();
+            let mut trailing = Vec::new();
+            obs.finish(&mut trailing);
+            d.symbols.extend(trailing);
+        }
+        Some(d)
+    }
+
+    /// Explain the violation the recorded run triggers, if any: decoded
+    /// constraint-graph window, highlighted cycle, annotated DOT, and
+    /// narration. Returns `None` when not recording or when the recorded
+    /// run (including end-of-run checks) passes.
+    pub fn explain(&self) -> Option<crate::explain::Explanation> {
+        let d = self.recorded_descriptor()?;
+        crate::explain::explain_descriptor(&d).ok()
     }
 
     /// Number of steps consumed.
@@ -83,6 +124,9 @@ impl RunMonitor {
         self.steps += 1;
         let mut syms = Vec::new();
         self.observer.step(step, &mut syms);
+        if let Some(rec) = &mut self.recorded {
+            rec.extend(syms.iter().cloned());
+        }
         for sym in &syms {
             if let Err(e) = self.checker.step(sym) {
                 Self::report_divergence(self.steps, sym.to_string(), &e);

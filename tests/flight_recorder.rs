@@ -1,0 +1,164 @@
+//! Flight recorder must observe the search without perturbing it.
+//!
+//! * `verify_protocol` returns the same verdict and (exhaustive) state
+//!   count with the recorder (and the `--progress` sampler) on and off,
+//!   sequentially and with 4 workers.
+//! * A recorded MSI run exports a Chrome/Perfetto trace with at least
+//!   one named track per worker and at least two counter tracks, and the
+//!   exported JSON round-trips through the validator.
+//! * A recording [`RunMonitor`] explains its own violation with a DOT
+//!   whose highlighted cycle matches the checker rejection.
+//!
+//! Recorder and telemetry state are process-global, so every test
+//! serializes on `telemetry::test_mutex` through `TestSession`.
+
+use sc_verify::prelude::*;
+use sc_verify::telemetry;
+use sc_verify::telemetry::recorder;
+use sc_verify::testing::{MonitorStep, RunMonitor};
+
+/// Exhaustible in milliseconds; the state count is search-order
+/// independent because the sweep completes. 522 product states.
+fn small_serial() -> SerialMemory {
+    SerialMemory::new(Params::new(1, 1, 2))
+}
+
+fn opts(threads: usize) -> VerifyOptions {
+    VerifyOptions::new().max_states(2_000_000).threads(threads)
+}
+
+#[test]
+fn recorder_on_and_off_agree_on_verdict_and_state_count() {
+    for threads in [1usize, 4] {
+        let off = {
+            let _session = telemetry::TestSession::start_disabled();
+            verify_protocol(small_serial(), opts(threads))
+        };
+        let on = {
+            let _session = telemetry::TestSession::start();
+            recorder::recorder_start(telemetry::DEFAULT_RING_CAPACITY);
+            let out = verify_protocol(small_serial(), opts(threads));
+            recorder::recorder_stop();
+            let timelines = recorder::drain();
+            assert!(
+                !timelines.is_empty(),
+                "recorder collected no timelines at {threads} threads"
+            );
+            out
+        };
+        assert_eq!(
+            verdict_str(&off),
+            verdict_str(&on),
+            "verdict parity at {threads} threads"
+        );
+        assert_eq!(
+            off.stats().states,
+            on.stats().states,
+            "state-count parity at {threads} threads"
+        );
+        assert!(off.is_verified(), "the sweep must be exhaustive");
+    }
+}
+
+#[test]
+fn progress_ticker_does_not_change_the_search() {
+    for threads in [1usize, 4] {
+        let off = {
+            let _session = telemetry::TestSession::start_disabled();
+            verify_protocol(small_serial(), opts(threads))
+        };
+        let on = {
+            let _session = telemetry::TestSession::start();
+            recorder::recorder_start(telemetry::DEFAULT_RING_CAPACITY);
+            let ticker = telemetry::start_progress(telemetry::ProgressOptions {
+                period: std::time::Duration::from_millis(20),
+                target_states: Some(2_000_000),
+            });
+            let out = verify_protocol(small_serial(), opts(threads));
+            ticker.stop();
+            recorder::recorder_stop();
+            let _ = recorder::drain();
+            out
+        };
+        assert_eq!(verdict_str(&off), verdict_str(&on));
+        assert_eq!(off.stats().states, on.stats().states);
+    }
+}
+
+#[test]
+fn msi_trace_exports_worker_and_counter_tracks() {
+    let _session = telemetry::TestSession::start();
+    recorder::recorder_start(telemetry::DEFAULT_RING_CAPACITY);
+    let threads = 4;
+    let out = verify_protocol(
+        MsiProtocol::new(Params::new(2, 1, 2)),
+        VerifyOptions::new().max_states(20_000).threads(threads),
+    );
+    recorder::recorder_stop();
+    let timelines = recorder::drain();
+    assert!(!matches!(out, Outcome::Violation { .. }));
+
+    let doc = telemetry::chrome_trace_json(&timelines);
+    let stats = telemetry::validate_chrome_trace(&doc).expect("exported trace validates");
+    assert!(
+        stats.worker_tracks >= threads,
+        "expected >= {threads} worker tracks, got {}",
+        stats.worker_tracks
+    );
+    assert!(
+        stats.counter_tracks >= 2,
+        "expected >= 2 counter tracks (frontier depth, seen states), got {}",
+        stats.counter_tracks
+    );
+    assert!(stats.events > 0);
+
+    // The writer's on-disk form parses back and validates identically.
+    let dir = std::env::temp_dir().join(format!("scv-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.json");
+    telemetry::write_chrome_trace(&path, &timelines).expect("write trace");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let parsed = telemetry::Json::parse(&text).expect("trace file is valid JSON");
+    let reparsed = telemetry::validate_chrome_trace(&parsed).expect("file validates");
+    assert_eq!(reparsed.events, stats.events);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recording_monitor_explains_its_own_violation() {
+    let _session = telemetry::TestSession::start_disabled();
+    // Drive the buggy MSI to a violation via the model checker, then
+    // replay the violating run through a recording monitor.
+    let p = MsiProtocol::buggy(Params::new(2, 2, 1));
+    let out = verify_protocol(p.clone(), VerifyOptions::new().max_states(2_000_000));
+    let Outcome::Violation { run, reason, .. } = out else {
+        panic!("buggy MSI must produce a violation");
+    };
+
+    let mut runner = Runner::new(p.clone());
+    let mut monitor = RunMonitor::new_recording(&p);
+    let mut tripped = false;
+    for a in &run {
+        let t = runner
+            .enabled()
+            .into_iter()
+            .find(|t| t.action == *a)
+            .expect("violating run replays");
+        runner.take(t);
+        let step = runner.run().steps.last().unwrap();
+        if let MonitorStep::Violation(_) = monitor.feed(step) {
+            tripped = true;
+            break;
+        }
+    }
+    if !tripped {
+        assert!(monitor.probe().is_err(), "monitor must reject the run");
+    }
+    let ex = monitor.explain().expect("recording monitor explains");
+    assert_eq!(&ex.error, reason.error(), "diagnosis matches the checker's");
+    if let Some(cycle) = &ex.cycle {
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(ex.dot.contains("color=red"), "cycle highlighted in DOT");
+    }
+    assert!(ex.narration.contains("SC violation"));
+}
