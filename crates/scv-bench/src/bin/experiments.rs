@@ -117,12 +117,13 @@ fn e5_verification() {
     let opts = VerifyOptions::new().max_states(1_500_000).threads(4);
     macro_rules! row {
         ($name:expr, $ps:expr, $expected:expr, $proto:expr) => {{
-            let out = verify_protocol($proto, opts);
+            let out = verify_protocol($proto, opts.clone());
             let s = out.stats();
             let verdict = match &out {
                 Outcome::Verified { .. } => "VERIFIED (exhaustive)",
                 Outcome::Violation { .. } => "NOT SC / no witness",
                 Outcome::Bounded { .. } => "no violation (bounded)",
+                Outcome::Inconclusive { .. } => "no violation (interrupted)",
             };
             println!(
                 "| {} | {} | {} | {} | {} | {} | {} | {:?} |",
@@ -320,6 +321,7 @@ fn e9_parallel() {
     let sweep = VerifyOptions::new().max_states(500_000);
     let mut t1 = None;
     let mut row = |label: &str, opts: VerifyOptions| {
+        let threads = opts.threads;
         let t0 = Instant::now();
         let out = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), opts);
         let dt = t0.elapsed();
@@ -328,7 +330,7 @@ fn e9_parallel() {
         let base = *t1.get_or_insert(dt);
         println!(
             "| {label} | {} | {} | {dt:?} | {:.0} | {:.2}x | {} | {} | {} |",
-            opts.threads,
+            threads,
             s.states,
             s.states_per_sec(),
             base.as_secs_f64() / dt.as_secs_f64(),
@@ -337,11 +339,12 @@ fn e9_parallel() {
             s.peak_frontier,
         );
     };
-    row("sequential", sweep.threads(1));
+    row("sequential", sweep.clone().threads(1));
     for threads in [2usize, 4, 8] {
         row(
             "work-stealing",
             sweep
+                .clone()
                 .threads(threads)
                 .strategy(SearchStrategy::WorkStealing),
         );
@@ -349,7 +352,10 @@ fn e9_parallel() {
     for threads in [2usize, 4, 8] {
         row(
             "level-sync",
-            sweep.threads(threads).strategy(SearchStrategy::LevelSync),
+            sweep
+                .clone()
+                .threads(threads)
+                .strategy(SearchStrategy::LevelSync),
         );
     }
     println!();
@@ -369,7 +375,7 @@ fn e9_parallel() {
                 ("level-sync", 4, SearchStrategy::LevelSync),
             ] {
                 let t0 = Instant::now();
-                let out = verify_protocol($mk, sweep.threads(threads).strategy(strategy));
+                let out = verify_protocol($mk, sweep.clone().threads(threads).strategy(strategy));
                 let dt = t0.elapsed();
                 let Outcome::Violation { run, ref stats, .. } = out else {
                     panic!("{} must violate", $name);
@@ -411,15 +417,16 @@ fn e11_symmetry() {
             let order =
                 scv_mc::VerifySystem::with_symmetry($mk, SymmetryMode::Full).symmetry_group_order();
             let t0 = Instant::now();
-            let off = verify_protocol($mk, $base);
+            let off = verify_protocol($mk, $base.clone());
             let t_off = t0.elapsed();
             let t0 = Instant::now();
-            let on = verify_protocol($mk, $base.symmetry(SymmetryMode::Full));
+            let on = verify_protocol($mk, $base.clone().symmetry(SymmetryMode::Full));
             let t_on = t0.elapsed();
             let verdict = |o: &Outcome| match o {
                 Outcome::Verified { .. } => "VERIFIED",
                 Outcome::Violation { .. } => "violation",
                 Outcome::Bounded { .. } => "bounded",
+                Outcome::Inconclusive { .. } => "inconclusive",
             };
             assert_eq!(
                 verdict(&off),

@@ -85,6 +85,8 @@ where
             Outcome::Verified { .. } => "verified",
             Outcome::Violation { .. } => "violation",
             Outcome::Bounded { .. } => "bounded",
+            // No budget is configured for perf cases.
+            Outcome::Inconclusive { .. } => "inconclusive",
         },
         states: s.states,
         transitions: s.transitions,

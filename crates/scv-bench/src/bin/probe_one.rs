@@ -25,6 +25,7 @@ where
         Outcome::Verified { .. } => "verified",
         Outcome::Violation { .. } => "violation",
         Outcome::Bounded { .. } => "bounded",
+        Outcome::Inconclusive { .. } => "inconclusive",
     };
     scv_telemetry::emit_report(
         scv_telemetry::RunReport::new(format!("probe_one/{name}"))

@@ -15,6 +15,7 @@ where
         Outcome::Verified { .. } => "VERIFIED",
         Outcome::Violation { .. } => "VIOLATION",
         Outcome::Bounded { .. } => "BOUNDED",
+        Outcome::Inconclusive { .. } => "INCONCLUSIVE",
     };
     println!(
         "{name:<28} {v:<10} states={:<9} trans={:<10} depth={} time={:?}",

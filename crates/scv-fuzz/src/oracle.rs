@@ -315,6 +315,15 @@ pub fn mc_matrix<R: Rng>(
             Outcome::Violation { .. } => check.any_violation = true,
             Outcome::Bounded { .. } => check.any_bounded = true,
             Outcome::Verified { .. } => {}
+            // The matrix never configures a budget or cancel token, so an
+            // interrupted search here means the options plumbing broke.
+            Outcome::Inconclusive { reason, .. } => {
+                return Err(Disagreement {
+                    kind: "mc-unexpected-interrupt",
+                    detail: format!("{tag} was interrupted ({reason}) with no budget configured"),
+                    actions: Vec::new(),
+                });
+            }
         }
     }
     Ok(check)

@@ -24,20 +24,35 @@
 //! * [`verify_protocol`] — the end-to-end §3.4 method: returns
 //!   [`Outcome::Verified`] (the protocol has a witness observer, hence is
 //!   sequentially consistent), or [`Outcome::Violation`] with the
-//!   offending run, or [`Outcome::Bounded`] if a limit was hit first.
+//!   offending run, or [`Outcome::Bounded`] if a limit was hit first, or
+//!   [`Outcome::Inconclusive`] when a [`Budget`] tripped or the
+//!   [`CancelToken`] fired;
+//! * run control & checkpointing — [`Budget`], [`CancelToken`], and the
+//!   `*_controlled` engine variants interrupt a search at a consistent
+//!   point; [`checkpoint::CheckpointFile`] serializes it, and
+//!   [`VerifyOptions::resume_from`] continues it exactly.
 
+pub mod checkpoint;
+pub mod control;
 pub mod mc;
 pub mod seen;
+pub mod sip;
 pub mod verify;
 pub mod ws;
 
+pub use checkpoint::{CheckpointError, CheckpointFile};
+pub use control::{Budget, CancelToken, Coverage, InterruptReason, RunControl};
 pub use mc::{
-    bfs, bfs_parallel, eager_expand, BfsOptions, Counterexample, ExpandScratch, Fingerprinter,
-    McStats, SearchResult, SearchStrategy, TransitionSystem,
+    bfs, bfs_controlled, bfs_parallel, bfs_parallel_controlled, eager_expand, BfsOptions,
+    ControlledSearch, Counterexample, ExpandScratch, Fingerprinter, McStats, SearchCheckpoint,
+    SearchResult, SearchStrategy, TransitionSystem,
 };
 pub use seen::StripedSeen;
+pub use sip::{Sip, SipBuild, SipHasher13};
+#[allow(deprecated)]
+pub use verify::verify_system;
 pub use verify::{
-    verify_protocol, verify_system, EncRef, Outcome, RejectReason, SymmetryMode, VerifyOptions,
-    VerifyState, VerifySystem,
+    verify_protocol, EncRef, Outcome, RejectReason, SymmetryMode, VerifyOptions, VerifyState,
+    VerifySystem,
 };
-pub use ws::{ws_search, ws_search_detailed, WorkerStats};
+pub use ws::{ws_search, ws_search_controlled, ws_search_detailed, WorkerStats};

@@ -1,10 +1,13 @@
 //! Generic explicit-state reachability: sequential and parallel BFS.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasher, Hash, RandomState};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use crate::control::{code_to_reason, reason_to_code, InterruptReason, RunControl};
+use crate::sip::SipBuild;
 
 /// 128-bit state fingerprints for the seen-set.
 ///
@@ -16,21 +19,47 @@ use std::time::{Duration, Instant};
 /// any practical concern (the same trade Holzmann's bitstate hashing makes
 /// far more aggressively).
 ///
+/// Hashing is keyed SipHash-1-3 ([`crate::sip`]) under four explicit
+/// 64-bit seeds. A fresh fingerprinter draws random seeds, so fingerprints
+/// are only comparable within one search — but the seeds can be extracted
+/// ([`Fingerprinter::seeds`]), serialized into a checkpoint, and restored
+/// ([`Fingerprinter::from_seeds`]), which is what lets a resumed search
+/// reuse the interrupted run's seen-set and parent logs verbatim.
+///
 /// Public so [`TransitionSystem::expand_admitted`] implementations can
-/// fingerprint successors *before* materializing them; the keys are
-/// per-instance random, so fingerprints are only comparable within one
-/// search.
+/// fingerprint successors *before* materializing them.
 pub struct Fingerprinter {
-    a: RandomState,
-    b: RandomState,
+    a: SipBuild,
+    b: SipBuild,
 }
 
 impl Fingerprinter {
     pub(crate) fn new() -> Self {
+        // Four fresh random seeds per fingerprinter, derived from the
+        // standard library's randomly-keyed hasher.
+        let r = RandomState::new();
+        Fingerprinter::from_seeds([
+            r.hash_one(0u64),
+            r.hash_one(1u64),
+            r.hash_one(2u64),
+            r.hash_one(3u64),
+        ])
+    }
+
+    /// Rebuild a fingerprinter from extracted seeds; it reproduces the
+    /// exact fingerprints of the instance the seeds came from.
+    pub fn from_seeds(seeds: [u64; 4]) -> Self {
         Fingerprinter {
-            a: RandomState::new(),
-            b: RandomState::new(),
+            a: SipBuild::new(seeds[0], seeds[1]),
+            b: SipBuild::new(seeds[2], seeds[3]),
         }
+    }
+
+    /// The four hash seeds, in [`Fingerprinter::from_seeds`] order.
+    pub fn seeds(&self) -> [u64; 4] {
+        let (a0, a1) = self.a.keys();
+        let (b0, b1) = self.b.keys();
+        [a0, a1, b0, b1]
     }
 
     /// The 128-bit fingerprint of any hashable value. Implementations of
@@ -200,6 +229,10 @@ pub enum SearchStrategy {
 /// breaking callers; `BfsOptions::default()` remains as an escape hatch
 /// (fields stay public for reading and in-place mutation) but literal
 /// construction outside this crate is no longer possible.
+///
+/// These are *scope* limits: hitting one yields a `Bounded` verdict ("the
+/// state space is larger than I was asked to cover"). Resource limits that
+/// interrupt a run resumably live in [`crate::control::Budget`] instead.
 #[derive(Clone, Copy, Debug)]
 #[non_exhaustive]
 pub struct BfsOptions {
@@ -310,6 +343,65 @@ impl<L, V> SearchResult<L, V> {
     }
 }
 
+/// Everything an interrupted search needs to continue exactly where it
+/// stopped: the fingerprint seeds, the seen-set, the unexpanded frontier
+/// (with per-state BFS depths), the parent edges accumulated so far, and
+/// the running totals.
+///
+/// The *consistency point* invariant all engines guarantee before handing
+/// one of these back: every expanded state has all of its successors
+/// admitted, and every admitted-but-unexpanded state appears in
+/// `frontier`. Resuming therefore never re-expands or skips a state, and
+/// the final verdict and state count match an uninterrupted run.
+#[derive(Clone, Debug)]
+pub struct SearchCheckpoint<S, L> {
+    /// The [`Fingerprinter`] seeds; resume must hash under the same keys.
+    pub seeds: [u64; 4],
+    /// Fingerprint of the initial state (parent-chain terminator, and a
+    /// resume-time sanity check that the system is the same one).
+    pub init_fp: u128,
+    /// Every admitted fingerprint.
+    pub seen: Vec<u128>,
+    /// Admitted-but-unexpanded states: `(state, fingerprint, depth)`.
+    pub frontier: Vec<(S, u128, usize)>,
+    /// Parent edges `(child_fp, parent_fp, label)` for counterexample
+    /// reconstruction after resume.
+    pub parents: Vec<(u128, u128, L)>,
+    /// Distinct states admitted so far.
+    pub states: usize,
+    /// Transitions explored so far.
+    pub transitions: usize,
+    /// Deepest BFS level admitted so far.
+    pub depth: usize,
+}
+
+/// Outcome of a budget-/cancel-aware search.
+#[derive(Clone, Debug)]
+pub enum ControlledSearch<S, L, V = String> {
+    /// The search ran to a verdict (safe, bounded, or unsafe).
+    Finished(SearchResult<L, V>),
+    /// A budget tripped or a cancel arrived; the engine drained to a
+    /// consistent point and packaged the partial search.
+    Interrupted {
+        /// Which limit stopped the run.
+        reason: InterruptReason,
+        /// Resumable snapshot of the partial search.
+        checkpoint: SearchCheckpoint<S, L>,
+        /// Statistics at the interrupt point.
+        stats: McStats,
+    },
+}
+
+impl<S, L, V> ControlledSearch<S, L, V> {
+    /// Search statistics regardless of outcome.
+    pub fn stats(&self) -> McStats {
+        match self {
+            ControlledSearch::Finished(r) => r.stats(),
+            ControlledSearch::Interrupted { stats, .. } => *stats,
+        }
+    }
+}
+
 /// Mirror a finished search's aggregates into the telemetry registry.
 ///
 /// Engines that already stream counters during the run (the work-stealing
@@ -340,37 +432,87 @@ pub(crate) fn publish_search_stats(stats: &McStats, counters_live: bool) {
 /// [`Fingerprinter`]); full states live only in the frontier.
 pub fn bfs<T: TransitionSystem>(sys: &T, opts: BfsOptions) -> SearchResult<T::Label, T::Violation> {
     let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
-    let r = bfs_inner(sys, opts);
+    let r = match bfs_controlled(sys, opts, &RunControl::unlimited(), None) {
+        ControlledSearch::Finished(r) => r,
+        ControlledSearch::Interrupted { .. } => {
+            unreachable!("an unlimited RunControl never interrupts")
+        }
+    };
     publish_search_stats(&r.stats(), false);
     r
 }
 
-fn bfs_inner<T: TransitionSystem>(
+/// Sequential BFS under a [`RunControl`], optionally resuming a prior
+/// [`SearchCheckpoint`].
+///
+/// Limits are checked once per state expansion (the admission boundary):
+/// when one trips, the state about to be expanded goes back to the front
+/// of the queue and the whole search — seen-set, frontier, parent edges —
+/// is packaged into a checkpoint. The queue is FIFO over `(state, fp,
+/// depth)` triples, so exploration order (and counterexample minimality on
+/// fresh runs) matches the classic level-by-level formulation.
+pub fn bfs_controlled<T: TransitionSystem>(
     sys: &T,
     opts: BfsOptions,
-) -> SearchResult<T::Label, T::Violation> {
+    ctrl: &RunControl,
+    resume: Option<SearchCheckpoint<T::State, T::Label>>,
+) -> ControlledSearch<T::State, T::Label, T::Violation> {
     use scv_telemetry::recorder;
     let start = Instant::now();
     if recorder::recorder_enabled() {
         recorder::set_worker("main");
     }
-    let fper = Fingerprinter::new();
+    let fper = match &resume {
+        Some(ck) => Fingerprinter::from_seeds(ck.seeds),
+        None => Fingerprinter::new(),
+    };
     let mut stats = McStats {
         workers: 1,
         ..Default::default()
     };
-    let init = sys.initial();
-    let mut index: HashMap<u128, u32> = HashMap::new();
-    let mut parents: Vec<Option<(u32, T::Label)>> = Vec::new();
-    let mut frontier: Vec<(T::State, u32)> = Vec::new();
+    // Seen map: fingerprint -> parent edge; the label chain is all a
+    // counterexample needs.
+    let mut seen: HashMap<u128, Option<(u128, T::Label)>> = HashMap::new();
+    let mut frontier: VecDeque<(T::State, u128, usize)> = VecDeque::new();
+    let init_fp;
 
-    index.insert(fper.fp(&init), 0);
-    parents.push(None);
-    stats.states = 1;
+    match resume {
+        Some(ck) => {
+            init_fp = ck.init_fp;
+            seen.reserve(ck.seen.len());
+            for fp in &ck.seen {
+                seen.insert(*fp, None);
+            }
+            for (child, parent, label) in ck.parents {
+                seen.insert(child, Some((parent, label)));
+            }
+            stats.states = ck.states;
+            stats.transitions = ck.transitions;
+            stats.depth = ck.depth;
+            frontier.extend(ck.frontier);
+        }
+        None => {
+            let init = sys.initial();
+            init_fp = fper.fp(&init);
+            seen.insert(init_fp, None);
+            stats.states = 1;
+            if let Some(reason) = sys.violation(&init) {
+                stats.elapsed = start.elapsed();
+                return ControlledSearch::Finished(SearchResult::Unsafe(
+                    Counterexample {
+                        path: Vec::new(),
+                        reason,
+                    },
+                    stats,
+                ));
+            }
+            frontier.push_back((init, init_fp, 0));
+        }
+    }
 
-    let rebuild = |parents: &Vec<Option<(u32, T::Label)>>, mut at: u32| -> Vec<T::Label> {
+    let rebuild = |seen: &HashMap<u128, Option<(u128, T::Label)>>, mut at: u128| -> Vec<T::Label> {
         let mut path = Vec::new();
-        while let Some((p, l)) = &parents[at as usize] {
+        while let Some(Some((p, l))) = seen.get(&at) {
             path.push(l.clone());
             at = *p;
         }
@@ -378,89 +520,105 @@ fn bfs_inner<T: TransitionSystem>(
         path
     };
 
-    if let Some(reason) = sys.violation(&init) {
-        stats.elapsed = start.elapsed();
-        return SearchResult::Unsafe(
-            Counterexample {
-                path: Vec::new(),
-                reason,
-            },
-            stats,
-        );
-    }
-    frontier.push((init, 0));
-
     let mut scratch = sys.expand_scratch();
     let mut admitted: Vec<(T::Label, T::State, u128)> = Vec::new();
-    let mut depth = 0usize;
     let mut truncated = false;
-    while !frontier.is_empty() && depth < opts.max_depth {
-        depth += 1;
-        if recorder::recorder_enabled() {
-            recorder::counter(recorder::CounterTrack::FrontierDepth, frontier.len() as f64);
-            recorder::counter(recorder::CounterTrack::SeenStates, stats.states as f64);
-            recorder::set_live(recorder::LiveGauge::FrontierDepth, frontier.len() as u64);
+    let mut depth_limited = false;
+    let mut ticks = 0u32;
+    let mut rec_depth = usize::MAX; // last depth the recorder sampled at
+    while let Some((s, sfp, d)) = frontier.pop_front() {
+        if let Some(reason) = ctrl.trip(stats.states, &mut ticks) {
+            frontier.push_front((s, sfp, d));
+            stats.elapsed = start.elapsed();
+            let checkpoint = SearchCheckpoint {
+                seeds: fper.seeds(),
+                init_fp,
+                seen: seen.keys().copied().collect(),
+                frontier: frontier.into_iter().collect(),
+                parents: seen
+                    .iter()
+                    .filter_map(|(c, p)| p.as_ref().map(|(pf, l)| (*c, *pf, l.clone())))
+                    .collect(),
+                states: stats.states,
+                transitions: stats.transitions,
+                depth: stats.depth,
+            };
+            return ControlledSearch::Interrupted {
+                reason,
+                checkpoint,
+                stats,
+            };
         }
-        let mut next = Vec::new();
-        for (s, si) in frontier.drain(..) {
-            // Admission gate: probe the seen-set with fingerprints so
-            // duplicate successors are rejected before materialization.
-            admitted.clear();
+        if d >= opts.max_depth {
+            depth_limited = true;
+            continue;
+        }
+        if recorder::recorder_enabled() && rec_depth != d {
+            rec_depth = d;
+            recorder::counter(
+                recorder::CounterTrack::FrontierDepth,
+                frontier.len() as f64 + 1.0,
+            );
+            recorder::counter(recorder::CounterTrack::SeenStates, stats.states as f64);
+            recorder::set_live(
+                recorder::LiveGauge::FrontierDepth,
+                frontier.len() as u64 + 1,
+            );
+        }
+        // Admission gate: probe the seen-set with fingerprints so
+        // duplicate successors are rejected before materialization.
+        admitted.clear();
+        {
+            let seen = &seen;
+            let transitions = &mut stats.transitions;
             let mut admit = |fps: &[u128], keep: &mut Vec<bool>| {
-                stats.transitions += fps.len();
+                *transitions += fps.len();
                 keep.clear();
-                keep.extend(fps.iter().map(|fp| !index.contains_key(fp)));
+                keep.extend(fps.iter().map(|fp| !seen.contains_key(fp)));
             };
             sys.expand_admitted(&s, &mut scratch, &fper, &mut admit, &mut admitted);
-            for (label, t, fp) in admitted.drain(..) {
-                // Authoritative insert: within-expansion duplicates both
-                // pass the probe, so re-check here.
-                let ti = parents.len() as u32;
-                match index.entry(fp) {
-                    std::collections::hash_map::Entry::Occupied(_) => continue,
-                    std::collections::hash_map::Entry::Vacant(v) => v.insert(ti),
-                };
-                parents.push(Some((si, label)));
-                stats.states += 1;
-                stats.depth = depth;
-                if let Some(reason) = sys.violation(&t) {
-                    stats.elapsed = start.elapsed();
-                    return SearchResult::Unsafe(
-                        Counterexample {
-                            path: rebuild(&parents, ti),
-                            reason,
-                        },
-                        stats,
-                    );
-                }
-                if stats.states >= opts.max_states {
-                    truncated = true;
-                    break;
-                }
-                next.push((t, ti));
+        }
+        for (label, t, fp) in admitted.drain(..) {
+            // Authoritative insert: within-expansion duplicates both
+            // pass the probe, so re-check here.
+            match seen.entry(fp) {
+                std::collections::hash_map::Entry::Occupied(_) => continue,
+                std::collections::hash_map::Entry::Vacant(v) => v.insert(Some((sfp, label))),
+            };
+            stats.states += 1;
+            stats.depth = stats.depth.max(d + 1);
+            if let Some(reason) = sys.violation(&t) {
+                stats.elapsed = start.elapsed();
+                return ControlledSearch::Finished(SearchResult::Unsafe(
+                    Counterexample {
+                        path: rebuild(&seen, fp),
+                        reason,
+                    },
+                    stats,
+                ));
             }
-            if truncated {
+            if stats.states >= opts.max_states {
+                truncated = true;
                 break;
             }
+            frontier.push_back((t, fp, d + 1));
         }
-        frontier = next;
         if truncated {
             break;
         }
     }
     stats.elapsed = start.elapsed();
-    if truncated || (depth >= opts.max_depth && !frontier.is_empty()) {
+    ControlledSearch::Finished(if truncated || depth_limited {
         SearchResult::Bounded(stats)
     } else {
         SearchResult::Safe(stats)
-    }
+    })
 }
 
 /// Parallel level-synchronous BFS: each level's frontier is split among
 /// scoped worker threads; the seen-set is sharded by state hash behind
-/// `parking_lot` mutexes. Returns the same verdicts as [`bfs`] (the
-/// counterexample path is reconstructed from parent states stored in the
-/// shards).
+/// mutexes. Returns the same verdicts as [`bfs`] (the counterexample path
+/// is reconstructed from parent edges stored in the shards).
 pub fn bfs_parallel<T>(
     sys: &T,
     opts: BfsOptions,
@@ -475,28 +633,70 @@ where
         return bfs(sys, opts);
     }
     let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
-    let r = bfs_parallel_inner(sys, opts, threads);
+    let r = match bfs_parallel_controlled(sys, opts, threads, &RunControl::unlimited(), None) {
+        ControlledSearch::Finished(r) => r,
+        ControlledSearch::Interrupted { .. } => {
+            unreachable!("an unlimited RunControl never interrupts")
+        }
+    };
     publish_search_stats(&r.stats(), false);
     r
 }
 
-fn bfs_parallel_inner<T>(
+/// One shard of the parallel parent map: fingerprint -> optional
+/// (parent fingerprint, label) edge.
+type ParentShard<L> = Mutex<HashMap<u128, Option<(u128, L)>>>;
+
+/// Collect the contents of sharded parent maps into checkpoint form:
+/// every key into `seen`, every recorded edge into `parents`.
+fn drain_shard_maps<L: Clone>(shards: &[ParentShard<L>]) -> (Vec<u128>, Vec<(u128, u128, L)>) {
+    let mut seen = Vec::new();
+    let mut parents = Vec::new();
+    for shard in shards {
+        let m = shard.lock().unwrap();
+        for (child, edge) in m.iter() {
+            seen.push(*child);
+            if let Some((parent, label)) = edge {
+                parents.push((*child, *parent, label.clone()));
+            }
+        }
+    }
+    (seen, parents)
+}
+
+/// Level-synchronous parallel BFS under a [`RunControl`], optionally
+/// resuming a prior [`SearchCheckpoint`].
+///
+/// Workers poll the control once per state (the admission boundary) and
+/// raise a shared interrupt flag on a trip; every worker then stops
+/// *between* expansions, so each processed state has all successors
+/// admitted. The checkpoint frontier is the unprocessed remainder of each
+/// worker's chunk plus everything admitted this level.
+pub fn bfs_parallel_controlled<T>(
     sys: &T,
     opts: BfsOptions,
     threads: usize,
-) -> SearchResult<T::Label, T::Violation>
+    ctrl: &RunControl,
+    resume: Option<SearchCheckpoint<T::State, T::Label>>,
+) -> ControlledSearch<T::State, T::Label, T::Violation>
 where
     T: TransitionSystem + Sync,
     T::State: Sync,
     T::Label: Sync,
 {
+    if threads <= 1 {
+        return bfs_controlled(sys, opts, ctrl, resume);
+    }
     use scv_telemetry::recorder;
     const SHARDS: usize = 64;
     let start = Instant::now();
     if recorder::recorder_enabled() {
         recorder::set_worker("main");
     }
-    let fper = Fingerprinter::new();
+    let fper = match &resume {
+        Some(ck) => Fingerprinter::from_seeds(ck.seeds),
+        None => Fingerprinter::new(),
+    };
     let shard_of = |fp: u128| -> usize { (fp as usize) % SHARDS };
     // Shard maps: fingerprint -> (parent fingerprint, label); the label
     // chain is all a counterexample needs.
@@ -504,41 +704,65 @@ where
     let shards: Vec<Mutex<HashMap<u128, Parent<T>>>> =
         (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect();
 
-    let init = sys.initial();
-    if let Some(reason) = sys.violation(&init) {
-        let stats = McStats {
-            states: 1,
-            elapsed: start.elapsed(),
-            ..Default::default()
-        };
-        return SearchResult::Unsafe(
-            Counterexample {
-                path: Vec::new(),
-                reason,
-            },
-            stats,
-        );
-    }
-    let init_fp = fper.fp(&init);
-    shards[shard_of(init_fp)]
-        .lock()
-        .unwrap()
-        .insert(init_fp, None);
-
-    let n_states = AtomicU64::new(1);
+    let n_states = AtomicU64::new(0);
     let n_trans = AtomicU64::new(0);
+    let depth_max = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
+    let interrupt = AtomicU8::new(0);
+    let depth_limited = AtomicBool::new(false);
     let found: Mutex<Option<(u128, T::Violation)>> = Mutex::new(None);
+    let init_fp;
 
-    let mut frontier: Vec<(T::State, u128)> = vec![(init, init_fp)];
-    let mut depth = 0usize;
+    let mut frontier: Vec<(T::State, u128, usize)>;
+    match resume {
+        Some(ck) => {
+            init_fp = ck.init_fp;
+            for fp in &ck.seen {
+                shards[shard_of(*fp)].lock().unwrap().insert(*fp, None);
+            }
+            for (child, parent, label) in ck.parents {
+                shards[shard_of(child)]
+                    .lock()
+                    .unwrap()
+                    .insert(child, Some((parent, label)));
+            }
+            n_states.store(ck.states as u64, Ordering::Relaxed);
+            n_trans.store(ck.transitions as u64, Ordering::Relaxed);
+            depth_max.store(ck.depth as u64, Ordering::Relaxed);
+            frontier = ck.frontier;
+        }
+        None => {
+            let init = sys.initial();
+            if let Some(reason) = sys.violation(&init) {
+                let stats = McStats {
+                    states: 1,
+                    elapsed: start.elapsed(),
+                    ..Default::default()
+                };
+                return ControlledSearch::Finished(SearchResult::Unsafe(
+                    Counterexample {
+                        path: Vec::new(),
+                        reason,
+                    },
+                    stats,
+                ));
+            }
+            init_fp = fper.fp(&init);
+            shards[shard_of(init_fp)]
+                .lock()
+                .unwrap()
+                .insert(init_fp, None);
+            n_states.store(1, Ordering::Relaxed);
+            frontier = vec![(init, init_fp, 0)];
+        }
+    }
+
     let mut truncated = false;
     // Per-worker expansion scratch, hoisted out of the level loop so the
     // replay buffers and seal caches survive across levels.
     let mut scratches: Vec<ExpandScratch> = (0..threads).map(|_| sys.expand_scratch()).collect();
 
-    while !frontier.is_empty() && depth < opts.max_depth && !stop.load(Ordering::Relaxed) {
-        depth += 1;
+    while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
         if recorder::recorder_enabled() {
             recorder::counter(recorder::CounterTrack::FrontierDepth, frontier.len() as f64);
             recorder::counter(
@@ -547,18 +771,27 @@ where
             );
             recorder::set_live(recorder::LiveGauge::FrontierDepth, frontier.len() as u64);
         }
-        let chunks: Vec<&[(T::State, u128)]> =
+        // A frontier entry: state, its fingerprint, and its depth.
+        type Entry<S> = (S, u128, usize);
+        let chunk_slices: Vec<&[Entry<T::State>]> =
             frontier.chunks(frontier.len().div_ceil(threads)).collect();
-        let next: Vec<Vec<(T::State, u128)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
+        // Each worker returns (admitted successors, states fully processed):
+        // on an interrupt the unprocessed chunk tail goes back into the
+        // checkpoint frontier.
+        let results: Vec<(Vec<Entry<T::State>>, usize)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunk_slices
+                .iter()
+                .copied()
                 .zip(scratches.iter_mut())
                 .enumerate()
                 .map(|(wi, (chunk, scratch))| {
                     let shards = &shards;
                     let n_states = &n_states;
                     let n_trans = &n_trans;
+                    let depth_max = &depth_max;
                     let stop = &stop;
+                    let interrupt = &interrupt;
+                    let depth_limited = &depth_limited;
                     let found = &found;
                     let fper = &fper;
                     let shard_of = &shard_of;
@@ -568,9 +801,29 @@ where
                         }
                         let mut local = Vec::new();
                         let mut admitted: Vec<(T::Label, T::State, u128)> = Vec::new();
-                        for (s, sfp) in chunk {
-                            if stop.load(Ordering::Relaxed) {
+                        let mut ticks = 0u32;
+                        let mut processed = 0usize;
+                        for (s, sfp, d) in chunk {
+                            if stop.load(Ordering::Relaxed)
+                                || interrupt.load(Ordering::Relaxed) != 0
+                            {
                                 break;
+                            }
+                            if let Some(reason) =
+                                ctrl.trip(n_states.load(Ordering::Relaxed) as usize, &mut ticks)
+                            {
+                                let _ = interrupt.compare_exchange(
+                                    0,
+                                    reason_to_code(reason),
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                );
+                                break;
+                            }
+                            if *d >= opts.max_depth {
+                                depth_limited.store(true, Ordering::Relaxed);
+                                processed += 1;
+                                continue;
                             }
                             // Probe-only admission (one shard lock per
                             // candidate); the insert below stays
@@ -584,6 +837,7 @@ where
                                 }));
                             };
                             sys.expand_admitted(s, scratch, fper, &mut admit, &mut admitted);
+                            let mut broke = false;
                             for (label, t, tfp) in admitted.drain(..) {
                                 {
                                     let mut m = shards[shard_of(tfp)].lock().unwrap();
@@ -593,23 +847,30 @@ where
                                     m.insert(tfp, Some((*sfp, label)));
                                 }
                                 let total = n_states.fetch_add(1, Ordering::Relaxed) + 1;
+                                depth_max.fetch_max(*d as u64 + 1, Ordering::Relaxed);
                                 if let Some(v) = sys.violation(&t) {
                                     *found.lock().unwrap() = Some((tfp, v));
                                     stop.store(true, Ordering::Relaxed);
+                                    broke = true;
                                     break;
                                 }
                                 if total as usize >= opts.max_states {
                                     stop.store(true, Ordering::Relaxed);
+                                    broke = true;
                                     break;
                                 }
-                                local.push((t, tfp));
+                                local.push((t, tfp, d + 1));
                             }
+                            if broke {
+                                break;
+                            }
+                            processed += 1;
                         }
                         // Level threads are short-lived; move their rings
                         // into the collected set before the scope joins
                         // (TLS destructors may run after `scope` returns).
                         recorder::flush_worker();
-                        local
+                        (local, processed)
                     })
                 })
                 .collect();
@@ -618,7 +879,44 @@ where
                 .map(|h| h.join().expect("worker"))
                 .collect::<Vec<_>>()
         });
-        frontier = next.into_iter().flatten().collect();
+
+        let tripped = interrupt.load(Ordering::Relaxed);
+        if tripped != 0 && !stop.load(Ordering::Relaxed) {
+            // Consistent point: every processed state is fully expanded;
+            // the snapshot frontier is each chunk's unprocessed tail plus
+            // everything admitted this level.
+            let mut snap: Vec<(T::State, u128, usize)> = Vec::new();
+            for (chunk, (local, processed)) in chunk_slices.iter().zip(results) {
+                snap.extend(chunk[processed..].iter().cloned());
+                snap.extend(local);
+            }
+            let (seen, parents) = drain_shard_maps(&shards);
+            let stats = McStats {
+                states: n_states.load(Ordering::Relaxed) as usize,
+                transitions: n_trans.load(Ordering::Relaxed) as usize,
+                depth: depth_max.load(Ordering::Relaxed) as usize,
+                elapsed: start.elapsed(),
+                workers: threads,
+                ..Default::default()
+            };
+            let checkpoint = SearchCheckpoint {
+                seeds: fper.seeds(),
+                init_fp,
+                seen,
+                frontier: snap,
+                parents,
+                states: stats.states,
+                transitions: stats.transitions,
+                depth: stats.depth,
+            };
+            return ControlledSearch::Interrupted {
+                reason: code_to_reason(tripped),
+                checkpoint,
+                stats,
+            };
+        }
+
+        frontier = results.into_iter().flat_map(|(local, _)| local).collect();
         if stop.load(Ordering::Relaxed) {
             truncated = true;
             break;
@@ -628,7 +926,7 @@ where
     let mut stats = McStats {
         states: n_states.load(Ordering::Relaxed) as usize,
         transitions: n_trans.load(Ordering::Relaxed) as usize,
-        depth,
+        depth: depth_max.load(Ordering::Relaxed) as usize,
         elapsed: start.elapsed(),
         workers: threads,
         ..Default::default()
@@ -655,18 +953,22 @@ where
         }
         path.reverse();
         stats.elapsed = start.elapsed();
-        return SearchResult::Unsafe(Counterexample { path, reason }, stats);
+        return ControlledSearch::Finished(SearchResult::Unsafe(
+            Counterexample { path, reason },
+            stats,
+        ));
     }
-    if truncated || (depth >= opts.max_depth && !frontier.is_empty()) {
+    ControlledSearch::Finished(if truncated || depth_limited.load(Ordering::Relaxed) {
         SearchResult::Bounded(stats)
     } else {
         SearchResult::Safe(stats)
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::control::{Budget, CancelToken};
 
     /// A counter modulo n that "violates" at a designated value.
     struct Counter {
@@ -782,5 +1084,133 @@ mod tests {
             SearchResult::Unsafe(ce, _) => assert!(ce.path.is_empty()),
             r => panic!("expected Unsafe, got {r:?}"),
         }
+    }
+
+    /// Interrupt a sequential run with a state budget, then resume from
+    /// the checkpoint: verdict and total state count must match a clean
+    /// run, and the interrupt must report accurate coverage.
+    #[test]
+    fn sequential_interrupt_resume_matches_clean_run() {
+        let sys = Counter { n: 977, bad: None };
+        let clean = bfs(&sys, BfsOptions::default());
+        for cut in [1usize, 7, 100, 500] {
+            let ctrl = RunControl::new(&Budget::unlimited().states(cut), CancelToken::new());
+            let r = bfs_controlled(&sys, BfsOptions::default(), &ctrl, None);
+            let ControlledSearch::Interrupted {
+                reason,
+                checkpoint,
+                stats,
+            } = r
+            else {
+                panic!("budget of {cut} must interrupt a 977-state space");
+            };
+            assert_eq!(reason, InterruptReason::StateBudget);
+            assert!(stats.states >= cut);
+            assert!(!checkpoint.frontier.is_empty(), "cut {cut}");
+            assert_eq!(checkpoint.seen.len(), checkpoint.states, "cut {cut}");
+            let resumed = bfs_controlled(
+                &sys,
+                BfsOptions::default(),
+                &RunControl::unlimited(),
+                Some(checkpoint),
+            );
+            let ControlledSearch::Finished(r2) = resumed else {
+                panic!("unlimited resume must finish");
+            };
+            assert!(r2.is_safe(), "cut {cut}");
+            assert_eq!(r2.stats().states, clean.stats().states, "cut {cut}");
+            assert_eq!(r2.stats().depth, clean.stats().depth, "cut {cut}");
+        }
+    }
+
+    /// Same for the level-synchronous parallel engine, including resuming
+    /// a parallel checkpoint on a different thread count.
+    #[test]
+    fn levelsync_interrupt_resume_matches_clean_run() {
+        let sys = Counter { n: 977, bad: None };
+        let clean = bfs(&sys, BfsOptions::default());
+        for cut in [5usize, 200, 800] {
+            let ctrl = RunControl::new(&Budget::unlimited().states(cut), CancelToken::new());
+            let r = bfs_parallel_controlled(&sys, BfsOptions::default(), 4, &ctrl, None);
+            let ControlledSearch::Interrupted { checkpoint, .. } = r else {
+                panic!("budget of {cut} must interrupt a 977-state space");
+            };
+            let resumed = bfs_parallel_controlled(
+                &sys,
+                BfsOptions::default(),
+                2,
+                &RunControl::unlimited(),
+                Some(checkpoint),
+            );
+            let ControlledSearch::Finished(r2) = resumed else {
+                panic!("unlimited resume must finish");
+            };
+            assert!(r2.is_safe(), "cut {cut}");
+            assert_eq!(r2.stats().states, clean.stats().states, "cut {cut}");
+        }
+    }
+
+    /// A resumed run still finds violations, and the reconstructed path
+    /// replays to the bad state.
+    #[test]
+    fn resume_still_finds_violation() {
+        let sys = Counter {
+            n: 977,
+            bad: Some(900),
+        };
+        let ctrl = RunControl::new(&Budget::unlimited().states(50), CancelToken::new());
+        let ControlledSearch::Interrupted { checkpoint, .. } =
+            bfs_controlled(&sys, BfsOptions::default(), &ctrl, None)
+        else {
+            panic!("expected interrupt");
+        };
+        let ControlledSearch::Finished(SearchResult::Unsafe(ce, _)) = bfs_controlled(
+            &sys,
+            BfsOptions::default(),
+            &RunControl::unlimited(),
+            Some(checkpoint),
+        ) else {
+            panic!("resume must find the violation");
+        };
+        let mut s = 0u32;
+        for l in &ce.path {
+            s = match *l {
+                "inc" => (s + 1) % 977,
+                _ => (s * 2) % 977,
+            };
+        }
+        assert_eq!(s, 900, "path must replay to the bad state");
+    }
+
+    /// Cancellation interrupts promptly and the checkpoint resumes.
+    #[test]
+    fn cancel_interrupts_sequential_run() {
+        let sys = Counter { n: 977, bad: None };
+        let token = CancelToken::new();
+        token.cancel();
+        let ctrl = RunControl::new(&Budget::unlimited(), token);
+        match bfs_controlled(&sys, BfsOptions::default(), &ctrl, None) {
+            ControlledSearch::Interrupted { reason, .. } => {
+                assert_eq!(reason, InterruptReason::Cancelled)
+            }
+            r => panic!("expected Interrupted, got stats {:?}", r.stats()),
+        }
+    }
+
+    /// Fingerprinter seeds round-trip: same seeds, same fingerprints.
+    #[test]
+    fn fingerprinter_seed_roundtrip() {
+        let f1 = Fingerprinter::new();
+        let f2 = Fingerprinter::from_seeds(f1.seeds());
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(f1.fp(&v), f2.fp(&v));
+            assert_eq!(f1.fp64(&v), f2.fp64(&v));
+        }
+        let f3 = Fingerprinter::new();
+        assert_ne!(
+            f1.fp(&7u64),
+            f3.fp(&7u64),
+            "independent fingerprinters should disagree"
+        );
     }
 }

@@ -2,11 +2,14 @@
 //! observer ⊗ checker, optionally explored modulo the protocol's
 //! symmetry group.
 
+use crate::checkpoint::{CheckpointError, CheckpointFile};
+use crate::control::{Budget, CancelToken, Coverage, InterruptReason, RunControl};
 use crate::mc::{
-    bfs, bfs_parallel, eager_expand, BfsOptions, ExpandScratch, Fingerprinter, McStats,
-    SearchResult, SearchStrategy, TransitionSystem,
+    bfs_controlled, bfs_parallel_controlled, eager_expand, publish_search_stats, BfsOptions,
+    ControlledSearch, ExpandScratch, Fingerprinter, McStats, SearchCheckpoint, SearchResult,
+    SearchStrategy, TransitionSystem,
 };
-use crate::ws::ws_search;
+use crate::ws::ws_search_controlled;
 use scv_checker::{ScChecker, ScError};
 use scv_descriptor::Symbol;
 use scv_observer::{Observer, ObserverConfig};
@@ -15,7 +18,9 @@ use scv_types::{Op, SymDims, SymPerm, Trace};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Why a product state was rejected — the typed replacement for the old
 /// stringly error channel. [`fmt::Display`] reproduces the exact text the
@@ -78,6 +83,25 @@ impl SymmetryMode {
             SymmetryMode::Off => SymDims::NONE,
             SymmetryMode::Proc => SymDims::PROCS,
             SymmetryMode::Full => SymDims::FULL,
+        }
+    }
+
+    /// The single-byte encoding used by the checkpoint file format.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            SymmetryMode::Off => 0,
+            SymmetryMode::Proc => 1,
+            SymmetryMode::Full => 2,
+        }
+    }
+
+    /// Inverse of [`SymmetryMode::as_byte`].
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(SymmetryMode::Off),
+            1 => Some(SymmetryMode::Proc),
+            2 => Some(SymmetryMode::Full),
+            _ => None,
         }
     }
 }
@@ -328,6 +352,9 @@ pub struct VerifySystem<P: Symmetry> {
     /// Identity-first symmetry group; empty when reduction is off or the
     /// effective group is trivial.
     perms: Vec<PermEntry>,
+    /// The mode the system was built with (recorded in checkpoint files so
+    /// a resume under a different quotient is rejected up front).
+    mode: SymmetryMode,
     /// Admission-gated lazy materialization (the default). `false` forces
     /// the eager reference path in `expand_admitted`: every successor is
     /// fully materialized before the seen-set probe — the pre-gating cost
@@ -369,6 +396,7 @@ impl<P: Symmetry> VerifySystem<P> {
         VerifySystem {
             protocol,
             perms,
+            mode,
             lazy: true,
         }
     }
@@ -378,8 +406,28 @@ impl<P: Symmetry> VerifySystem<P> {
         &self.protocol
     }
 
-    /// Toggle admission-gated lazy materialization (on by default; see
-    /// the `lazy` field).
+    /// The symmetry mode this system was built with.
+    pub fn symmetry_mode(&self) -> SymmetryMode {
+        self.mode
+    }
+
+    /// Select admission-gated lazy materialization (`true`, the default)
+    /// or the eager reference expansion path (`false`). Consuming builder,
+    /// consistent with [`VerifySystem::with_symmetry`]:
+    ///
+    /// ```ignore
+    /// let sys = VerifySystem::with_symmetry(p, SymmetryMode::Full).lazy(false);
+    /// ```
+    pub fn lazy(mut self, lazy: bool) -> Self {
+        self.lazy = lazy;
+        self
+    }
+
+    /// Toggle admission-gated lazy materialization in place.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the consuming builder `VerifySystem::lazy`"
+    )]
     pub fn set_lazy(&mut self, lazy: bool) {
         self.lazy = lazy;
     }
@@ -912,7 +960,13 @@ where
 /// crate no longer compiles; `VerifyOptions::default()` remains as an
 /// escape hatch (fields stay public for reading and in-place mutation)
 /// for one release while callers migrate.
-#[derive(Clone, Copy, Debug)]
+///
+/// Run control rides along here too: a [`Budget`] and [`CancelToken`]
+/// bound the run (tripping yields [`Outcome::Inconclusive`], not
+/// `Bounded`), and the checkpoint fields make interrupted searches
+/// resumable — see [`VerifySystem::try_search`]. These fields made the
+/// struct `Clone`-but-not-`Copy`.
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct VerifyOptions {
     /// BFS limits.
@@ -934,6 +988,22 @@ pub struct VerifyOptions {
     /// [`verify_protocol`] when it builds the system; [`verify_system`]
     /// runs whatever the passed-in system was configured with.
     pub lazy: bool,
+    /// Resource budget for the run (wall clock, admitted states, resident
+    /// memory). Tripping yields [`Outcome::Inconclusive`].
+    pub budget: Budget,
+    /// Cooperative cancellation handle polled at admission boundaries.
+    pub cancel: CancelToken,
+    /// Write a checkpoint this often while the run is in progress (the
+    /// search is paused at a consistent point, serialized, and resumed
+    /// in-process). Requires [`VerifyOptions::checkpoint_path`].
+    pub checkpoint_every: Option<Duration>,
+    /// Where periodic and final (budget-trip) checkpoints are written.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume a previous run from this checkpoint file instead of
+    /// starting fresh. The file must match the protocol, parameters,
+    /// symmetry mode, and initial state, or the search fails with
+    /// [`CheckpointError::Mismatch`].
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for VerifyOptions {
@@ -945,6 +1015,11 @@ impl Default for VerifyOptions {
             batch_size: 128,
             symmetry: SymmetryMode::Off,
             lazy: true,
+            budget: Budget::unlimited(),
+            cancel: CancelToken::new(),
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume_from: None,
         }
     }
 }
@@ -1004,6 +1079,43 @@ impl VerifyOptions {
         self.lazy = on;
         self
     }
+
+    /// Resource budget for the run.
+    pub fn budget(mut self, b: Budget) -> Self {
+        self.budget = b;
+        self
+    }
+
+    /// Wall-clock deadline, measured from the start of the run. Shorthand
+    /// for `budget(self.budget.deadline(d))`.
+    pub fn timeout(mut self, d: Duration) -> Self {
+        self.budget = self.budget.deadline(d);
+        self
+    }
+
+    /// Cancellation token the engines poll at admission boundaries.
+    pub fn cancel_token(mut self, t: CancelToken) -> Self {
+        self.cancel = t;
+        self
+    }
+
+    /// Write a checkpoint to [`VerifyOptions::checkpoint_path`] this often.
+    pub fn checkpoint_every(mut self, d: Duration) -> Self {
+        self.checkpoint_every = Some(d);
+        self
+    }
+
+    /// Where checkpoints (periodic and budget-trip) are written.
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resume from a checkpoint file instead of starting fresh.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
 }
 
 /// Outcome of verifying a protocol.
@@ -1035,6 +1147,19 @@ pub enum Outcome {
         /// Search statistics.
         stats: McStats,
     },
+    /// The run was interrupted — budget tripped or cancel requested —
+    /// before reaching a verdict. Unlike `Bounded` ("the space is bigger
+    /// than I was asked to cover"), an inconclusive run is *resumable*: if
+    /// a checkpoint path was configured, the partial search is on disk and
+    /// [`VerifyOptions::resume_from`] continues it exactly.
+    Inconclusive {
+        /// Which limit stopped the run.
+        reason: InterruptReason,
+        /// How much of the state space was covered before the interrupt.
+        coverage: Coverage,
+        /// Search statistics at the interrupt point.
+        stats: McStats,
+    },
 }
 
 impl Outcome {
@@ -1043,7 +1168,8 @@ impl Outcome {
         match self {
             Outcome::Verified { stats }
             | Outcome::Violation { stats, .. }
-            | Outcome::Bounded { stats } => *stats,
+            | Outcome::Bounded { stats }
+            | Outcome::Inconclusive { stats, .. } => *stats,
         }
     }
 
@@ -1052,43 +1178,336 @@ impl Outcome {
         matches!(self, Outcome::Verified { .. })
     }
 
-    /// The violation diagnosis rendered as the historical message text,
-    /// if this outcome is a violation.
-    pub fn message(&self) -> Option<String> {
+    /// Was the run interrupted before reaching a verdict?
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Outcome::Inconclusive { .. })
+    }
+
+    /// The typed violation diagnosis, if this outcome is a violation.
+    ///
+    /// Borrowing replacement for [`Outcome::message`]: no allocation, and
+    /// the caller can match on [`scv_checker::ScErrorKind`] structurally
+    /// instead of parsing text. The historical message text is
+    /// `reason.to_string()` (its `Display` is pinned by the
+    /// `options_and_reasons` test battery).
+    pub fn reject_reason(&self) -> Option<&RejectReason> {
         match self {
-            Outcome::Violation { reason, .. } => Some(reason.to_string()),
+            Outcome::Violation { reason, .. } => Some(reason),
             _ => None,
         }
+    }
+
+    /// Coverage of an interrupted run, if this outcome is inconclusive.
+    pub fn coverage(&self) -> Option<Coverage> {
+        match self {
+            Outcome::Inconclusive { coverage, .. } => Some(*coverage),
+            _ => None,
+        }
+    }
+
+    /// The violation diagnosis rendered as the historical message text,
+    /// if this outcome is a violation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates per call and loses the typed reason; use `reject_reason`"
+    )]
+    pub fn message(&self) -> Option<String> {
+        self.reject_reason().map(RejectReason::to_string)
+    }
+}
+
+impl<P> VerifySystem<P>
+where
+    P: Symmetry + Sync,
+    P::State: Send + Sync + 'static,
+{
+    /// Run a search over this product system, honouring every
+    /// [`VerifyOptions`] knob including run control and checkpointing.
+    ///
+    /// Panics if checkpoint I/O fails or a resume file does not match
+    /// this system; use [`VerifySystem::try_search`] to handle those.
+    pub fn search(&self, opts: &VerifyOptions) -> Outcome {
+        match self.try_search(opts) {
+            Ok(out) => out,
+            Err(e) => panic!("checkpoint error (use try_search to handle): {e}"),
+        }
+    }
+
+    /// Run a search over this product system.
+    ///
+    /// This is the stop-and-go driver behind every public entry point:
+    ///
+    /// 1. If [`VerifyOptions::resume_from`] is set, load the checkpoint
+    ///    file, validate it against this system (protocol name,
+    ///    parameters, symmetry mode, initial-state fingerprint), and
+    ///    rebuild the in-memory search state — frontier states are
+    ///    reconstructed by replaying their parent chains of actions from
+    ///    the initial state, fingerprint-checking every step.
+    /// 2. Run the configured engine in *slices*: each slice's deadline is
+    ///    the earlier of the budget deadline and the next
+    ///    [`VerifyOptions::checkpoint_every`] tick. A slice that ends at a
+    ///    checkpoint tick serializes the paused search to
+    ///    [`VerifyOptions::checkpoint_path`] and resumes in-process.
+    /// 3. A verdict maps to `Verified`/`Violation`/`Bounded` exactly as
+    ///    before; a tripped budget or cancel writes a final checkpoint (if
+    ///    a path is configured) and returns [`Outcome::Inconclusive`] with
+    ///    the reason and coverage counts.
+    ///
+    /// The resume path is exact: verdicts and state counts match an
+    /// uninterrupted run (the engines drain to a consistent point before
+    /// checkpointing; see `crate::control`).
+    pub fn try_search(&self, opts: &VerifyOptions) -> Result<Outcome, CheckpointError> {
+        let run_start = Instant::now();
+        let mut resume = match &opts.resume_from {
+            Some(path) => Some(self.rebuild_checkpoint(&CheckpointFile::load(path)?)?),
+            None => None,
+        };
+        // The budget deadline is absolute (measured from run start); each
+        // slice additionally caps itself at the next checkpoint tick.
+        let budget_deadline = opts.budget.deadline.map(|d| run_start + d);
+        let sliced_budget = Budget {
+            deadline: None,
+            ..opts.budget
+        };
+        let is_ws = opts.threads > 1 && opts.strategy == SearchStrategy::WorkStealing;
+        // Floor the tick: a zero-length slice would trip before expanding
+        // anything. `effective_every` then adapts upward (doubling) any
+        // time a slice makes no progress — as the seen-set grows, resume
+        // setup costs O(states), and a fixed short tick could otherwise be
+        // consumed entirely by setup, livelocking the run.
+        let mut effective_every = opts
+            .checkpoint_every
+            .map(|e| e.max(Duration::from_millis(1)));
+        let mut last_states = resume.as_ref().map_or(0, |ck| ck.states);
+        loop {
+            let mut ctrl = RunControl::new(&sliced_budget, opts.cancel.clone());
+            if let Some(d) = budget_deadline {
+                ctrl = ctrl.with_deadline(d);
+            }
+            if let Some(every) = effective_every {
+                ctrl = ctrl.with_deadline(Instant::now() + every);
+            }
+            let taken = resume.take();
+            let result = if is_ws {
+                ws_search_controlled(self, opts.bfs, opts.threads, opts.batch_size, &ctrl, taken).0
+            } else {
+                // The work-stealing engine times and publishes internally;
+                // these two do neither, so the driver does both.
+                let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
+                if opts.threads > 1 {
+                    bfs_parallel_controlled(self, opts.bfs, opts.threads, &ctrl, taken)
+                } else {
+                    bfs_controlled(self, opts.bfs, &ctrl, taken)
+                }
+            };
+            match result {
+                ControlledSearch::Finished(r) => {
+                    let mut stats = r.stats();
+                    stats.elapsed = run_start.elapsed();
+                    if !is_ws {
+                        publish_search_stats(&stats, false);
+                    }
+                    return Ok(match r {
+                        SearchResult::Safe(_) => Outcome::Verified { stats },
+                        SearchResult::Bounded(_) => Outcome::Bounded { stats },
+                        SearchResult::Unsafe(ce, _) => {
+                            let ops: Vec<Op> = ce.path.iter().filter_map(|a| a.op()).collect();
+                            Outcome::Violation {
+                                run: ce.path,
+                                trace: Trace::from_ops(ops),
+                                reason: ce.reason,
+                                stats,
+                            }
+                        }
+                    });
+                }
+                ControlledSearch::Interrupted {
+                    reason,
+                    checkpoint,
+                    mut stats,
+                } => {
+                    // A deadline trip with the *budget* deadline still in
+                    // the future is a checkpoint tick, not a budget trip:
+                    // snapshot and keep going.
+                    let tick = reason == InterruptReason::Deadline
+                        && budget_deadline.is_none_or(|d| Instant::now() < d);
+                    if let Some(path) = &opts.checkpoint_path {
+                        self.write_checkpoint(path, &checkpoint)?;
+                    }
+                    if tick {
+                        if checkpoint.states <= last_states {
+                            if let Some(e) = &mut effective_every {
+                                *e = e.saturating_mul(2);
+                            }
+                        }
+                        last_states = checkpoint.states;
+                        resume = Some(checkpoint);
+                        continue;
+                    }
+                    scv_telemetry::add(scv_telemetry::Metric::McBudgetTrips, 1);
+                    let coverage = Coverage {
+                        explored: stats.states,
+                        frontier: checkpoint.frontier.len(),
+                        depth: stats.depth,
+                    };
+                    stats.elapsed = run_start.elapsed();
+                    if !is_ws {
+                        publish_search_stats(&stats, false);
+                    }
+                    return Ok(Outcome::Inconclusive {
+                        reason,
+                        coverage,
+                        stats,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Package an engine checkpoint into the portable file form.
+    fn checkpoint_file(
+        &self,
+        ck: &SearchCheckpoint<VerifyState<P::State>, Action>,
+    ) -> CheckpointFile {
+        let p = self.protocol.params();
+        CheckpointFile {
+            protocol: self.protocol.name().to_string(),
+            dims: (p.p, p.b, p.v),
+            symmetry: self.mode.as_byte(),
+            seeds: ck.seeds,
+            states: ck.states as u64,
+            transitions: ck.transitions as u64,
+            depth: ck.depth as u64,
+            init_fp: ck.init_fp,
+            seen: ck.seen.clone(),
+            parents: ck.parents.clone(),
+            frontier: ck
+                .frontier
+                .iter()
+                .map(|(_, fp, d)| (*fp, *d as u32))
+                .collect(),
+        }
+    }
+
+    fn write_checkpoint(
+        &self,
+        path: &std::path::Path,
+        ck: &SearchCheckpoint<VerifyState<P::State>, Action>,
+    ) -> Result<(), CheckpointError> {
+        let bytes = self.checkpoint_file(ck).save(path)?;
+        scv_telemetry::add(scv_telemetry::Metric::McCheckpointBytes, bytes);
+        if scv_telemetry::recorder_enabled() {
+            scv_telemetry::recorder::instant(
+                scv_telemetry::recorder::InstantKind::Checkpoint,
+                bytes,
+            );
+        }
+        Ok(())
+    }
+
+    /// Validate a checkpoint file against this system and rebuild the
+    /// in-memory [`SearchCheckpoint`], rematerializing every frontier
+    /// state by replaying its parent chain from the initial state.
+    fn rebuild_checkpoint(
+        &self,
+        file: &CheckpointFile,
+    ) -> Result<SearchCheckpoint<VerifyState<P::State>, Action>, CheckpointError> {
+        let name = self.protocol.name();
+        if file.protocol != name {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint is for protocol {:?}, not {name:?}",
+                file.protocol
+            )));
+        }
+        let p = self.protocol.params();
+        if file.dims != (p.p, p.b, p.v) {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint parameters {:?} do not match ({}, {}, {})",
+                file.dims, p.p, p.b, p.v
+            )));
+        }
+        if file.symmetry != self.mode.as_byte() {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint symmetry byte {} does not match mode {:?}",
+                file.symmetry, self.mode
+            )));
+        }
+        let fper = Fingerprinter::from_seeds(file.seeds);
+        let init = self.initial();
+        let init_fp = fper.fp(&init);
+        if init_fp != file.init_fp {
+            return Err(CheckpointError::Mismatch(
+                "initial-state fingerprint does not match (different system?)".into(),
+            ));
+        }
+        // Parent edges keyed by child fingerprint, for chain walking.
+        let mut up: HashMap<u128, (u128, Action)> = HashMap::with_capacity(file.parents.len());
+        for &(child, parent, action) in &file.parents {
+            up.insert(child, (parent, action));
+        }
+        // Replayed states are cached by fingerprint so frontier states
+        // sharing a prefix walk it only once.
+        let mut cache: HashMap<u128, VerifyState<P::State>> = HashMap::new();
+        cache.insert(init_fp, init);
+        let mut frontier = Vec::with_capacity(file.frontier.len());
+        let mut succs = Vec::new();
+        for &(fp, depth) in &file.frontier {
+            let mut chain = Vec::new();
+            let mut cur = fp;
+            while !cache.contains_key(&cur) {
+                let Some(&(parent, action)) = up.get(&cur) else {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "frontier fingerprint {cur:#034x} has no parent chain to the initial state"
+                    )));
+                };
+                chain.push((cur, action));
+                if chain.len() > file.parents.len() {
+                    return Err(CheckpointError::Corrupt("parent-edge cycle".into()));
+                }
+                cur = parent;
+            }
+            let mut state = cache[&cur].clone();
+            for &(child_fp, action) in chain.iter().rev() {
+                succs.clear();
+                self.successors_into(&state, &mut succs);
+                let next = succs
+                    .drain(..)
+                    .find(|(a, s)| *a == action && fper.fp(s) == child_fp);
+                let Some((_, s)) = next else {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "replaying {action:?} did not reproduce fingerprint {child_fp:#034x} \
+                         (protocol behaviour changed since the checkpoint?)"
+                    )));
+                };
+                cache.insert(child_fp, s.clone());
+                state = s;
+            }
+            frontier.push((state, fp, depth as usize));
+        }
+        Ok(SearchCheckpoint {
+            seeds: file.seeds,
+            init_fp,
+            seen: file.seen.clone(),
+            frontier,
+            parents: file.parents.clone(),
+            states: file.states as usize,
+            transitions: file.transitions as usize,
+            depth: file.depth as usize,
+        })
     }
 }
 
 /// Run a search over an already-built product system.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `VerifySystem::search`/`try_search`, or the root-crate `Verifier` facade"
+)]
 pub fn verify_system<P>(sys: &VerifySystem<P>, opts: VerifyOptions) -> Outcome
 where
     P: Symmetry + Sync,
     P::State: Send + Sync + 'static,
 {
-    let result = if opts.threads > 1 {
-        match opts.strategy {
-            SearchStrategy::WorkStealing => ws_search(sys, opts.bfs, opts.threads, opts.batch_size),
-            SearchStrategy::LevelSync => bfs_parallel(sys, opts.bfs, opts.threads),
-        }
-    } else {
-        bfs(sys, opts.bfs)
-    };
-    match result {
-        SearchResult::Safe(stats) => Outcome::Verified { stats },
-        SearchResult::Bounded(stats) => Outcome::Bounded { stats },
-        SearchResult::Unsafe(ce, stats) => {
-            let ops: Vec<Op> = ce.path.iter().filter_map(|a| a.op()).collect();
-            Outcome::Violation {
-                run: ce.path,
-                trace: Trace::from_ops(ops),
-                reason: ce.reason,
-                stats,
-            }
-        }
-    }
+    sys.search(&opts)
 }
 
 /// Run the complete §3.4 method on a protocol.
@@ -1097,9 +1516,8 @@ where
     P: Symmetry + Sync,
     P::State: Send + Sync + 'static,
 {
-    let mut sys = VerifySystem::with_symmetry(protocol, opts.symmetry);
-    sys.set_lazy(opts.lazy);
-    verify_system(&sys, opts)
+    let sys = VerifySystem::with_symmetry(protocol, opts.symmetry).lazy(opts.lazy);
+    sys.search(&opts)
 }
 
 #[cfg(test)]
@@ -1243,7 +1661,7 @@ mod tests {
         // order 4) and reach the same verdict.
         let depth = 8;
         let base = opts(500_000).max_depth(depth);
-        let off = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), base);
+        let off = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), base.clone());
         let on = verify_protocol(
             MsiProtocol::new(Params::new(2, 1, 2)),
             base.symmetry(SymmetryMode::Full),
@@ -1277,6 +1695,199 @@ mod tests {
             }
             o => panic!("expected Violation, got {:?}", o.stats()),
         }
+    }
+
+    /// Unique temp path for checkpoint tests.
+    fn tmp_ckpt(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("scv-verify-{}-{name}.ckpt", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn state_budget_trip_is_inconclusive_with_coverage() {
+        let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
+        let out = sys.search(&opts(100_000).budget(Budget::unlimited().states(1_000)));
+        match out {
+            Outcome::Inconclusive {
+                reason,
+                coverage,
+                stats,
+            } => {
+                assert_eq!(reason, InterruptReason::StateBudget);
+                assert!(coverage.explored >= 1_000, "{coverage}");
+                assert!(coverage.frontier > 0, "{coverage}");
+                assert_eq!(coverage.explored, stats.states);
+            }
+            o => panic!("expected Inconclusive, got {:?}", o.stats()),
+        }
+    }
+
+    #[test]
+    fn zero_timeout_is_inconclusive_deadline() {
+        let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
+        let out = sys.search(&opts(100_000).timeout(std::time::Duration::ZERO));
+        assert!(
+            matches!(
+                out,
+                Outcome::Inconclusive {
+                    reason: InterruptReason::Deadline,
+                    ..
+                }
+            ),
+            "got {:?}",
+            out.stats()
+        );
+    }
+
+    #[test]
+    fn cancelled_search_is_inconclusive() {
+        let token = CancelToken::new();
+        token.cancel();
+        let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
+        let out = sys.search(&opts(100_000).cancel_token(token));
+        assert!(matches!(
+            out,
+            Outcome::Inconclusive {
+                reason: InterruptReason::Cancelled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn driver_checkpoint_resume_matches_clean_run() {
+        let clean = verify_protocol(SerialMemory::new(Params::new(2, 1, 1)), opts(30_000));
+        assert!(matches!(clean, Outcome::Bounded { .. }));
+        let clean_stats = clean.stats();
+
+        let path = tmp_ckpt("resume-parity");
+        let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
+        let out = sys
+            .try_search(
+                &opts(30_000)
+                    .budget(Budget::unlimited().states(2_000))
+                    .checkpoint_to(&path),
+            )
+            .unwrap();
+        assert!(out.is_inconclusive(), "{:?}", out.stats());
+
+        // The file on disk round-trips through the codec.
+        let file = CheckpointFile::load(&path).unwrap();
+        assert_eq!(file.protocol, "serial-memory");
+        assert!(file.states >= 2_000);
+
+        // Resuming finishes the run with the clean run's verdict and —
+        // for the deterministic sequential engine — its exact totals.
+        let resumed = sys.try_search(&opts(30_000).resume_from(&path)).unwrap();
+        assert!(
+            matches!(resumed, Outcome::Bounded { .. }),
+            "{:?}",
+            resumed.stats()
+        );
+        assert_eq!(resumed.stats().states, clean_stats.states);
+
+        // A different engine may overshoot the cap differently, but the
+        // verdict and the cap itself must hold.
+        let resumed_ws = sys
+            .try_search(&opts(30_000).threads(4).resume_from(&path))
+            .unwrap();
+        assert!(
+            matches!(resumed_ws, Outcome::Bounded { .. }),
+            "{:?}",
+            resumed_ws.stats()
+        );
+        assert!(resumed_ws.stats().states >= 30_000);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn periodic_checkpoints_do_not_change_the_verdict() {
+        let clean = verify_protocol(SerialMemory::new(Params::new(2, 1, 1)), opts(20_000));
+        let path = tmp_ckpt("periodic");
+        let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
+        let out = sys
+            .try_search(
+                &opts(20_000)
+                    .checkpoint_every(std::time::Duration::from_millis(1))
+                    .checkpoint_to(&path),
+            )
+            .unwrap();
+        assert!(matches!(out, Outcome::Bounded { .. }), "{:?}", out.stats());
+        assert_eq!(out.stats().states, clean.stats().states);
+        // The run was long enough for at least one tick, so a valid
+        // snapshot must be on disk.
+        assert!(path.exists(), "no periodic checkpoint written");
+        CheckpointFile::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_system() {
+        let path = tmp_ckpt("mismatch");
+        let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1)));
+        let out = sys
+            .try_search(
+                &opts(30_000)
+                    .budget(Budget::unlimited().states(500))
+                    .checkpoint_to(&path),
+            )
+            .unwrap();
+        assert!(out.is_inconclusive());
+
+        // Wrong protocol.
+        let err = VerifySystem::new(MsiProtocol::new(Params::new(2, 1, 1)))
+            .try_search(&opts(30_000).resume_from(&path))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+
+        // Wrong parameters.
+        let err = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 2)))
+            .try_search(&opts(30_000).resume_from(&path))
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+
+        // Wrong symmetry mode.
+        let err = VerifySystem::with_symmetry(
+            SerialMemory::new(Params::new(2, 1, 1)),
+            SymmetryMode::Full,
+        )
+        .try_search(&opts(30_000).resume_from(&path))
+        .unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reject_reason_accessor_borrows_the_typed_reason() {
+        let out = verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), opts(2_000_000));
+        let reason = out.reject_reason().expect("buggy MSI violates");
+        // The borrowing accessor and the historical text agree.
+        #[allow(deprecated)]
+        let msg = out.message().unwrap();
+        assert_eq!(msg, reason.to_string());
+        assert!(
+            verify_protocol(SerialMemory::new(Params::new(2, 1, 1)), opts(5_000))
+                .reject_reason()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn lazy_builder_replaces_set_lazy() {
+        let sys = VerifySystem::new(SerialMemory::new(Params::new(2, 1, 1))).lazy(false);
+        assert!(!sys.is_lazy());
+        let sys = sys.lazy(true);
+        assert!(sys.is_lazy());
+        assert_eq!(sys.symmetry_mode(), SymmetryMode::Off);
+    }
+
+    #[test]
+    fn symmetry_mode_byte_roundtrip() {
+        for mode in [SymmetryMode::Off, SymmetryMode::Proc, SymmetryMode::Full] {
+            assert_eq!(SymmetryMode::from_byte(mode.as_byte()), Some(mode));
+        }
+        assert_eq!(SymmetryMode::from_byte(3), None);
     }
 
     #[test]

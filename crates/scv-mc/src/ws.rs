@@ -48,14 +48,26 @@
 //! truncated by `max_states`/`max_depth` may differ in which frontier
 //! they saw — identical to the level-synchronous engine's behaviour.
 //! `tests/parallel_mc.rs` pins this battery down across the protocol zoo.
+//!
+//! **Interrupts** ([`ws_search_controlled`]): budgets and cancellation are
+//! polled at chunk and flush boundaries, never per successor. A tripped
+//! worker raises a shared interrupt byte; every worker then *drains to a
+//! consistent point* — flushes its dirty stripe buffers, hands off its
+//! output chunk, pushes the unprocessed remainder of its input chunk back
+//! onto its deque — and exits. At that point each expanded state has all
+//! successors admitted and every admitted-unexpanded state sits in some
+//! deque, so the main thread can snapshot the queues + seen-set + parent
+//! logs into a [`SearchCheckpoint`] from which a later run continues with
+//! verdict- and state-count parity.
 
+use crate::control::{code_to_reason, reason_to_code, RunControl};
 use crate::mc::{
-    BfsOptions, Counterexample, ExpandScratch, Fingerprinter, McStats, SearchResult,
-    TransitionSystem,
+    BfsOptions, ControlledSearch, Counterexample, ExpandScratch, Fingerprinter, McStats,
+    SearchCheckpoint, SearchResult, TransitionSystem,
 };
 use crate::seen::StripedSeen;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -90,6 +102,7 @@ type Chunk<T> = Vec<(<T as TransitionSystem>::State, u128, usize)>;
 struct Shared<'a, T: TransitionSystem> {
     sys: &'a T,
     opts: BfsOptions,
+    ctrl: &'a RunControl,
     fper: Fingerprinter,
     seen: StripedSeen,
     queues: Vec<Mutex<VecDeque<Chunk<T>>>>,
@@ -98,6 +111,9 @@ struct Shared<'a, T: TransitionSystem> {
     /// Bumped on every enqueue; idle workers re-scan when it moves.
     epoch: AtomicU64,
     stop: AtomicBool,
+    /// Nonzero = an [`InterruptReason`](crate::control::InterruptReason)
+    /// code; workers drain and exit when they observe it.
+    interrupt: AtomicU8,
     states: AtomicU64,
     depth_max: AtomicUsize,
     state_limited: AtomicBool,
@@ -157,10 +173,30 @@ impl<T: TransitionSystem> Shared<'_, T> {
         }
         None
     }
+
+    /// Poll the run control at a batch boundary; on a trip, raise the
+    /// shared interrupt flag (first tripper wins).
+    fn check_trip(&self, ticks: &mut u32) {
+        if self.interrupt.load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        if let Some(reason) = self
+            .ctrl
+            .trip(self.states.load(Ordering::Relaxed) as usize, ticks)
+        {
+            let _ = self.interrupt.compare_exchange(
+                0,
+                reason_to_code(reason),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
 }
 
 /// One worker's append-only `(child, parent, label)` fingerprint log —
-/// merged across workers only when a violation needs a counterexample.
+/// merged across workers only when a violation needs a counterexample or
+/// an interrupt needs a checkpoint.
 type ParentLog<L> = Vec<(u128, u128, L)>;
 
 /// One worker's long-lived scratch space (the "successor arena"): every
@@ -197,9 +233,12 @@ fn worker_loop<T: TransitionSystem>(
         out_chunk: Vec::with_capacity(shared.chunk_size),
         parent_log: Vec::new(),
     };
+    let mut ticks = 0u32;
 
     'main: loop {
-        if shared.stop.load(Ordering::Relaxed) {
+        // At the top of the loop all scratch buffers are clean (flushed at
+        // end of chunk), so exiting here is already a consistent point.
+        if shared.stop.load(Ordering::Relaxed) || shared.interrupt.load(Ordering::Relaxed) != 0 {
             break;
         }
         let Some(chunk) = shared.obtain_chunk(id, &mut stats) else {
@@ -221,6 +260,7 @@ fn worker_loop<T: TransitionSystem>(
             while shared.epoch.load(Ordering::Acquire) == seen_epoch
                 && shared.pending.load(Ordering::SeqCst) != 0
                 && !shared.stop.load(Ordering::Relaxed)
+                && shared.interrupt.load(Ordering::Relaxed) == 0
             {
                 spins += 1;
                 if spins < 64 {
@@ -231,11 +271,41 @@ fn worker_loop<T: TransitionSystem>(
             }
             continue;
         };
+        // One control poll per obtained chunk: the batch boundary that
+        // keeps the per-state loop branch-cheap.
+        shared.check_trip(&mut ticks);
 
-        for (state, fp, depth) in &chunk {
+        let mut idx = 0usize;
+        while idx < chunk.len() {
             if shared.stop.load(Ordering::Relaxed) {
                 break;
             }
+            if shared.interrupt.load(Ordering::Relaxed) != 0 {
+                // Drain to a consistent point: admit everything already
+                // buffered, hand off the output chunk, and put the
+                // unprocessed tail of this chunk back on our deque so the
+                // checkpoint frontier sees it.
+                for stripe in 0..scratch.stripes.len() {
+                    if !scratch.stripes[stripe].is_empty() {
+                        flush_stripe(shared, id, stripe, &mut scratch, &mut stats);
+                    }
+                }
+                if !scratch.out_chunk.is_empty() {
+                    let out = std::mem::replace(
+                        &mut scratch.out_chunk,
+                        Vec::with_capacity(shared.chunk_size),
+                    );
+                    shared.push_chunk(id, out);
+                }
+                let rest: Chunk<T> = chunk[idx..].to_vec();
+                if !rest.is_empty() {
+                    shared.push_chunk(id, rest);
+                }
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                break 'main;
+            }
+            let (state, fp, depth) = &chunk[idx];
+            idx += 1;
             stats.expanded += 1;
             // Admission gate: batch-probe the seen-set with successor
             // fingerprints so duplicates are rejected before the system
@@ -279,6 +349,8 @@ fn worker_loop<T: TransitionSystem>(
                     if shared.stop.load(Ordering::Relaxed) {
                         break 'main;
                     }
+                    // A flush is the other batch boundary worth a poll.
+                    shared.check_trip(&mut ticks);
                 }
             }
             scratch.admitted = admitted;
@@ -403,6 +475,34 @@ where
     T: TransitionSystem + Sync,
     T::Label: Send,
 {
+    let (r, ws) = ws_search_controlled(sys, opts, threads, batch, &RunControl::unlimited(), None);
+    match r {
+        ControlledSearch::Finished(r) => (r, ws),
+        ControlledSearch::Interrupted { .. } => {
+            unreachable!("an unlimited RunControl never interrupts")
+        }
+    }
+}
+
+/// Work-stealing search under a [`RunControl`], optionally resuming a
+/// prior [`SearchCheckpoint`]; see the module docs for the interrupt
+/// drain protocol.
+#[allow(clippy::type_complexity)]
+pub fn ws_search_controlled<T>(
+    sys: &T,
+    opts: BfsOptions,
+    threads: usize,
+    batch: usize,
+    ctrl: &RunControl,
+    resume: Option<SearchCheckpoint<T::State, T::Label>>,
+) -> (
+    ControlledSearch<T::State, T::Label, T::Violation>,
+    Vec<WorkerStats>,
+)
+where
+    T: TransitionSystem + Sync,
+    T::Label: Send,
+{
     let _t = scv_telemetry::timer(scv_telemetry::Phase::Search);
     if scv_telemetry::recorder_enabled() {
         scv_telemetry::recorder::set_worker("main");
@@ -410,39 +510,23 @@ where
     let start = Instant::now();
     let threads = threads.max(1);
     let batch = batch.clamp(1, 4096);
-    let fper = Fingerprinter::new();
-
-    let init = sys.initial();
-    if let Some(reason) = sys.violation(&init) {
-        let stats = McStats {
-            states: 1,
-            workers: threads,
-            elapsed: start.elapsed(),
-            ..Default::default()
-        };
-        return (
-            SearchResult::Unsafe(
-                Counterexample {
-                    path: Vec::new(),
-                    reason,
-                },
-                stats,
-            ),
-            vec![WorkerStats::default(); threads],
-        );
-    }
-    let init_fp = fper.fp(&init);
+    let fper = match &resume {
+        Some(ck) => Fingerprinter::from_seeds(ck.seeds),
+        None => Fingerprinter::new(),
+    };
 
     let shared = Shared::<T> {
         sys,
         opts,
+        ctrl,
         seen: StripedSeen::new((threads * 4).max(16)),
         fper,
         queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         pending: AtomicUsize::new(0),
         epoch: AtomicU64::new(0),
         stop: AtomicBool::new(false),
-        states: AtomicU64::new(1),
+        interrupt: AtomicU8::new(0),
+        states: AtomicU64::new(0),
         depth_max: AtomicUsize::new(0),
         state_limited: AtomicBool::new(false),
         depth_limited: AtomicBool::new(false),
@@ -452,24 +536,76 @@ where
         chunk_size: batch,
         batch,
     };
-    shared.seen.insert(init_fp);
-    if opts.max_depth == 0 {
-        // Nothing may be expanded; mirror the level-synchronous verdict.
-        let has_succs = !sys.successors(&init).is_empty();
-        let stats = McStats {
-            states: 1,
-            workers: threads,
-            elapsed: start.elapsed(),
-            ..Default::default()
-        };
-        let result = if has_succs {
-            SearchResult::Bounded(stats)
-        } else {
-            SearchResult::Safe(stats)
-        };
-        return (result, vec![WorkerStats::default(); threads]);
+
+    let init_fp;
+    let mut base_transitions = 0usize;
+    let mut base_parents: ParentLog<T::Label> = Vec::new();
+    match resume {
+        Some(ck) => {
+            init_fp = ck.init_fp;
+            for fp in &ck.seen {
+                shared.seen.insert(*fp);
+            }
+            shared.states.store(ck.states as u64, Ordering::Relaxed);
+            shared.depth_max.store(ck.depth, Ordering::Relaxed);
+            base_transitions = ck.transitions;
+            base_parents = ck.parents;
+            // Re-chunk the saved frontier round-robin across the deques so
+            // every worker starts with local work.
+            let mut w = 0usize;
+            let mut frontier = ck.frontier;
+            while !frontier.is_empty() {
+                let take = frontier.len().min(batch);
+                let chunk: Chunk<T> = frontier.drain(..take).collect();
+                shared.push_chunk(w % threads, chunk);
+                w += 1;
+            }
+        }
+        None => {
+            let init = sys.initial();
+            if let Some(reason) = sys.violation(&init) {
+                let stats = McStats {
+                    states: 1,
+                    workers: threads,
+                    elapsed: start.elapsed(),
+                    ..Default::default()
+                };
+                return (
+                    ControlledSearch::Finished(SearchResult::Unsafe(
+                        Counterexample {
+                            path: Vec::new(),
+                            reason,
+                        },
+                        stats,
+                    )),
+                    vec![WorkerStats::default(); threads],
+                );
+            }
+            init_fp = shared.fper.fp(&init);
+            shared.seen.insert(init_fp);
+            shared.states.store(1, Ordering::Relaxed);
+            if opts.max_depth == 0 {
+                // Nothing may be expanded; mirror the level-synchronous verdict.
+                let has_succs = !sys.successors(&init).is_empty();
+                let stats = McStats {
+                    states: 1,
+                    workers: threads,
+                    elapsed: start.elapsed(),
+                    ..Default::default()
+                };
+                let result = if has_succs {
+                    SearchResult::Bounded(stats)
+                } else {
+                    SearchResult::Safe(stats)
+                };
+                return (
+                    ControlledSearch::Finished(result),
+                    vec![WorkerStats::default(); threads],
+                );
+            }
+            shared.push_chunk(0, vec![(init, init_fp, 0usize)]);
+        }
     }
-    shared.push_chunk(0, vec![(init, init_fp, 0usize)]);
 
     let per_worker: Vec<(WorkerStats, ParentLog<T::Label>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -487,6 +623,7 @@ where
     let mut worker_stats = Vec::with_capacity(threads);
     let mut stats = McStats {
         states: shared.states.load(Ordering::Relaxed) as usize,
+        transitions: base_transitions,
         depth: shared.depth_max.load(Ordering::Relaxed),
         workers: threads,
         peak_frontier: shared.peak_frontier.load(Ordering::Relaxed),
@@ -511,9 +648,15 @@ where
         scv_telemetry::set_gauge("mc.idle_spins", idle as f64);
     }
 
+    // Priority: a found violation or an exceeded scope limit outranks an
+    // interrupt — those are real verdicts, the interrupt is only "stopped
+    // early".
     let found = shared.found.lock().unwrap().take();
     if let Some((bad_fp, reason)) = found {
         let mut parents: HashMap<u128, (u128, T::Label)> = HashMap::new();
+        for (child, parent, label) in base_parents {
+            parents.insert(child, (parent, label));
+        }
         for (_, log) in per_worker {
             for (child, parent, label) in log {
                 parents.insert(child, (parent, label));
@@ -527,18 +670,58 @@ where
         }
         path.reverse();
         return (
-            SearchResult::Unsafe(Counterexample { path, reason }, stats),
+            ControlledSearch::Finished(SearchResult::Unsafe(
+                Counterexample { path, reason },
+                stats,
+            )),
             worker_stats,
         );
     }
     let truncated = shared.state_limited.load(Ordering::Relaxed)
         || shared.depth_limited.load(Ordering::Relaxed);
-    let result = if truncated {
-        SearchResult::Bounded(stats)
-    } else {
-        SearchResult::Safe(stats)
-    };
-    (result, worker_stats)
+    if truncated {
+        return (
+            ControlledSearch::Finished(SearchResult::Bounded(stats)),
+            worker_stats,
+        );
+    }
+    let tripped = shared.interrupt.load(Ordering::Relaxed);
+    if tripped != 0 {
+        // Every worker exited through a consistent point, so the deques
+        // hold exactly the admitted-but-unexpanded states.
+        let mut frontier: Vec<(T::State, u128, usize)> = Vec::new();
+        for q in &shared.queues {
+            for chunk in q.lock().unwrap().drain(..) {
+                frontier.extend(chunk);
+            }
+        }
+        let mut parents = base_parents;
+        for (_, log) in per_worker {
+            parents.extend(log);
+        }
+        let checkpoint = SearchCheckpoint {
+            seeds: shared.fper.seeds(),
+            init_fp,
+            seen: shared.seen.fingerprints(),
+            frontier,
+            parents,
+            states: stats.states,
+            transitions: stats.transitions,
+            depth: stats.depth,
+        };
+        return (
+            ControlledSearch::Interrupted {
+                reason: code_to_reason(tripped),
+                checkpoint,
+                stats,
+            },
+            worker_stats,
+        );
+    }
+    (
+        ControlledSearch::Finished(SearchResult::Safe(stats)),
+        worker_stats,
+    )
 }
 
 /// Work-stealing search (aggregate-stats entry point).
@@ -558,6 +741,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::control::{Budget, CancelToken, InterruptReason};
 
     /// A counter modulo n that "violates" at a designated value (the same
     /// fixture as the mc.rs unit tests).
@@ -671,5 +855,113 @@ mod tests {
         };
         let r = ws_search(&sys, BfsOptions::default(), 3, 16);
         assert!(r.is_safe());
+    }
+
+    /// Interrupt with a state budget at various cut points and thread
+    /// counts, resume, and demand exact verdict + state-count parity with
+    /// a clean run.
+    #[test]
+    fn interrupt_resume_matches_clean_run() {
+        let sys = Counter { n: 977, bad: None };
+        let clean = ws_search(&sys, BfsOptions::default(), 4, 8);
+        assert_eq!(clean.stats().states, 977);
+        for threads in [1usize, 4] {
+            for cut in [2usize, 50, 400, 900] {
+                let ctrl = RunControl::new(&Budget::unlimited().states(cut), CancelToken::new());
+                let (r, _) =
+                    ws_search_controlled(&sys, BfsOptions::default(), threads, 8, &ctrl, None);
+                let ControlledSearch::Interrupted {
+                    reason, checkpoint, ..
+                } = r
+                else {
+                    panic!("budget {cut} must interrupt (threads={threads})");
+                };
+                assert_eq!(reason, InterruptReason::StateBudget);
+                assert_eq!(
+                    checkpoint.seen.len(),
+                    checkpoint.states,
+                    "seen-set matches the admitted count (threads={threads}, cut={cut})"
+                );
+                let (resumed, _) = ws_search_controlled(
+                    &sys,
+                    BfsOptions::default(),
+                    threads,
+                    8,
+                    &RunControl::unlimited(),
+                    Some(checkpoint),
+                );
+                let ControlledSearch::Finished(r2) = resumed else {
+                    panic!("unlimited resume must finish");
+                };
+                assert!(r2.is_safe(), "threads={threads}, cut={cut}");
+                assert_eq!(
+                    r2.stats().states,
+                    977,
+                    "state-count parity (threads={threads}, cut={cut})"
+                );
+            }
+        }
+    }
+
+    /// A violation beyond the interrupt point is still found after
+    /// resuming, and the merged (base + new) parent logs replay.
+    #[test]
+    fn resume_finds_violation_past_cut() {
+        let sys = Counter {
+            n: 977,
+            bad: Some(955),
+        };
+        let ctrl = RunControl::new(&Budget::unlimited().states(100), CancelToken::new());
+        let (r, _) = ws_search_controlled(&sys, BfsOptions::default(), 3, 8, &ctrl, None);
+        let ControlledSearch::Interrupted { checkpoint, .. } = r else {
+            panic!("expected interrupt");
+        };
+        let (resumed, _) = ws_search_controlled(
+            &sys,
+            BfsOptions::default(),
+            3,
+            8,
+            &RunControl::unlimited(),
+            Some(checkpoint),
+        );
+        let ControlledSearch::Finished(SearchResult::Unsafe(ce, _)) = resumed else {
+            panic!("resume must find the violation");
+        };
+        assert_eq!(
+            replay(&ce.path, 977),
+            955,
+            "path must replay to the bad state"
+        );
+    }
+
+    /// A pre-cancelled token interrupts before any expansion and the
+    /// checkpoint carries the full (singleton) frontier.
+    #[test]
+    fn cancel_interrupts_and_checkpoint_is_resumable() {
+        let sys = Counter { n: 977, bad: None };
+        let token = CancelToken::new();
+        token.cancel();
+        let ctrl = RunControl::new(&Budget::unlimited(), token);
+        let (r, _) = ws_search_controlled(&sys, BfsOptions::default(), 2, 8, &ctrl, None);
+        let ControlledSearch::Interrupted {
+            reason, checkpoint, ..
+        } = r
+        else {
+            panic!("expected interrupt");
+        };
+        assert_eq!(reason, InterruptReason::Cancelled);
+        let (resumed, _) = ws_search_controlled(
+            &sys,
+            BfsOptions::default(),
+            2,
+            8,
+            &RunControl::unlimited(),
+            Some(checkpoint),
+        );
+        let ControlledSearch::Finished(r2) = resumed else {
+            panic!("resume must finish");
+        };
+        assert!(r2.is_safe());
+        assert_eq!(r2.stats().states, 977);
     }
 }

@@ -32,6 +32,8 @@ fn verdict(out: &Outcome) -> &'static str {
         Outcome::Verified { .. } => "Verified",
         Outcome::Violation { .. } => "Violation",
         Outcome::Bounded { .. } => "Bounded",
+        // No budget/cancel is configured here, so this can't occur.
+        Outcome::Inconclusive { .. } => "Inconclusive",
     }
 }
 

@@ -9,7 +9,11 @@
 //! here for every `ScErrorKind` variant in both rejection stages.
 
 use scv_checker::{ScError, ScErrorKind};
-use scv_mc::{BfsOptions, RejectReason, SearchStrategy, SymmetryMode, VerifyOptions};
+use scv_mc::{
+    BfsOptions, Budget, CancelToken, Coverage, InterruptReason, RejectReason, SearchStrategy,
+    SymmetryMode, VerifyOptions,
+};
+use std::time::Duration;
 
 /// Every `ScErrorKind` variant, exactly once. A new variant shows up as a
 /// non-exhaustive-match compile error in `kind_name`, which forces this
@@ -156,7 +160,77 @@ fn verify_options_defaults() {
         assert_eq!(opts.strategy, SearchStrategy::default());
         assert_eq!(opts.batch_size, 128);
         assert!(matches!(opts.symmetry, SymmetryMode::Off));
+        // Run control defaults: no budget, fresh token, no checkpointing.
+        assert!(opts.budget.is_unlimited());
+        assert!(!opts.cancel.is_cancelled());
+        assert_eq!(opts.checkpoint_every, None);
+        assert_eq!(opts.checkpoint_path, None);
+        assert_eq!(opts.resume_from, None);
     }
+}
+
+#[test]
+fn run_control_builders_touch_only_their_field() {
+    let base = VerifyOptions::new();
+
+    let opts = VerifyOptions::new().budget(Budget::unlimited().states(5_000));
+    assert_eq!(opts.budget.max_states, Some(5_000));
+    assert_eq!(opts.budget.deadline, None);
+    assert_eq!(opts.bfs.max_states, base.bfs.max_states);
+
+    // `timeout` composes with an existing budget instead of replacing it.
+    let opts = VerifyOptions::new()
+        .budget(Budget::unlimited().states(5_000))
+        .timeout(Duration::from_secs(9));
+    assert_eq!(opts.budget.max_states, Some(5_000));
+    assert_eq!(opts.budget.deadline, Some(Duration::from_secs(9)));
+
+    let token = CancelToken::new();
+    let opts = VerifyOptions::new().cancel_token(token.clone());
+    token.cancel();
+    assert!(
+        opts.cancel.is_cancelled(),
+        "token must be shared, not copied"
+    );
+
+    let opts = VerifyOptions::new()
+        .checkpoint_every(Duration::from_secs(30))
+        .checkpoint_to("/tmp/a.ckpt")
+        .resume_from("/tmp/b.ckpt");
+    assert_eq!(opts.checkpoint_every, Some(Duration::from_secs(30)));
+    assert_eq!(
+        opts.checkpoint_path.as_deref(),
+        Some("/tmp/a.ckpt".as_ref())
+    );
+    assert_eq!(opts.resume_from.as_deref(), Some("/tmp/b.ckpt".as_ref()));
+    assert_eq!(opts.threads, base.threads);
+}
+
+#[test]
+fn budget_builders_and_display_pins() {
+    let b = Budget::unlimited()
+        .deadline(Duration::from_secs(2))
+        .states(123)
+        .memory_bytes(1 << 20);
+    assert_eq!(b.deadline, Some(Duration::from_secs(2)));
+    assert_eq!(b.max_states, Some(123));
+    assert_eq!(b.max_rss_bytes, Some(1 << 20));
+    assert!(Budget::default().is_unlimited());
+
+    // Interrupt reasons and coverage render stably (the CLI prints both).
+    assert_eq!(InterruptReason::Cancelled.to_string(), "cancelled");
+    assert_eq!(InterruptReason::Deadline.to_string(), "wall-clock deadline");
+    assert_eq!(InterruptReason::StateBudget.to_string(), "state budget");
+    assert_eq!(InterruptReason::MemoryBudget.to_string(), "memory budget");
+    let cov = Coverage {
+        explored: 10,
+        frontier: 2,
+        depth: 3,
+    };
+    assert_eq!(
+        cov.to_string(),
+        "10 states explored, 2 in frontier, depth 3"
+    );
 }
 
 #[test]

@@ -71,10 +71,18 @@ pub enum Metric {
     /// Bytes frozen into per-worker encoding arenas (admitted states'
     /// interned canonical encodings).
     McArenaAllocBytes,
+    /// Bytes written to on-disk search checkpoints (cumulative across
+    /// snapshots).
+    McCheckpointBytes,
+    /// Runs interrupted by a tripped [`Budget`] or cancel token — each one
+    /// ended in an `Inconclusive` outcome instead of a verdict.
+    ///
+    /// [`Budget`]: https://docs.rs/scv-mc (run-control module)
+    McBudgetTrips,
 }
 
 /// All metrics, in declaration order (keep in sync with [`Metric`]).
-pub const ALL_METRICS: [Metric; 23] = [
+pub const ALL_METRICS: [Metric; 25] = [
     Metric::McStatesAdmitted,
     Metric::McTransitions,
     Metric::McStatesExpanded,
@@ -98,6 +106,8 @@ pub const ALL_METRICS: [Metric; 23] = [
     Metric::SealCacheHits,
     Metric::SealCacheMisses,
     Metric::McArenaAllocBytes,
+    Metric::McCheckpointBytes,
+    Metric::McBudgetTrips,
 ];
 
 impl Metric {
@@ -127,6 +137,8 @@ impl Metric {
             Metric::SealCacheHits => "symmetry.seal_cache_hits",
             Metric::SealCacheMisses => "symmetry.seal_cache_misses",
             Metric::McArenaAllocBytes => "mc.arena_alloc_bytes",
+            Metric::McCheckpointBytes => "mc.checkpoint_bytes",
+            Metric::McBudgetTrips => "mc.budget_trips",
         }
     }
 }

@@ -64,16 +64,19 @@ pub enum InstantKind {
     SealCacheMiss,
     /// The SC checker rejected (`arg` = symbol position).
     CheckerReject,
+    /// Wrote an on-disk search checkpoint (`arg` = snapshot bytes).
+    Checkpoint,
 }
 
 /// All instant kinds, in declaration order.
-pub const ALL_INSTANT_KINDS: [InstantKind; 6] = [
+pub const ALL_INSTANT_KINDS: [InstantKind; 7] = [
     InstantKind::Steal,
     InstantKind::Idle,
     InstantKind::AdmissionBatch,
     InstantKind::SealCacheHit,
     InstantKind::SealCacheMiss,
     InstantKind::CheckerReject,
+    InstantKind::Checkpoint,
 ];
 
 impl InstantKind {
@@ -86,6 +89,7 @@ impl InstantKind {
             InstantKind::SealCacheHit => "symmetry.seal_cache_hit",
             InstantKind::SealCacheMiss => "symmetry.seal_cache_miss",
             InstantKind::CheckerReject => "checker.reject",
+            InstantKind::Checkpoint => "mc.checkpoint",
         }
     }
 }

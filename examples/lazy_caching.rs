@@ -114,12 +114,14 @@ fn main() {
 
     println!("\n=== 3. Model checking (bounded) ===\n");
     let small = LazyCaching::new(Params::new(2, 1, 1), 1, 1);
-    let outcome = verify_protocol(small, VerifyOptions::new().max_states(150_000));
+    let outcome = Verifier::new(small).max_states(150_000).run();
     let s = outcome.stats();
     let verdict = match &outcome {
         Outcome::Verified { .. } => "VERIFIED (exhaustive)",
         Outcome::Bounded { .. } => "SAFE within the state cap",
         Outcome::Violation { .. } => "VIOLATION",
+        // Unreachable here: no budget or cancellation is configured.
+        Outcome::Inconclusive { .. } => "INTERRUPTED",
     };
     println!(
         "lazy-caching (2,1,1) qo=1 qi=1: {verdict} — {} states, {} transitions, {:?}",

@@ -34,6 +34,9 @@ fn report(name: &str, outcome: &Outcome) {
             "  {name:<22} BOUNDED (limit)   {:>8} states explored",
             s.states
         ),
+        Outcome::Inconclusive {
+            reason, coverage, ..
+        } => println!("  {name:<22} INTERRUPTED ({reason}) {coverage}"),
     }
 }
 
@@ -43,37 +46,56 @@ fn main() {
     println!("Verifying protocols (p = processors, b = blocks, v = values):");
     println!();
 
-    let cap = |n: usize| VerifyOptions::new().max_states(n);
-
     // The smallest serial memory: exhaustively VERIFIED (the product
     // space converges at roughly 120k states).
-    let outcome = verify_protocol(SerialMemory::new(Params::new(2, 1, 1)), cap(400_000));
+    let outcome = Verifier::new(SerialMemory::new(Params::new(2, 1, 1)))
+        .max_states(400_000)
+        .run();
     report("serial-memory (2,1,1)", &outcome);
     assert!(outcome.is_verified());
 
     // A correct MSI protocol: larger products (millions of states — see
     // DESIGN.md) are explored up to a cap; a correct protocol never
     // produces a violation, bounded or not.
-    let outcome = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), cap(150_000));
+    let outcome = Verifier::new(MsiProtocol::new(Params::new(2, 1, 2)))
+        .max_states(150_000)
+        .run();
     report("msi (2,1,2)", &outcome);
     assert!(!matches!(outcome, Outcome::Violation { .. }));
 
     // MESI with silent E->M upgrades: likewise safe within the cap.
-    let outcome = verify_protocol(MesiProtocol::new(Params::new(2, 1, 2)), cap(150_000));
+    let outcome = Verifier::new(MesiProtocol::new(Params::new(2, 1, 2)))
+        .max_states(150_000)
+        .run();
     report("mesi (2,1,2)", &outcome);
     assert!(!matches!(outcome, Outcome::Violation { .. }));
 
     // MSI with a lost invalidation: NOT SC — the model checker returns a
     // shortest violating run whose trace genuinely has no serial
     // reordering.
-    let outcome = verify_protocol(MsiProtocol::buggy(Params::new(2, 2, 1)), cap(2_000_000));
+    let outcome = Verifier::new(MsiProtocol::buggy(Params::new(2, 2, 1)))
+        .max_states(2_000_000)
+        .run();
     report("msi-buggy (2,2,1)", &outcome);
     assert!(!outcome.is_verified());
 
     // A TSO store buffer: the store-buffering litmus violates SC.
-    let outcome = verify_protocol(StoreBufferTso::new(Params::new(2, 2, 1), 1), cap(2_000_000));
+    let outcome = Verifier::new(StoreBufferTso::new(Params::new(2, 2, 1), 1))
+        .max_states(2_000_000)
+        .run();
     report("store-buffer (2,2,1)", &outcome);
     assert!(!outcome.is_verified());
+
+    // Run control: a wall-clock deadline turns an over-budget search into
+    // an INCONCLUSIVE verdict with coverage, instead of an open-ended
+    // wait. Pair it with a checkpoint path and the run is resumable (see
+    // `scv verify --timeout --checkpoint --resume`).
+    let outcome = Verifier::new(MsiProtocol::new(Params::new(2, 1, 2)))
+        .max_states(50_000_000)
+        .timeout(std::time::Duration::from_millis(50))
+        .run();
+    report("msi (50ms deadline)", &outcome);
+    assert!(outcome.is_inconclusive());
 
     println!();
     println!("Done. A VERIFIED protocol has a finite-state witness observer,");

@@ -4,6 +4,11 @@
 //! scv verify <protocol> [-p N] [-b N] [-v N] [--threads N] [--max-states N]
 //!                       [--strategy ws|level-sync] [--batch N]
 //!                       [--symmetry off|proc|full] [--expand lazy|eager]
+//!                       [--timeout SECS] [--checkpoint PATH]
+//!                       [--checkpoint-every SECS] [--resume PATH]
+//!                       # --timeout trips to an Inconclusive verdict (exit 3)
+//!                       # with coverage; --checkpoint + --resume make
+//!                       # interrupted runs restartable with identical results
 //! scv observe <protocol> [--steps N] [--seed N]     # one random run's descriptor
 //! scv monitor <protocol> [--steps N] [--seed N]     # §5 runtime testing mode
 //! scv trace <protocol> [--out trace.json] [verify flags]
@@ -41,6 +46,7 @@ use sc_verify::prelude::*;
 use sc_verify::telemetry;
 use sc_verify::testing::{MonitorStep, RunMonitor};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
     p: u8,
@@ -57,6 +63,10 @@ struct Args {
     progress: bool,
     out: Option<String>,
     dot: Option<String>,
+    timeout: Option<Duration>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<Duration>,
+    resume: Option<String>,
 }
 
 impl Args {
@@ -76,6 +86,10 @@ impl Args {
             progress: false,
             out: None,
             dot: None,
+            timeout: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            resume: None,
         };
         let mut it = rest.iter();
         while let Some(flag) = it.next() {
@@ -105,6 +119,39 @@ impl Args {
                 "--steps" => a.steps = val("--steps")? as usize,
                 "--seed" => a.seed = val("--seed")?,
                 "--progress" => a.progress = true,
+                "--timeout" | "--checkpoint-every" => {
+                    // Fractional seconds are accepted: CI smoke runs use
+                    // sub-second deadlines to interrupt tiny searches.
+                    let name = flag.as_str();
+                    let secs = it
+                        .next()
+                        .ok_or_else(|| format!("{name} needs a value (seconds)"))?
+                        .parse::<f64>()
+                        .map_err(|e| format!("{name}: {e}"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(format!("{name}: seconds must be finite and non-negative"));
+                    }
+                    let d = Duration::from_secs_f64(secs);
+                    if name == "--timeout" {
+                        a.timeout = Some(d);
+                    } else {
+                        a.checkpoint_every = Some(d);
+                    }
+                }
+                "--checkpoint" => {
+                    a.checkpoint = Some(
+                        it.next()
+                            .ok_or("--checkpoint needs a path".to_string())?
+                            .clone(),
+                    );
+                }
+                "--resume" => {
+                    a.resume = Some(
+                        it.next()
+                            .ok_or("--resume needs a path".to_string())?
+                            .clone(),
+                    );
+                }
                 "--out" => {
                     a.out = Some(it.next().ok_or("--out needs a path".to_string())?.clone());
                 }
@@ -158,6 +205,31 @@ impl Args {
 
     fn params(&self) -> Params {
         Params::new(self.p, self.b, self.v)
+    }
+
+    /// Search + run-control options shared by `verify`, `trace`, and
+    /// `explain`.
+    fn verify_options(&self) -> VerifyOptions {
+        let mut o = VerifyOptions::new()
+            .max_states(self.max_states)
+            .threads(self.threads)
+            .strategy(self.strategy)
+            .batch_size(self.batch)
+            .symmetry(self.symmetry)
+            .lazy(self.lazy);
+        if let Some(d) = self.timeout {
+            o = o.timeout(d);
+        }
+        if let Some(d) = self.checkpoint_every {
+            o = o.checkpoint_every(d);
+        }
+        if let Some(p) = &self.checkpoint {
+            o = o.checkpoint_to(p);
+        }
+        if let Some(p) = &self.resume {
+            o = o.resume_from(p);
+        }
+        o
     }
 }
 
@@ -455,6 +527,9 @@ fn run(argv: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.checkpoint_every.is_some() && args.checkpoint.is_none() {
+        eprintln!("warning: --checkpoint-every has no effect without --checkpoint PATH");
+    }
     let _ = with_protocol::<()>; // keep the helper referenced
 
     match cmd.as_str() {
@@ -488,54 +563,26 @@ fn run(argv: &[String]) -> ExitCode {
                     ],
                 });
             }
-            let proto_label = p.name().to_string();
             let ticker = args.progress.then(|| {
                 telemetry::start_progress(telemetry::ProgressOptions {
                     target_states: Some(args.max_states as u64),
                     ..Default::default()
                 })
             });
-            let out = verify_protocol(
-                p,
-                VerifyOptions::new()
-                    .max_states(args.max_states)
-                    .threads(args.threads)
-                    .strategy(args.strategy)
-                    .batch_size(args.batch)
-                    .symmetry(args.symmetry)
-                    .lazy(args.lazy),
-            );
+            // The facade owns the RunReport (params, verdict, metrics), so
+            // the CLI only adds the RunStart event and the summary lines.
+            let run = Verifier::with_options(p, args.verify_options()).run_controlled();
             if let Some(t) = ticker {
                 t.stop();
             }
-            let s = out.stats();
-            if telemetry::enabled() {
-                let mut report = telemetry::RunReport::new(format!("verify/{proto_label}"))
-                    .param("protocol", &proto_label)
-                    .param("p", args.p.to_string())
-                    .param("b", args.b.to_string())
-                    .param("v", args.v.to_string())
-                    .param("threads", args.threads.to_string())
-                    .param("strategy", format!("{:?}", args.strategy))
-                    .param("batch", args.batch.to_string())
-                    .param("max_states", args.max_states.to_string())
-                    .param("symmetry", format!("{:?}", args.symmetry))
-                    .param("expand", if args.lazy { "lazy" } else { "eager" })
-                    .with_verdict(verdict_str(&out))
-                    .metric("states", s.states as f64)
-                    .metric("transitions", s.transitions as f64)
-                    .metric("depth", s.depth as f64)
-                    .metric("elapsed_secs", s.elapsed.as_secs_f64())
-                    .metric("states_per_sec", s.states_per_sec())
-                    .metric("peak_frontier", s.peak_frontier as f64)
-                    .metric("steals", s.steals as f64)
-                    .metric("seen_batches", s.seen_batches as f64);
-                // Omitted (not zero) when the platform can't report it.
-                if let Some(rss) = telemetry::peak_rss_bytes() {
-                    report = report.metric("peak_rss_bytes", rss as f64);
+            let out = match run {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("error: checkpoint: {e}");
+                    return ExitCode::from(2);
                 }
-                telemetry::emit_report(report);
-            }
+            };
+            let s = out.stats();
             match out {
                 Outcome::Verified { .. } => {
                     println!(
@@ -570,6 +617,21 @@ fn run(argv: &[String]) -> ExitCode {
                     );
                     ExitCode::from(3)
                 }
+                Outcome::Inconclusive {
+                    reason, coverage, ..
+                } => {
+                    println!("INCONCLUSIVE: interrupted by {reason} ({coverage})");
+                    match &args.checkpoint {
+                        Some(path) => println!(
+                            "checkpoint written; resume with: scv verify {proto_name} --resume {path}"
+                        ),
+                        None => println!(
+                            "no checkpoint was requested; pass --checkpoint PATH to make \
+                             interrupted runs resumable"
+                        ),
+                    }
+                    ExitCode::from(3)
+                }
             }
         }),
         "trace" => dispatch!(proto_name, args.params(), |p| {
@@ -590,19 +652,18 @@ fn run(argv: &[String]) -> ExitCode {
                     ..Default::default()
                 })
             });
-            let out = verify_protocol(
-                p,
-                VerifyOptions::new()
-                    .max_states(args.max_states)
-                    .threads(args.threads)
-                    .strategy(args.strategy)
-                    .batch_size(args.batch)
-                    .symmetry(args.symmetry)
-                    .lazy(args.lazy),
-            );
+            let run = Verifier::with_options(p, args.verify_options()).run_controlled();
             if let Some(t) = ticker {
                 t.stop();
             }
+            let out = match run {
+                Ok(out) => out,
+                Err(e) => {
+                    telemetry::recorder::recorder_stop();
+                    eprintln!("error: checkpoint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
             telemetry::recorder::recorder_stop();
             let timelines = telemetry::recorder::drain();
             let s = out.stats();
@@ -630,7 +691,11 @@ fn run(argv: &[String]) -> ExitCode {
                 s.elapsed
             );
             match out {
-                Outcome::Verified { .. } | Outcome::Bounded { .. } => ExitCode::SUCCESS,
+                // An interrupted search still wrote a useful trace, so an
+                // Inconclusive verdict is not a trace-command failure.
+                Outcome::Verified { .. }
+                | Outcome::Bounded { .. }
+                | Outcome::Inconclusive { .. } => ExitCode::SUCCESS,
                 Outcome::Violation { .. } => ExitCode::FAILURE,
             }
         }),
@@ -643,16 +708,14 @@ fn run(argv: &[String]) -> ExitCode {
                 args.v,
                 args.max_states
             );
-            let out = verify_protocol(
-                p.clone(),
-                VerifyOptions::new()
-                    .max_states(args.max_states)
-                    .threads(args.threads)
-                    .strategy(args.strategy)
-                    .batch_size(args.batch)
-                    .symmetry(args.symmetry)
-                    .lazy(args.lazy),
-            );
+            let out =
+                match Verifier::with_options(p.clone(), args.verify_options()).run_controlled() {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("error: checkpoint: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
             match out {
                 Outcome::Violation { run, .. } => match explain_violation(&p, &run) {
                     Ok(ex) => {
@@ -689,6 +752,12 @@ fn run(argv: &[String]) -> ExitCode {
                         "nothing to explain: no violation within {} states; raise --max-states",
                         stats.states
                     );
+                    ExitCode::from(3)
+                }
+                Outcome::Inconclusive {
+                    reason, coverage, ..
+                } => {
+                    println!("nothing to explain: interrupted by {reason} ({coverage})");
                     ExitCode::from(3)
                 }
             }

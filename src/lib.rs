@@ -85,8 +85,8 @@ pub mod prelude {
         has_serial_reordering, validate_constraint_graph, ConstraintGraph, EdgeSet,
     };
     pub use scv_mc::{
-        verify_protocol, verify_system, BfsOptions, McStats, Outcome, RejectReason, SearchStrategy,
-        SymmetryMode, VerifyOptions, VerifySystem,
+        verify_protocol, BfsOptions, Budget, CancelToken, Coverage, InterruptReason, McStats,
+        Outcome, RejectReason, SearchStrategy, SymmetryMode, VerifyOptions, VerifySystem,
     };
     pub use scv_observer::{observer_size_bound, Observer, ObserverConfig};
     pub use scv_protocol::{

@@ -20,8 +20,13 @@
 //! assert!(!matches!(outcome, Outcome::Violation { .. }));
 //! ```
 
-use scv_mc::{verify_system, Outcome, SearchStrategy, SymmetryMode, VerifyOptions, VerifySystem};
+use scv_mc::{
+    Budget, CancelToken, CheckpointError, Outcome, SearchStrategy, SymmetryMode, VerifyOptions,
+    VerifySystem,
+};
 use scv_protocol::Symmetry;
+use std::path::PathBuf;
+use std::time::Duration;
 
 pub use scv_mc::RejectReason;
 
@@ -33,6 +38,7 @@ pub fn verdict_str(out: &Outcome) -> &'static str {
         Outcome::Verified { .. } => "verified",
         Outcome::Violation { .. } => "violation",
         Outcome::Bounded { .. } => "bounded",
+        Outcome::Inconclusive { .. } => "inconclusive",
     }
 }
 
@@ -112,26 +118,83 @@ where
         self
     }
 
+    /// Resource budget (wall clock, admitted states, resident memory).
+    /// Tripping yields [`Outcome::Inconclusive`] rather than `Bounded`.
+    pub fn budget(mut self, b: Budget) -> Self {
+        self.options = self.options.budget(b);
+        self
+    }
+
+    /// Wall-clock deadline, measured from the start of the run.
+    pub fn timeout(mut self, d: Duration) -> Self {
+        self.options = self.options.timeout(d);
+        self
+    }
+
+    /// Cooperative cancellation token polled at admission boundaries.
+    pub fn cancel_token(mut self, t: CancelToken) -> Self {
+        self.options = self.options.cancel_token(t);
+        self
+    }
+
+    /// Write a checkpoint this often (requires [`Verifier::checkpoint_to`]).
+    pub fn checkpoint_every(mut self, d: Duration) -> Self {
+        self.options = self.options.checkpoint_every(d);
+        self
+    }
+
+    /// Where periodic and budget-trip checkpoints are written.
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.options = self.options.checkpoint_to(path);
+        self
+    }
+
+    /// Resume from a checkpoint file instead of starting fresh.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.options = self.options.resume_from(path);
+        self
+    }
+
     /// Build the product system and run the search to an [`Outcome`].
+    ///
+    /// Panics if checkpoint I/O fails or a resume file does not match the
+    /// system; [`Verifier::run_controlled`] surfaces those as errors.
     ///
     /// With telemetry installed, one `RunReport` named
     /// `verify/<protocol>` is emitted with the verdict and search stats.
     pub fn run(self) -> Outcome {
+        match self.run_controlled() {
+            Ok(out) => out,
+            Err(e) => panic!("checkpoint error (use run_controlled to handle): {e}"),
+        }
+    }
+
+    /// Build the product system and run the search, surfacing checkpoint
+    /// errors (I/O failures, corrupt or mismatched resume files) instead
+    /// of panicking.
+    ///
+    /// This is the blessed entry point for run-controlled verification:
+    /// budgets, cancellation, periodic checkpointing, and resume all pass
+    /// through here, and the emitted `RunReport` carries the interrupt
+    /// reason and coverage for inconclusive runs.
+    pub fn run_controlled(self) -> Result<Outcome, CheckpointError> {
         let name = self.protocol.name().to_string();
         let params = self.protocol.params();
-        let mut system = VerifySystem::with_symmetry(self.protocol, self.options.symmetry);
-        system.set_lazy(self.options.lazy);
-        let out = verify_system(&system, self.options);
+        let system = VerifySystem::with_symmetry(self.protocol, self.options.symmetry)
+            .lazy(self.options.lazy);
+        let out = system.try_search(&self.options)?;
         if scv_telemetry::enabled() {
             let s = out.stats();
             let verdict = verdict_str(&out);
-            let report = scv_telemetry::RunReport::new(format!("verify/{name}"))
+            let mut report = scv_telemetry::RunReport::new(format!("verify/{name}"))
                 .param("protocol", &name)
                 .param("p", params.p.to_string())
                 .param("b", params.b.to_string())
                 .param("v", params.v.to_string())
                 .param("threads", self.options.threads.to_string())
                 .param("strategy", format!("{:?}", self.options.strategy))
+                .param("batch", self.options.batch_size.to_string())
+                .param("max_states", self.options.bfs.max_states.to_string())
                 .param("symmetry", format!("{:?}", self.options.symmetry))
                 .param("symmetry_group", system.symmetry_group_order().to_string())
                 .param("expand", if self.options.lazy { "lazy" } else { "eager" })
@@ -140,10 +203,25 @@ where
                 .metric("transitions", s.transitions as f64)
                 .metric("depth", s.depth as f64)
                 .metric("elapsed_secs", s.elapsed.as_secs_f64())
-                .metric("states_per_sec", s.states_per_sec());
+                .metric("states_per_sec", s.states_per_sec())
+                .metric("peak_frontier", s.peak_frontier as f64)
+                .metric("steals", s.steals as f64)
+                .metric("seen_batches", s.seen_batches as f64);
+            // Omitted (not zero) when the platform can't report it.
+            if let Some(rss) = scv_telemetry::peak_rss_bytes() {
+                report = report.metric("peak_rss_bytes", rss as f64);
+            }
+            if let Outcome::Inconclusive {
+                reason, coverage, ..
+            } = &out
+            {
+                report = report
+                    .param("interrupt", reason.to_string())
+                    .metric("frontier", coverage.frontier as f64);
+            }
             scv_telemetry::emit_report(report);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -168,10 +246,30 @@ mod tests {
     #[test]
     fn facade_matches_verify_protocol() {
         let opts = VerifyOptions::new().max_states(3_000);
-        let via_facade = Verifier::with_options(MsiProtocol::new(Params::new(2, 1, 2)), opts).run();
+        let via_facade =
+            Verifier::with_options(MsiProtocol::new(Params::new(2, 1, 2)), opts.clone()).run();
         let direct = scv_mc::verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), opts);
         assert_eq!(via_facade.stats().states, direct.stats().states);
         assert!(matches!(via_facade, Outcome::Bounded { .. }));
+    }
+
+    #[test]
+    fn run_controlled_surfaces_inconclusive_runs() {
+        let out = Verifier::new(MsiProtocol::new(Params::new(2, 1, 2)))
+            .max_states(100_000)
+            .budget(Budget::unlimited().states(500))
+            .run_controlled()
+            .unwrap();
+        assert_eq!(verdict_str(&out), "inconclusive");
+        let cov = out.coverage().unwrap();
+        assert!(cov.explored >= 500);
+
+        // A bad resume path is an error, not a panic.
+        let err = Verifier::new(MsiProtocol::new(Params::new(2, 1, 2)))
+            .resume_from("/nonexistent/scv.ckpt")
+            .run_controlled()
+            .unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
     }
 
     #[test]

@@ -65,6 +65,8 @@ fn verdict(out: &Outcome) -> &'static str {
         Outcome::Verified { .. } => "Verified",
         Outcome::Violation { .. } => "Violation",
         Outcome::Bounded { .. } => "Bounded",
+        // No budget or cancellation is configured in these tests.
+        Outcome::Inconclusive { .. } => "Inconclusive",
     }
 }
 

@@ -46,6 +46,8 @@ fn verdict(out: &Outcome) -> &'static str {
         Outcome::Verified { .. } => "Verified",
         Outcome::Violation { .. } => "Violation",
         Outcome::Bounded { .. } => "Bounded",
+        // No budget or cancellation is configured in these tests.
+        Outcome::Inconclusive { .. } => "Inconclusive",
     }
 }
 
@@ -235,7 +237,7 @@ fn facade_and_free_function_agree_under_symmetry() {
     let o = VerifyOptions::new()
         .max_states(6_000)
         .symmetry(SymmetryMode::Full);
-    let direct = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), o);
+    let direct = verify_protocol(MsiProtocol::new(Params::new(2, 1, 2)), o.clone());
     let facade = Verifier::with_options(MsiProtocol::new(Params::new(2, 1, 2)), o).run();
     assert_eq!(verdict(&direct), verdict(&facade));
     assert_eq!(direct.stats().states, facade.stats().states);
