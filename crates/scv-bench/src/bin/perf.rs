@@ -63,6 +63,7 @@ fn sym_tag(m: SymmetryMode) -> &'static str {
         SymmetryMode::Off => "off",
         SymmetryMode::Proc => "proc",
         SymmetryMode::Full => "full",
+        SymmetryMode::FullEnum => "full-enum",
     }
 }
 
@@ -211,12 +212,17 @@ fn main() {
                             );
                         }
                         // Counter movement attributable to the lazy run:
-                        // clones avoided, seal-cache traffic, arena bytes.
+                        // clones avoided, seal-cache traffic, arena bytes,
+                        // and the canonicalizer's fast-path/fallback split.
                         for key in [
                             "mc.clones_avoided",
                             "mc.arena_alloc_bytes",
                             "symmetry.seal_cache_hits",
                             "symmetry.seal_cache_misses",
+                            "symmetry.seal_cache_l2_hits",
+                            "symmetry.seal_cache_l2_misses",
+                            "symmetry.refine_exact",
+                            "symmetry.residual_enum",
                         ] {
                             let old = before
                                 .iter()

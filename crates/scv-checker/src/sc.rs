@@ -632,6 +632,19 @@ impl ScChecker {
         self.encode_canonical(out, ids, None);
     }
 
+    /// Stream [`ScChecker::canonical_encoding`] (optionally renamed
+    /// through `view`) into an arbitrary [`scv_descriptor::EncSink`] —
+    /// e.g. an incremental lexicographic comparator that aborts the walk
+    /// at the first losing word during orbit-minimum canonicalization.
+    pub fn canonical_encoding_into<S: scv_descriptor::EncSink>(
+        &self,
+        out: &mut S,
+        ids: &mut scv_descriptor::IdCanon<'_>,
+        view: Option<&scv_descriptor::SymView<'_>>,
+    ) {
+        self.encode_canonical(out, ids, view);
+    }
+
     /// [`ScChecker::canonical_encoding`] as it would read after renaming
     /// every processor/block/value identity through `view` — emits exactly
     /// the sequence the renamed checker would emit. `ids` must be the same
@@ -647,13 +660,29 @@ impl ScChecker {
         self.encode_canonical(out, ids, Some(view));
     }
 
-    fn encode_canonical(
+    fn encode_canonical<S: scv_descriptor::EncSink>(
         &self,
-        out: &mut Vec<u64>,
+        out: &mut S,
         ids: &mut scv_descriptor::IdCanon<'_>,
         view: Option<&scv_descriptor::SymView<'_>>,
     ) {
         use scv_types::{BlockId, ProcId, Value};
+        // Abort the walk the moment the sink refuses a word (see
+        // `EncSink::word`); partial output is discarded by the sink.
+        macro_rules! emit {
+            ($w:expr) => {
+                if !out.word($w) {
+                    return;
+                }
+            };
+        }
+        macro_rules! emit_all {
+            ($ws:expr) => {
+                if !out.words($ws) {
+                    return;
+                }
+            };
+        }
         // Identity renamings for labels/tallies; the sorts below restore
         // the renamed structure's emission order.
         let re_p = |p: u8| view.map_or(p, |v| v.perm.proc(ProcId(p)).0);
@@ -700,7 +729,7 @@ impl ScChecker {
                 r
             })
         };
-        out.push(retained.len() as u64);
+        emit!(retained.len() as u64);
         // Owner table keyed by canonical ID (location IDs are fixed
         // points; auxiliary IDs were renamed by the observer's encoding).
         let mut owners: Vec<(u64, u64)> = self
@@ -711,10 +740,10 @@ impl ScChecker {
             .map(|(id, h)| (ids.canon(id), tok(Some(h))))
             .collect();
         owners.sort_unstable();
-        out.push(owners.len() as u64);
+        emit!(owners.len() as u64);
         for (id, t) in owners {
-            out.push(id);
-            out.push(t);
+            emit!(id);
+            emit!(t);
         }
         // Per-record emission buffers, reused across the record walk.
         let mut bf: Vec<u64> = Vec::new();
@@ -732,13 +761,13 @@ impl ScChecker {
             } else {
                 r.label.value.0 as u64
             };
-            out.push(
+            emit!(
                 (re_p(r.label.proc.0) as u64) << 24
                     | (re_b(r.label.block.0) as u64) << 16
                     | re_v(value) << 8
-                    | r.is_store() as u64,
+                    | r.is_store() as u64
             );
-            out.push(
+            emit!(
                 (r.id_count as u64) << 16
                     | (r.po_in as u64)
                     | (r.po_out as u64) << 1
@@ -754,27 +783,27 @@ impl ScChecker {
                         None => 0u64,
                         Some(false) => 1,
                         Some(true) => 2,
-                    }) << 10,
+                    }) << 10
             );
-            out.push(tok(r.forced_target));
-            out.push(tok(r.sto_succ));
+            emit!(tok(r.forced_target));
+            emit!(tok(r.sto_succ));
             bf.clear();
             bf.extend(r.bot_forced.iter().map(|&x| tok(Some(x))));
             bf.sort_unstable();
-            out.push(bf.len() as u64);
-            out.extend_from_slice(&bf);
+            emit!(bf.len() as u64);
+            emit_all!(&bf);
             heirs.clear();
             heirs.extend(r.heirs.iter().map(|&(p, x)| (re_p(p), tok(Some(x)))));
             heirs.sort_unstable();
-            out.push(heirs.len() as u64);
+            emit!(heirs.len() as u64);
             for &(p, x) in &heirs {
-                out.push((p as u64) << 32 | x);
+                emit!((p as u64) << 32 | x);
             }
             fo.clear();
             fo.extend(r.forced_out.iter().map(|&x| tok(Some(x))));
             fo.sort_unstable();
-            out.push(fo.len() as u64);
-            out.extend_from_slice(&fo);
+            emit!(fo.len() as u64);
+            emit_all!(&fo);
             // Reachability closure as a rank set (slots retained under any
             // generation, exactly as the old slot-keyed map behaved).
             reach_ranks.clear();
@@ -783,8 +812,8 @@ impl ScChecker {
                 (rr != u64::MAX).then_some(rr)
             }));
             reach_ranks.sort_unstable();
-            out.push(reach_ranks.len() as u64);
-            out.extend_from_slice(&reach_ranks);
+            emit!(reach_ranks.len() as u64);
+            emit_all!(&reach_ranks);
         }
         // Tallies are keyed by processor/block number: rename the keys and
         // re-sort so emission order matches the renamed BTreeMaps.
@@ -794,7 +823,7 @@ impl ScChecker {
             .map(|(p, t)| (re_p(*p) as u64) << 16 | (t.no_in as u64) << 8 | t.no_out as u64)
             .collect();
         ptally.sort_unstable();
-        out.extend(ptally);
+        emit_all!(&ptally);
         let mut btally: Vec<(u64, u64)> = self
             .block_tally
             .iter()
@@ -811,8 +840,8 @@ impl ScChecker {
             .collect();
         btally.sort_unstable();
         for (t, head) in btally {
-            out.push(t);
-            out.push(head);
+            emit!(t);
+            emit!(head);
         }
         let mut bots: Vec<(u64, u64)> = self
             .last_bot
@@ -821,10 +850,10 @@ impl ScChecker {
             .collect();
         bots.sort_unstable();
         for (k, t) in bots {
-            out.push(k);
-            out.push(t);
+            emit!(k);
+            emit!(t);
         }
-        out.push(self.rejected.is_some() as u64);
+        emit!(self.rejected.is_some() as u64);
     }
 
     // ----- node lifecycle -------------------------------------------------

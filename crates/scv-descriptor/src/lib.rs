@@ -23,12 +23,14 @@ pub mod decode;
 pub mod encode;
 pub mod idcanon;
 pub mod idtable;
+pub mod sink;
 pub mod symbol;
 
 pub use decode::{decode, DecodeError, DecodeStats, DecodedGraph};
 pub use encode::{encode, naive_descriptor, EncodeError};
 pub use idcanon::{IdCanon, SymView};
 pub use idtable::IdTable;
+pub use sink::{CmpOutcome, CmpSink, EncSink};
 pub use symbol::{Descriptor, IdNum, Symbol};
 
 // Re-exported for convenience: descriptors are usually decoded back into

@@ -1,0 +1,219 @@
+//! Word sinks for canonical encodings.
+//!
+//! The observer and checker emit their canonical encodings as a linear
+//! stream of `u64` words. [`EncSink`] abstracts the destination of that
+//! stream so the same encoder body can either *materialize* the encoding
+//! (`Vec<u64>`, the classic path) or *compare it incrementally* against a
+//! current orbit-minimum candidate ([`CmpSink`]), aborting the walk at the
+//! first word that proves the candidate lexicographically greater. The
+//! symmetry canonicalization fast path in `scv-mc` leans on the abort:
+//! most orbit candidates lose within a handful of words, so almost no
+//! candidate pays for a full encoding.
+
+/// Destination of a canonical-encoding word stream.
+///
+/// `word` returns `false` to abort the encoding walk early — encoders
+/// must return immediately (their partial output is meaningless to the
+/// sink from that point on, and the sink guarantees `false` for every
+/// subsequent word).
+pub trait EncSink {
+    /// Append one word; `false` aborts the walk.
+    #[must_use]
+    fn word(&mut self, w: u64) -> bool;
+
+    /// Append a run of words; `false` aborts the walk.
+    #[must_use]
+    fn words(&mut self, ws: &[u64]) -> bool {
+        ws.iter().all(|&w| self.word(w))
+    }
+}
+
+/// The materializing sink: plain appends, never aborts.
+impl EncSink for Vec<u64> {
+    #[inline]
+    fn word(&mut self, w: u64) -> bool {
+        self.push(w);
+        true
+    }
+
+    #[inline]
+    fn words(&mut self, ws: &[u64]) -> bool {
+        self.extend_from_slice(ws);
+        true
+    }
+}
+
+/// Lexicographic relation of a completed [`CmpSink`] candidate to the
+/// incumbent best encoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOutcome {
+    /// The candidate is lexicographically smaller; the sink's buffer
+    /// holds its complete encoding.
+    Less,
+    /// The candidate's encoding is word-for-word identical.
+    Equal,
+    /// The candidate lost at some word (the walk was aborted there).
+    Greater,
+}
+
+/// A sink that compares the incoming stream against an incumbent best
+/// encoding word by word.
+///
+/// While the streams agree nothing is copied; at the first divergence the
+/// sink either aborts the walk (candidate word greater) or switches to
+/// recording mode (candidate word smaller), back-filling the shared
+/// prefix into `buf` so that on [`CmpOutcome::Less`] the buffer holds the
+/// candidate's full encoding, ready to be swapped in as the new best.
+#[derive(Debug)]
+pub struct CmpSink<'a> {
+    best: &'a [u64],
+    buf: &'a mut Vec<u64>,
+    pos: usize,
+    state: CmpOutcome,
+}
+
+impl<'a> CmpSink<'a> {
+    /// Compare an encoding streamed via [`EncSink`] against `best`,
+    /// recording into `buf` (cleared) if the candidate wins.
+    pub fn new(best: &'a [u64], buf: &'a mut Vec<u64>) -> CmpSink<'a> {
+        buf.clear();
+        CmpSink {
+            best,
+            buf,
+            pos: 0,
+            state: CmpOutcome::Equal,
+        }
+    }
+
+    /// Declare the next `n` words equal to the incumbent's without
+    /// streaming them. Sound only when the caller knows the candidate's
+    /// next `n` words match `best` exactly (e.g. a shared, perm-invariant
+    /// protocol-encoding prefix).
+    pub fn skip_equal(&mut self, n: usize) {
+        debug_assert_eq!(self.state, CmpOutcome::Equal, "skip after divergence");
+        debug_assert!(self.pos + n <= self.best.len());
+        self.pos += n;
+    }
+
+    /// Number of words of `best` consumed while still `Equal` — after a
+    /// divergence, the index of the first differing word. Lets callers
+    /// decide whether a `Greater` verdict was reached inside a shared
+    /// prefix (so sibling candidates would lose there too).
+    pub fn matched(&self) -> usize {
+        self.pos
+    }
+
+    /// Where the comparison stands. `Equal` is only final once the whole
+    /// candidate has been streamed ([`CmpSink::finish`] checks lengths).
+    pub fn outcome(&self) -> CmpOutcome {
+        self.state
+    }
+
+    /// Final verdict. Candidate encodings in one orbit are renamings of
+    /// one another and therefore equal in length; a short `Equal` stream
+    /// indicates an encoder bug, caught here in debug builds.
+    pub fn finish(self) -> CmpOutcome {
+        if self.state == CmpOutcome::Equal {
+            debug_assert_eq!(self.pos, self.best.len(), "candidate shorter than best");
+        }
+        self.state
+    }
+}
+
+impl EncSink for CmpSink<'_> {
+    #[inline]
+    fn word(&mut self, w: u64) -> bool {
+        match self.state {
+            CmpOutcome::Greater => false,
+            CmpOutcome::Less => {
+                self.buf.push(w);
+                true
+            }
+            CmpOutcome::Equal => {
+                if self.pos >= self.best.len() {
+                    // Longer than the incumbent cannot happen for true
+                    // orbit candidates; treat as a loss defensively.
+                    debug_assert!(false, "candidate longer than best");
+                    self.state = CmpOutcome::Greater;
+                    return false;
+                }
+                let b = self.best[self.pos];
+                if w == b {
+                    self.pos += 1;
+                    true
+                } else if w < b {
+                    self.buf.extend_from_slice(&self.best[..self.pos]);
+                    self.buf.push(w);
+                    self.state = CmpOutcome::Less;
+                    true
+                } else {
+                    self.state = CmpOutcome::Greater;
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(best: &[u64], cand: &[u64], buf: &mut Vec<u64>) -> CmpOutcome {
+        let mut sink = CmpSink::new(best, buf);
+        for &w in cand {
+            if !sink.word(w) {
+                break;
+            }
+        }
+        sink.finish()
+    }
+
+    #[test]
+    fn equal_streams_compare_equal_without_copying() {
+        let best = [1, 2, 3];
+        let mut buf = vec![99];
+        assert_eq!(stream(&best, &[1, 2, 3], &mut buf), CmpOutcome::Equal);
+        assert!(buf.is_empty(), "no copy on the equal path");
+    }
+
+    #[test]
+    fn smaller_candidate_wins_and_materializes_fully() {
+        let best = [5, 7, 9, 11];
+        let mut buf = Vec::new();
+        assert_eq!(stream(&best, &[5, 6, 0, 42], &mut buf), CmpOutcome::Less);
+        assert_eq!(buf, vec![5, 6, 0, 42], "prefix back-filled + recorded tail");
+    }
+
+    #[test]
+    fn greater_candidate_aborts_at_first_losing_word() {
+        let best = [5, 7, 9];
+        let mut buf = Vec::new();
+        let mut sink = CmpSink::new(&best, &mut buf);
+        assert!(sink.word(5));
+        assert!(!sink.word(8), "losing word aborts");
+        assert!(!sink.word(0), "stays aborted");
+        assert_eq!(sink.finish(), CmpOutcome::Greater);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn skip_equal_advances_the_shared_prefix() {
+        let best = [10, 20, 30, 40];
+        let mut buf = Vec::new();
+        let mut sink = CmpSink::new(&best, &mut buf);
+        sink.skip_equal(2);
+        assert!(sink.word(30));
+        assert!(sink.word(39));
+        assert_eq!(sink.finish(), CmpOutcome::Less);
+        assert_eq!(buf, vec![10, 20, 30, 39]);
+    }
+
+    #[test]
+    fn vec_sink_records_everything() {
+        let mut v: Vec<u64> = Vec::new();
+        assert!(v.word(1));
+        assert!(v.words(&[2, 3]));
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -32,6 +32,7 @@
 //!   point; [`checkpoint::CheckpointFile`] serializes it, and
 //!   [`VerifyOptions::resume_from`] continues it exactly.
 
+mod canon;
 pub mod checkpoint;
 pub mod control;
 pub mod mc;

@@ -2,6 +2,7 @@
 //! observer ⊗ checker, optionally explored modulo the protocol's
 //! symmetry group.
 
+use crate::canon::{self, CanonScratch, FastPlan};
 use crate::checkpoint::{CheckpointError, CheckpointFile};
 use crate::control::{Budget, CancelToken, Coverage, InterruptReason, RunControl};
 use crate::mc::{
@@ -19,7 +20,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Why a product state was rejected — the typed replacement for the old
@@ -58,7 +60,7 @@ impl fmt::Display for RejectReason {
 }
 
 /// How much of the protocol's declared symmetry group the search quotients
-/// by (CLI: `--symmetry=off|proc|full`).
+/// by (CLI: `--symmetry=off|proc|full|full-enum`).
 ///
 /// The *effective* group is always the intersection of what is requested
 /// here with what the protocol declares sound via
@@ -73,6 +75,14 @@ pub enum SymmetryMode {
     Proc,
     /// Everything the protocol declares: processors, blocks, and values.
     Full,
+    /// The same quotient as [`SymmetryMode::Full`], computed by the
+    /// brute-force reference canonicalizer (one renamed encoding per group
+    /// element) instead of the sort-based fast path. Canonical encodings —
+    /// and therefore fingerprints, state counts, and checkpoints — are
+    /// byte-identical to `Full`; this mode exists as the differential
+    /// oracle the fast path is tested against, and as the baseline arm of
+    /// the canonicalization benchmarks.
+    FullEnum,
 }
 
 impl SymmetryMode {
@@ -82,7 +92,7 @@ impl SymmetryMode {
         match self {
             SymmetryMode::Off => SymDims::NONE,
             SymmetryMode::Proc => SymDims::PROCS,
-            SymmetryMode::Full => SymDims::FULL,
+            SymmetryMode::Full | SymmetryMode::FullEnum => SymDims::FULL,
         }
     }
 
@@ -92,6 +102,7 @@ impl SymmetryMode {
             SymmetryMode::Off => 0,
             SymmetryMode::Proc => 1,
             SymmetryMode::Full => 2,
+            SymmetryMode::FullEnum => 3,
         }
     }
 
@@ -101,6 +112,7 @@ impl SymmetryMode {
             0 => Some(SymmetryMode::Off),
             1 => Some(SymmetryMode::Proc),
             2 => Some(SymmetryMode::Full),
+            3 => Some(SymmetryMode::FullEnum),
             _ => None,
         }
     }
@@ -245,17 +257,122 @@ impl<PS: Hash> Hash for VerifyState<PS> {
 
 /// One precomputed symmetry-group element: the identity renaming plus the
 /// location maps it induces through [`Symmetry::permute_loc`].
-struct PermEntry {
-    perm: SymPerm,
-    locs: Vec<u32>,
-    locs_inv: Vec<u32>,
+pub(crate) struct PermEntry {
+    pub(crate) perm: SymPerm,
+    pub(crate) locs: Vec<u32>,
+    pub(crate) locs_inv: Vec<u32>,
 }
 
-/// Size bound for the per-worker orbit-seal cache: past this many entries
-/// the cache is cleared wholesale (regrowing is cheap next to the group
-/// enumerations a warm cache skips). Entries are two fingerprints — 32
-/// bytes — so even the full cache is a few MB per worker.
-const SEAL_CACHE_CAP: usize = 1 << 16;
+/// Slot count of the per-worker L1 orbit-seal cache — a direct-mapped
+/// array (no probing, no wholesale clears), so a cold or adversarial
+/// workload costs one array read per candidate and nothing else. At 24
+/// bytes per slot the full array is under 1 MB per worker.
+const SEAL_L1_SLOTS: usize = 1 << 15;
+
+/// The L1/L2 hit-rate gate: after this many probes, a worker whose hit
+/// count stayed below [`SEAL_GATE_MIN_HITS`] turns its seal cache off for
+/// the rest of the run — on orbit-dense spaces where re-derivations are
+/// rare, the per-candidate key hash and probe are pure overhead.
+const SEAL_GATE_WINDOW: u32 = 8192;
+
+/// Minimum hits per [`SEAL_GATE_WINDOW`] probes (≈1.6%) to keep probing.
+const SEAL_GATE_MIN_HITS: u32 = 128;
+
+/// Stripe count of the shared L2 orbit-seal cache (power of two).
+const SEAL_L2_STRIPES: usize = 64;
+
+/// Per-stripe entry bound of the L2 cache; a stripe at capacity is
+/// cleared wholesale (≈1M entries total across stripes).
+const SEAL_L2_STRIPE_CAP: usize = 1 << 14;
+
+/// The shared second-level orbit-seal cache, living in the
+/// [`VerifySystem`] so every worker (and every slice of a stop-and-go
+/// run) sees it: identity-encoding key → orbit-minimum fingerprint, plus
+/// the interned canonical encoding once the state has been admitted and
+/// frozen. A hit with an encoding skips the *entire* seal — canonical
+/// words are copied straight out of the arena; a hit without one still
+/// skips the group enumeration (the encoding is recomputed only in the
+/// rare admitted case, exactly like an L1 hit).
+///
+/// Keys are [`Fingerprinter::fp64`] values and therefore seed-dependent;
+/// `seed_tag` folds the fingerprinter seeds, and a mismatch (a new search
+/// over the same system) clears the cache before first use. Runs never
+/// overlap on one system, so the raced clear is at worst a few wasted
+/// fresh inserts.
+/// One L2 entry: orbit-minimum fingerprint plus the interned canonical
+/// encoding once the owning state has been admitted and frozen.
+type SealEntry = (u128, Option<EncRef>);
+
+struct SealCacheL2 {
+    stripes: Vec<Mutex<HashMap<u64, SealEntry>>>,
+    seed_tag: AtomicU64,
+}
+
+impl SealCacheL2 {
+    fn new() -> SealCacheL2 {
+        SealCacheL2 {
+            stripes: (0..SEAL_L2_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            seed_tag: AtomicU64::new(0),
+        }
+    }
+
+    /// Clear the cache if it was populated under different fingerprinter
+    /// seeds. Called once per expansion — one atomic load in steady state.
+    fn ensure_seeds(&self, seeds: [u64; 4]) {
+        let tag = (seeds[0]
+            ^ seeds[1].rotate_left(16)
+            ^ seeds[2].rotate_left(32)
+            ^ seeds[3].rotate_left(48))
+            | 1;
+        let old = self.seed_tag.load(Ordering::Acquire);
+        if old == tag {
+            return;
+        }
+        if self
+            .seed_tag
+            .compare_exchange(old, tag, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            for stripe in &self.stripes {
+                stripe.lock().expect("seal L2 poisoned").clear();
+            }
+        }
+    }
+
+    fn stripe(&self, key: u64) -> &Mutex<HashMap<u64, SealEntry>> {
+        // High bits pick the stripe so it decorrelates from the L1 index
+        // (low bits).
+        &self.stripes[((key >> 32) as usize) & (SEAL_L2_STRIPES - 1)]
+    }
+
+    fn get(&self, key: u64) -> Option<(u128, Option<EncRef>)> {
+        self.stripe(key)
+            .lock()
+            .expect("seal L2 poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Record a freshly canonicalized fingerprint (no encoding yet).
+    fn insert_fp(&self, key: u64, fp: u128) {
+        let mut m = self.stripe(key).lock().expect("seal L2 poisoned");
+        if m.len() >= SEAL_L2_STRIPE_CAP {
+            m.clear();
+        }
+        m.entry(key).or_insert((fp, None));
+    }
+
+    /// Attach the interned canonical encoding of an admitted state.
+    fn set_enc(&self, key: u64, fp: u128, enc: EncRef) {
+        let mut m = self.stripe(key).lock().expect("seal L2 poisoned");
+        if m.len() >= SEAL_L2_STRIPE_CAP {
+            m.clear();
+        }
+        m.insert(key, (fp, Some(enc)));
+    }
+}
 
 /// Sentinel for [`CandSlot::enc_len`]: the candidate's canonical encoding
 /// was *not* written to the scratch arena (its fingerprint came from the
@@ -285,6 +402,10 @@ struct CandSlot<PS> {
     error: Option<RejectReason>,
     enc_start: usize,
     enc_len: usize,
+    /// The seal-cache key of this candidate's identity encoding, kept so
+    /// an admitted slot can upgrade the shared L2 entry with its interned
+    /// canonical encoding at freeze time.
+    key: Option<u64>,
 }
 
 /// Per-worker scratch for admission-gated lazy expansion, carried by the
@@ -310,17 +431,25 @@ pub(crate) struct SealScratch<PS> {
     /// Reusable aux-ID renaming for the per-candidate identity encodings
     /// (no location map — `'static` is the no-borrow case).
     ids: scv_descriptor::IdCanon<'static>,
-    /// Orbit-seal cache: half-width fingerprint of the *identity* encoding
-    /// → the orbit-minimum state fingerprint. The identity encoding starts
-    /// with the injective protocol encoding, so it determines the product
-    /// state; re-deriving the same state from another parent hits here and
-    /// skips the whole group enumeration. Only the fingerprint is cached —
-    /// a hit is almost always a duplicate the admission probe rejects, so
-    /// the canonical *encoding* is recomputed in the rare admitted case
-    /// rather than stored for every miss. The 64-bit key halves the
-    /// key-hashing cost per candidate; see [`Fingerprinter::fp64`] for the
-    /// collision-probability argument.
-    cache: HashMap<u64, u128>,
+    /// L1 orbit-seal cache: a direct-mapped array keyed by the half-width
+    /// fingerprint of the *identity* encoding, holding the orbit-minimum
+    /// state fingerprint. The identity encoding starts with the injective
+    /// protocol encoding, so it determines the product state; re-deriving
+    /// the same state from another parent hits here and skips the whole
+    /// canonicalization. Key 0 marks an empty slot (a real key of 0 simply
+    /// never caches — the same 2⁻⁶⁴-class event as an fp64 collision). A
+    /// miss falls through to the shared [`SealCacheL2`].
+    l1_keys: Box<[u64]>,
+    l1_fps: Box<[u128]>,
+    /// Hit-rate gate over both levels (see [`SEAL_GATE_WINDOW`]): on
+    /// orbit-dense spaces with almost no re-derivations the cache turns
+    /// itself off, dropping the per-candidate key hash *and* the identity
+    /// encoding's observer/checker walk the key is hashed from.
+    probes: u32,
+    hits: u32,
+    cache_off: bool,
+    /// Sort-based canonicalization work buffers.
+    canon: CanonScratch,
 }
 
 impl<PS> SealScratch<PS> {
@@ -336,7 +465,12 @@ impl<PS> SealScratch<PS> {
             keep: Vec::new(),
             frozen: Vec::with_capacity(1024),
             ids: scv_descriptor::IdCanon::new(0),
-            cache: HashMap::new(),
+            l1_keys: vec![0u64; SEAL_L1_SLOTS].into_boxed_slice(),
+            l1_fps: vec![0u128; SEAL_L1_SLOTS].into_boxed_slice(),
+            probes: 0,
+            hits: 0,
+            cache_off: false,
+            canon: CanonScratch::new(),
         }
     }
 }
@@ -352,6 +486,12 @@ pub struct VerifySystem<P: Symmetry> {
     /// Identity-first symmetry group; empty when reduction is off or the
     /// effective group is trivial.
     perms: Vec<PermEntry>,
+    /// The sort-based canonicalization plan; `None` selects the
+    /// full-enumeration reference path ([`SymmetryMode::FullEnum`], or a
+    /// protocol with no sortable dimension).
+    fast: Option<FastPlan>,
+    /// Shared second-level orbit-seal cache (see [`SealCacheL2`]).
+    l2: SealCacheL2,
     /// The mode the system was built with (recorded in checkpoint files so
     /// a resume under a different quotient is rejected up front).
     mode: SymmetryMode,
@@ -373,8 +513,18 @@ impl<P: Symmetry> VerifySystem<P> {
     pub fn with_symmetry(protocol: P, mode: SymmetryMode) -> Self {
         let dims = mode.requested_dims().intersect(protocol.symmetry_dims());
         let mut perms = Vec::new();
+        let mut fast = None;
         if dims.any() {
-            let group = SymPerm::group(protocol.params(), dims, GROUP_CAP);
+            let capped = SymPerm::capped_dims(protocol.params(), dims, GROUP_CAP);
+            if capped != dims && scv_telemetry::enabled() {
+                // The cap degraded the quotient: record by how much (the
+                // ratio of the requested group order to the enumerated
+                // one — an upper bound on the forfeited state reduction).
+                let requested = SymPerm::group_order(protocol.params(), dims) as f64;
+                let kept = SymPerm::group_order(protocol.params(), capped) as f64;
+                scv_telemetry::set_gauge("symmetry.cap_degradation", requested / kept);
+            }
+            let group = SymPerm::group(protocol.params(), capped, GROUP_CAP);
             if group.len() > 1 {
                 debug_assert!(group[0].is_identity(), "group must lead with identity");
                 perms = group
@@ -388,6 +538,9 @@ impl<P: Symmetry> VerifySystem<P> {
                         }
                     })
                     .collect();
+                if mode != SymmetryMode::FullEnum {
+                    fast = FastPlan::build(&protocol, capped, &perms);
+                }
             }
         }
         if scv_telemetry::enabled() {
@@ -396,6 +549,8 @@ impl<P: Symmetry> VerifySystem<P> {
         VerifySystem {
             protocol,
             perms,
+            fast,
+            l2: SealCacheL2::new(),
             mode,
             lazy: true,
         }
@@ -488,13 +643,19 @@ impl<P: Symmetry> VerifySystem<P> {
         let mut best = Vec::with_capacity(160);
         self.protocol.encode_state(&proto, &mut best);
         let proto_len = best.len();
+        let obs_end;
         {
             let mut ids = scv_descriptor::IdCanon::new(base);
             obs.canonical_encoding(&mut best, &mut ids);
+            obs_end = best.len();
             chk.canonical_encoding(&mut best, &mut ids);
         }
         let mut cand = Vec::with_capacity(best.len());
-        self.orbit_min(&proto, &obs, &chk, base, proto_len, &mut best, &mut cand);
+        canon::with_thread_scratch(|cs| {
+            self.canon_min(
+                &proto, &obs, &chk, base, proto_len, &mut best, &mut cand, cs, true, obs_end,
+            )
+        });
         VerifyState {
             proto,
             obs,
@@ -502,6 +663,57 @@ impl<P: Symmetry> VerifySystem<P> {
             error,
             enc: EncRef::owned(&best),
             sym: true,
+        }
+    }
+
+    /// Recompute the canonical encoding of a product state from scratch,
+    /// bypassing every seal cache — the key differential-testing and
+    /// benchmarking hook: two systems over the same protocol must produce
+    /// byte-identical results here whether they canonicalize via the
+    /// sort-based fast path ([`SymmetryMode::Full`]) or the brute-force
+    /// reference ([`SymmetryMode::FullEnum`]).
+    pub fn canonical_encoding_of(&self, s: &VerifyState<P::State>) -> Vec<u64> {
+        let resealed = self.seal(s.proto.clone(), s.obs.clone(), s.chk.clone(), None);
+        resealed.enc.as_slice().to_vec()
+    }
+
+    /// Dispatch one orbit-minimization: the sort-based fast path when a
+    /// plan exists, the full-enumeration reference otherwise. Both produce
+    /// the same bytes in `best` and the same telemetry tie counts.
+    #[allow(clippy::too_many_arguments)]
+    fn canon_min(
+        &self,
+        proto: &P::State,
+        obs: &Observer,
+        chk: &ScChecker,
+        base: u32,
+        proto_len: usize,
+        best: &mut Vec<u64>,
+        cand: &mut Vec<u64>,
+        cs: &mut CanonScratch,
+        have_identity: bool,
+        identity_obs_end: usize,
+    ) {
+        match &self.fast {
+            Some(plan) => canon::fast_min(
+                &self.protocol,
+                plan,
+                &self.perms,
+                proto,
+                obs,
+                chk,
+                base,
+                proto_len,
+                best,
+                cand,
+                cs,
+                have_identity,
+                identity_obs_end,
+            ),
+            None => {
+                debug_assert!(have_identity, "the enum path needs the identity encoding");
+                self.orbit_min(proto, obs, chk, base, proto_len, best, cand);
+            }
         }
     }
 
@@ -654,6 +866,12 @@ where
         let _t = scv_telemetry::timer(scv_telemetry::Phase::Expand);
         let base = s.obs.location_count();
         let sym = !self.perms.is_empty();
+        if sym {
+            // The shared L2 is keyed by identity-encoding fp64, which
+            // depends on the fingerprinter seeds: (re)seed it, clearing
+            // stale entries when the seeds changed since the last run.
+            self.l2.ensure_seeds(fper.seeds());
+        }
         // Taken out of the scratch so the loop can mutate `sc` while
         // draining it; the allocation is handed back at the end.
         let mut trans = std::mem::take(&mut sc.trans);
@@ -682,6 +900,7 @@ where
                     error: None,
                     enc_start: 0,
                     enc_len: 0,
+                    key: None,
                 });
             }
             let slot = &mut sc.slots[i];
@@ -743,50 +962,102 @@ where
             } else {
                 let _t = scv_telemetry::timer_sampled(scv_telemetry::Phase::Canonicalize);
                 let proto_next = slot.proto.as_ref().expect("slot.proto filled above");
-                // Identity candidate first — also the orbit-seal cache
-                // key, because its injective protocol prefix makes it
-                // determine the product state.
+                // Identity protocol prefix first — injective, so together
+                // with the identity observer/checker encodings it
+                // determines the product state and keys the seal caches.
                 sc.best.clear();
                 self.protocol.encode_state(proto_next, &mut sc.best);
                 let proto_len = sc.best.len();
-                sc.ids.reset_with(base);
-                obs.canonical_encoding(&mut sc.best, &mut sc.ids);
-                chk.canonical_encoding(&mut sc.best, &mut sc.ids);
                 // Keying the cache costs a hash pass over the identity
-                // encoding, while a hit saves the `|G| - 1` renamed
-                // encodings of `orbit_min` — worthwhile only when the
-                // group is big enough to amortize the key.
-                let use_cache = self.perms.len() >= 4;
-                let key = if use_cache {
-                    let key = fper.fp64(&FpParts::<P::State> {
+                // encoding, while a hit saves the whole canonicalization —
+                // worthwhile only when the group is big enough to amortize
+                // the key, and only until the hit-rate gate trips.
+                let use_cache = self.perms.len() >= 4 && !sc.cache_off;
+                // The fast path seeds its incumbent from the first
+                // enumerated candidate, so when no cache key is needed the
+                // identity's observer/checker walk is skipped entirely.
+                let have_identity = use_cache || self.fast.is_none();
+                let mut obs_end = 0usize;
+                if have_identity {
+                    sc.ids.reset_with(base);
+                    obs.canonical_encoding(&mut sc.best, &mut sc.ids);
+                    obs_end = sc.best.len();
+                    chk.canonical_encoding(&mut sc.best, &mut sc.ids);
+                }
+                slot.key = None;
+                let mut key = None;
+                if use_cache {
+                    let k = fper.fp64(&FpParts::<P::State> {
                         proto: None,
                         enc: &sc.best,
                     });
-                    if let Some(cached_fp) = sc.cache.get(&key) {
-                        scv_telemetry::add(scv_telemetry::Metric::SealCacheHits, 1);
-                        if scv_telemetry::recorder_enabled() {
-                            scv_telemetry::recorder::instant(
-                                scv_telemetry::recorder::InstantKind::SealCacheHit,
-                                0,
-                            );
+                    sc.probes += 1;
+                    let l1 = (k as usize) & (SEAL_L1_SLOTS - 1);
+                    let mut hit = None;
+                    if k != 0 && sc.l1_keys[l1] == k {
+                        hit = Some((sc.l1_fps[l1], None));
+                    } else {
+                        match self.l2.get(k) {
+                            Some(entry) => {
+                                scv_telemetry::add(scv_telemetry::Metric::SealCacheL2Hits, 1);
+                                if k != 0 {
+                                    sc.l1_keys[l1] = k;
+                                    sc.l1_fps[l1] = entry.0;
+                                }
+                                hit = Some(entry);
+                            }
+                            None => {
+                                scv_telemetry::add(scv_telemetry::Metric::SealCacheL2Misses, 1);
+                            }
                         }
-                        slot.enc_start = start;
-                        slot.enc_len = ENC_UNSEALED;
-                        sc.fps.push(*cached_fp);
-                        continue;
                     }
-                    scv_telemetry::add(scv_telemetry::Metric::SealCacheMisses, 1);
-                    if scv_telemetry::recorder_enabled() {
-                        scv_telemetry::recorder::instant(
-                            scv_telemetry::recorder::InstantKind::SealCacheMiss,
-                            0,
-                        );
+                    if sc.probes >= SEAL_GATE_WINDOW {
+                        if sc.hits < SEAL_GATE_MIN_HITS {
+                            sc.cache_off = true;
+                        }
+                        sc.probes = 0;
+                        sc.hits = 0;
                     }
-                    Some(key)
-                } else {
-                    None
-                };
-                self.orbit_min(
+                    match hit {
+                        Some((cached_fp, cached_enc)) => {
+                            sc.hits += 1;
+                            scv_telemetry::add(scv_telemetry::Metric::SealCacheHits, 1);
+                            if scv_telemetry::recorder_enabled() {
+                                scv_telemetry::recorder::instant(
+                                    scv_telemetry::recorder::InstantKind::SealCacheHit,
+                                    0,
+                                );
+                            }
+                            slot.enc_start = start;
+                            match cached_enc {
+                                Some(enc) => {
+                                    // The canonical encoding is already
+                                    // interned: copy it into the arena and
+                                    // seal the slot outright.
+                                    sc.enc.extend_from_slice(enc.as_slice());
+                                    slot.enc_len = sc.enc.len() - start;
+                                }
+                                None => {
+                                    slot.enc_len = ENC_UNSEALED;
+                                    slot.key = Some(k);
+                                }
+                            }
+                            sc.fps.push(cached_fp);
+                            continue;
+                        }
+                        None => {
+                            scv_telemetry::add(scv_telemetry::Metric::SealCacheMisses, 1);
+                            if scv_telemetry::recorder_enabled() {
+                                scv_telemetry::recorder::instant(
+                                    scv_telemetry::recorder::InstantKind::SealCacheMiss,
+                                    0,
+                                );
+                            }
+                            key = Some(k);
+                        }
+                    }
+                }
+                self.canon_min(
                     proto_next,
                     obs,
                     chk,
@@ -794,16 +1065,22 @@ where
                     proto_len,
                     &mut sc.best,
                     &mut sc.cand,
+                    &mut sc.canon,
+                    have_identity,
+                    obs_end,
                 );
                 let fp = fper.fp(&FpParts::<P::State> {
                     proto: None,
                     enc: &sc.best,
                 });
-                if let Some(key) = key {
-                    if sc.cache.len() >= SEAL_CACHE_CAP {
-                        sc.cache.clear();
+                if let Some(k) = key {
+                    if k != 0 {
+                        let l1 = (k as usize) & (SEAL_L1_SLOTS - 1);
+                        sc.l1_keys[l1] = k;
+                        sc.l1_fps[l1] = fp;
                     }
-                    sc.cache.insert(key, fp);
+                    self.l2.insert_fp(k, fp);
+                    slot.key = Some(k);
                 }
                 sc.enc.extend_from_slice(&sc.best);
                 fp
@@ -850,12 +1127,14 @@ where
                     sc.best.clear();
                     self.protocol.encode_state(proto_next, &mut sc.best);
                     let proto_len = sc.best.len();
+                    let obs_end;
                     {
                         let mut ids = scv_descriptor::IdCanon::new(base);
                         obs.canonical_encoding(&mut sc.best, &mut ids);
+                        obs_end = sc.best.len();
                         chk.canonical_encoding(&mut sc.best, &mut ids);
                     }
-                    self.orbit_min(
+                    self.canon_min(
                         proto_next,
                         obs,
                         chk,
@@ -863,6 +1142,9 @@ where
                         proto_len,
                         &mut sc.best,
                         &mut sc.cand,
+                        &mut sc.canon,
+                        true,
+                        obs_end,
                     );
                     debug_assert_eq!(
                         fper.fp(&FpParts::<P::State> {
@@ -896,6 +1178,11 @@ where
             }
             let slot = &mut sc.slots[i];
             let enc = EncRef::view(&chunk, off, slot.enc_len);
+            if let Some(k) = slot.key.take() {
+                // Upgrade the fingerprint-only cache entry with the interned
+                // canonical encoding so future hits seal without recomputing.
+                self.l2.set_enc(k, sc.fps[i], enc.clone());
+            }
             off += slot.enc_len;
             out.push((
                 slot.action,
@@ -1884,10 +2171,15 @@ mod tests {
 
     #[test]
     fn symmetry_mode_byte_roundtrip() {
-        for mode in [SymmetryMode::Off, SymmetryMode::Proc, SymmetryMode::Full] {
+        for mode in [
+            SymmetryMode::Off,
+            SymmetryMode::Proc,
+            SymmetryMode::Full,
+            SymmetryMode::FullEnum,
+        ] {
             assert_eq!(SymmetryMode::from_byte(mode.as_byte()), Some(mode));
         }
-        assert_eq!(SymmetryMode::from_byte(3), None);
+        assert_eq!(SymmetryMode::from_byte(4), None);
     }
 
     #[test]

@@ -703,6 +703,94 @@ impl Observer {
         self.encode_canonical(out, ids, None);
     }
 
+    /// The location-owner words of the canonical encoding, in identity
+    /// location order: for each location, the entry rank of its owning
+    /// node (`u64::MAX` when unowned) — exactly the words the encoding's
+    /// `loc_owner` section emits. These ranks are independent of any
+    /// symmetry renaming (entry order is key-creation order), which makes
+    /// them usable as per-element sort-key material during symmetry
+    /// canonicalization. Returns `false` without filling `out` when an
+    /// owner key is dead (its token number would then depend on traversal
+    /// order, so the words are not arrangement-invariant) — callers must
+    /// fall back to protocol-only keys. Owners are pinned by their
+    /// `loc_count` and thus never gc'd, so this is a defensive guard.
+    pub fn owner_words(&self, out: &mut Vec<u64>) -> bool {
+        out.clear();
+        let entries = self.nodes.entries();
+        for k in &self.loc_owner {
+            match k {
+                None => out.push(u64::MAX),
+                Some(k) => match entries.binary_search_by_key(k, |&(ek, _)| ek) {
+                    Ok(r) => out.push(r as u64),
+                    Err(_) => return false,
+                },
+            }
+        }
+        true
+    }
+
+    /// Per-processor sort-key material covering the *rest* of the
+    /// observer encoding beyond the `loc_owner` section — one key per
+    /// processor (old index order): its `last_op` entry rank followed by
+    /// its `bot_anchor` row, block-reordered through `block_inv` to match
+    /// the renamed emission order of the coset being canonicalized.
+    ///
+    /// Sound only when every remaining word of the encoding is either in
+    /// one of these rows or identical across all processor arrangements.
+    /// Returns `false` (keys must be discarded) when that fails: some node
+    /// has heirs — their words interleave renamed processor labels — or a
+    /// referenced key is dead, making its token number depend on traversal
+    /// order. The node sections, `sto_tail`/`first_st`, and `pending` are
+    /// emitted in entry/block order and never mention processors, so with
+    /// the gates above they are arrangement-invariant.
+    pub fn proc_key_ext(
+        &self,
+        block_inv: &dyn Fn(usize) -> usize,
+        keys: &mut scv_types::SortKeyBuf,
+    ) -> bool {
+        let entries = self.nodes.entries();
+        if entries.iter().any(|(_, n)| !n.heirs.is_empty()) {
+            return false;
+        }
+        let rank = |k: Option<Key>| -> Option<u64> {
+            match k {
+                None => Some(u64::MAX),
+                Some(k) => entries
+                    .binary_search_by_key(&k, |&(ek, _)| ek)
+                    .ok()
+                    .map(|r| r as u64),
+            }
+        };
+        let b = self.cfg.params.b as usize;
+        for e in 0..self.cfg.params.p as usize {
+            keys.begin_key();
+            match rank(self.last_op[e]) {
+                Some(w) => keys.push(w),
+                None => return false,
+            }
+            for bi in 0..b {
+                match rank(self.bot_anchor[e * b + block_inv(bi)]) {
+                    Some(w) => keys.push(w),
+                    None => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Stream [`Observer::canonical_encoding`] (optionally renamed
+    /// through `view`) into an arbitrary [`scv_descriptor::EncSink`] —
+    /// e.g. an incremental lexicographic comparator that aborts the walk
+    /// at the first losing word during orbit-minimum canonicalization.
+    pub fn canonical_encoding_into<S: scv_descriptor::EncSink>(
+        &self,
+        out: &mut S,
+        ids: &mut scv_descriptor::IdCanon<'_>,
+        view: Option<&scv_descriptor::SymView<'_>>,
+    ) {
+        self.encode_canonical(out, ids, view);
+    }
+
     /// [`Observer::canonical_encoding`] as it would read after renaming
     /// every processor/block identity through `view` — the traversal emits
     /// exactly the sequence the renamed observer would emit, without
@@ -719,12 +807,21 @@ impl Observer {
         self.encode_canonical(out, ids, Some(view));
     }
 
-    fn encode_canonical(
+    fn encode_canonical<S: scv_descriptor::EncSink>(
         &self,
-        out: &mut Vec<u64>,
+        out: &mut S,
         ids: &mut scv_descriptor::IdCanon<'_>,
         view: Option<&scv_descriptor::SymView<'_>>,
     ) {
+        // Abort the walk the moment the sink refuses a word (see
+        // `EncSink::word`); partial output is discarded by the sink.
+        macro_rules! emit {
+            ($w:expr) => {
+                if !out.word($w) {
+                    return;
+                }
+            };
+        }
         // Rank live keys by creation order (key order). One sorted entry
         // list serves both rank lookups (binary search — no hashing on a
         // path the model checker hits per sealed candidate) and the node
@@ -757,10 +854,10 @@ impl Observer {
         let b_count = self.cfg.params.b as usize;
         let old_proc = |i: usize| view.map_or(i, |v| v.perm.inv_proc_idx(i));
         let old_block = |i: usize| view.map_or(i, |v| v.perm.inv_block_idx(i));
-        out.push(entries.len() as u64);
+        emit!(entries.len() as u64);
         for i in 0..self.loc_owner.len() {
             let old = view.map_or(i, |v| v.loc_inv[i + 1] as usize - 1);
-            out.push(tok(self.loc_owner[old], &mut dead));
+            emit!(tok(self.loc_owner[old], &mut dead));
         }
         let mut heirs: Vec<(u8, u64)> = Vec::new();
         for (_, n) in entries {
@@ -770,49 +867,49 @@ impl Observer {
             // fields below, so label differences between otherwise-equal
             // observers are unobservable and encoding them would block
             // sound state merging.
-            out.push(n.loc_count as u64);
-            out.push(n.aux.map_or(u64::MAX, |a| ids.canon(a)));
-            out.push(
+            emit!(n.loc_count as u64);
+            emit!(n.aux.map_or(u64::MAX, |a| ids.canon(a)));
+            emit!(
                 (n.pins.po_anchor as u64)
                     | (n.pins.sto_tail as u64) << 1
                     | (n.pins.bot_anchor as u64) << 2
                     | (n.pins.first_st as u64) << 3
-                    | (n.pins.pending_serialization as u64) << 4,
+                    | (n.pins.pending_serialization as u64) << 4
             );
-            out.push(tok(n.pins.heir_of, &mut dead));
-            out.push(tok(n.pins.forced_target_of, &mut dead));
-            out.push(tok(n.sto_succ, &mut dead));
+            emit!(tok(n.pins.heir_of, &mut dead));
+            emit!(tok(n.pins.forced_target_of, &mut dead));
+            emit!(tok(n.sto_succ, &mut dead));
             heirs.clear();
             for &(p, h) in &n.heirs {
                 let p = view.map_or(p, |v| v.perm.proc(scv_types::ProcId(p)).0);
                 heirs.push((p, tok(Some(h), &mut dead)));
             }
             heirs.sort_unstable();
-            out.push(heirs.len() as u64);
+            emit!(heirs.len() as u64);
             for &(p, h) in &heirs {
-                out.push((p as u64) << 32 | h);
+                emit!((p as u64) << 32 | h);
             }
         }
         for i in 0..p_count {
-            out.push(tok(self.last_op[old_proc(i)], &mut dead));
+            emit!(tok(self.last_op[old_proc(i)], &mut dead));
         }
         for i in 0..b_count {
-            out.push(tok(self.sto_tail[old_block(i)], &mut dead));
+            emit!(tok(self.sto_tail[old_block(i)], &mut dead));
         }
         for i in 0..b_count {
-            out.push(tok(self.first_st[old_block(i)], &mut dead));
+            emit!(tok(self.first_st[old_block(i)], &mut dead));
         }
         for pi in 0..p_count {
             for bi in 0..b_count {
                 let slot = old_proc(pi) * b_count + old_block(bi);
-                out.push(tok(self.bot_anchor[slot], &mut dead));
+                emit!(tok(self.bot_anchor[slot], &mut dead));
             }
         }
         for bi in 0..b_count {
             let pend = &self.pending[old_block(bi)];
-            out.push(pend.len() as u64);
+            emit!(pend.len() as u64);
             for &k in pend {
-                out.push(tok(Some(k), &mut dead));
+                emit!(tok(Some(k), &mut dead));
             }
         }
         // The free auxiliary pool is deliberately NOT encoded: it is the

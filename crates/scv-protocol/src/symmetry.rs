@@ -28,7 +28,7 @@ use crate::{
     DirectoryProtocol, Fig4Protocol, LazyCaching, MesiProtocol, MsiProtocol, SerialMemory,
     StoreBufferTso,
 };
-use scv_types::{SymDims, SymPerm};
+use scv_types::{SortKeyBuf, SymDim, SymDims, SymPerm};
 
 /// A protocol with a declared symmetry group.
 ///
@@ -69,14 +69,64 @@ pub trait Symmetry: Protocol {
     fn encode_state(&self, s: &Self::State, out: &mut Vec<u64>) {
         let _ = (s, out);
     }
+
+    /// Per-element composite sort keys enabling the sort-based
+    /// canonicalization fast path for one symmetric dimension.
+    ///
+    /// A dimension acts *positionally* on a prefix of
+    /// [`Symmetry::encode_state`]'s output when permuting its elements
+    /// only moves whole word groups around (and renames nothing inside
+    /// any word of the prefix). For such a dimension, this method fills
+    /// `keys` with one key per element — the words that element
+    /// contributes to the prefix, in position order — and returns
+    /// `Some(covered)`, the prefix length in words. The contract is:
+    ///
+    /// * every word in `[0..covered)` either belongs to exactly one
+    ///   element's key or is invariant under all perms of the dimension;
+    /// * all keys have the same length, and the prefix decomposes into
+    ///   *segments* (contiguous word ranges) such that within each
+    ///   segment the elements' words appear in ascending element order
+    ///   with a uniform shape (whole chunks or strided columns);
+    /// * words at positions `>= covered` may depend on the dimension
+    ///   arbitrarily (e.g. element numbers stored *inside* words).
+    ///
+    /// Under that contract, stably sorting elements by key yields the
+    /// lexicographically minimal arrangement of the prefix over the
+    /// dimension's permutations, and the tied runs of the sort are
+    /// exactly the residual subgroup that can still move the words at
+    /// `>= covered` (enumerated by `scv_types::ResidualEnum`). Returning
+    /// `None` (the default) declares the dimension content-acting — the
+    /// canonicalizer falls back to enumerating its perms outright. The
+    /// answer must not depend on `s` (only on the protocol and `dim`).
+    fn sort_keys(&self, s: &Self::State, dim: SymDim, keys: &mut SortKeyBuf) -> Option<usize> {
+        let _ = (s, dim, keys);
+        None
+    }
 }
 
 /// Forward and inverse location maps (`1..=L`, index 0 unused) induced by
 /// `perm` through [`Symmetry::permute_loc`].
 pub fn location_maps<P: Symmetry + ?Sized>(p: &P, perm: &SymPerm) -> (Vec<u32>, Vec<u32>) {
+    let mut fwd = Vec::new();
+    let mut inv = Vec::new();
+    location_maps_into(p, perm, &mut fwd, &mut inv);
+    (fwd, inv)
+}
+
+/// [`location_maps`] into caller-owned buffers — the canonicalization
+/// fast path rebuilds the maps once per orbit candidate and must not
+/// allocate per candidate.
+pub fn location_maps_into<P: Symmetry + ?Sized>(
+    p: &P,
+    perm: &SymPerm,
+    fwd: &mut Vec<u32>,
+    inv: &mut Vec<u32>,
+) {
     let l = p.locations() as usize;
-    let mut fwd = vec![0u32; l + 1];
-    let mut inv = vec![0u32; l + 1];
+    fwd.clear();
+    fwd.resize(l + 1, 0);
+    inv.clear();
+    inv.resize(l + 1, 0);
     for old in 1..=l as u32 {
         let new = p.permute_loc(old, perm);
         debug_assert!(
@@ -86,7 +136,6 @@ pub fn location_maps<P: Symmetry + ?Sized>(p: &P, perm: &SymPerm) -> (Vec<u32>, 
         fwd[old as usize] = new;
         inv[new as usize] = old;
     }
-    (fwd, inv)
 }
 
 /// The lexicographically minimal [`Symmetry::encode_state`] encoding of
@@ -195,6 +244,31 @@ impl Symmetry for SerialMemory {
     fn encode_state(&self, s: &Self::State, out: &mut Vec<u64>) {
         out.extend(s.iter().map(|v| v.0 as u64));
     }
+
+    fn sort_keys(&self, s: &Self::State, dim: SymDim, keys: &mut SortKeyBuf) -> Option<usize> {
+        keys.clear();
+        match dim {
+            // No processor occurs in the state at all: every word is
+            // invariant, so procs "cover" the whole encoding with empty
+            // keys (the residual subgroup is all of S_p — the observer/
+            // checker tail of the product encoding decides).
+            SymDim::Procs => {
+                for _ in 0..self.params().p {
+                    keys.begin_key();
+                }
+                Some(s.len())
+            }
+            SymDim::Blocks => {
+                for &v in s.iter() {
+                    keys.begin_key();
+                    keys.push(v.0 as u64);
+                }
+                Some(s.len())
+            }
+            // Values are word *contents*, not positions.
+            SymDim::Values => None,
+        }
+    }
 }
 
 impl Symmetry for MsiProtocol {
@@ -238,6 +312,45 @@ impl Symmetry for MsiProtocol {
             l << 8 | v.0 as u64
         }));
         out.extend(s.mem.iter().map(|v| v.0 as u64));
+    }
+
+    fn sort_keys(&self, s: &Self::State, dim: SymDim, keys: &mut SortKeyBuf) -> Option<usize> {
+        use crate::msi::Line;
+        let pr = self.params();
+        let (p, b) = (pr.p as usize, pr.b as usize);
+        let word = |(l, v): (Line, scv_types::Value)| {
+            let l = match l {
+                Line::M => 0u64,
+                Line::S => 1,
+                Line::I => 2,
+            };
+            l << 8 | v.0 as u64
+        };
+        keys.clear();
+        match dim {
+            // Proc keys are whole cache rows; mem is proc-invariant.
+            SymDim::Procs => {
+                for pi in 0..p {
+                    keys.begin_key();
+                    for bi in 0..b {
+                        keys.push(word(s.lines[pi * b + bi]));
+                    }
+                }
+                Some(p * b + b)
+            }
+            // Block keys are strided cache columns plus the mem word.
+            SymDim::Blocks => {
+                for bi in 0..b {
+                    keys.begin_key();
+                    for pi in 0..p {
+                        keys.push(word(s.lines[pi * b + bi]));
+                    }
+                    keys.push(s.mem[bi].0 as u64);
+                }
+                Some(p * b + b)
+            }
+            SymDim::Values => None,
+        }
     }
 }
 
@@ -283,6 +396,44 @@ impl Symmetry for MesiProtocol {
             l << 8 | v.0 as u64
         }));
         out.extend(s.mem.iter().map(|v| v.0 as u64));
+    }
+
+    fn sort_keys(&self, s: &Self::State, dim: SymDim, keys: &mut SortKeyBuf) -> Option<usize> {
+        use crate::mesi::MesiLine;
+        let pr = self.params();
+        let (p, b) = (pr.p as usize, pr.b as usize);
+        let word = |(l, v): (MesiLine, scv_types::Value)| {
+            let l = match l {
+                MesiLine::M => 0u64,
+                MesiLine::E => 1,
+                MesiLine::S => 2,
+                MesiLine::I => 3,
+            };
+            l << 8 | v.0 as u64
+        };
+        keys.clear();
+        match dim {
+            SymDim::Procs => {
+                for pi in 0..p {
+                    keys.begin_key();
+                    for bi in 0..b {
+                        keys.push(word(s.lines[pi * b + bi]));
+                    }
+                }
+                Some(p * b + b)
+            }
+            SymDim::Blocks => {
+                for bi in 0..b {
+                    keys.begin_key();
+                    for pi in 0..p {
+                        keys.push(word(s.lines[pi * b + bi]));
+                    }
+                    keys.push(s.mem[bi].0 as u64);
+                }
+                Some(p * b + b)
+            }
+            SymDim::Values => None,
+        }
     }
 }
 
@@ -351,6 +502,58 @@ impl Symmetry for DirectoryProtocol {
         }));
         out.extend(s.resp.iter().map(|v| v.0 as u64));
     }
+
+    fn sort_keys(&self, s: &Self::State, dim: SymDim, keys: &mut SortKeyBuf) -> Option<usize> {
+        use crate::directory::DirLine;
+        let pr = self.params();
+        let (p, b) = (pr.p as usize, pr.b as usize);
+        let word = |(l, v): (DirLine, scv_types::Value)| {
+            let l = match l {
+                DirLine::I => 0u64,
+                DirLine::S => 1,
+                DirLine::M => 2,
+                DirLine::WaitS => 3,
+                DirLine::WaitM => 4,
+            };
+            l << 8 | v.0 as u64
+        };
+        keys.clear();
+        match dim {
+            // Processor numbers occur *inside* the dir words (sharer
+            // bitmask bits, owner number) and the resp array is
+            // proc-positional but sits after dir — the positional prefix
+            // stops at lines + mem; dir/resp are resolved by the residual
+            // enumeration's full comparison.
+            SymDim::Procs => {
+                for pi in 0..p {
+                    keys.begin_key();
+                    for bi in 0..b {
+                        keys.push(word(s.lines[pi * b + bi]));
+                    }
+                }
+                Some(p * b + b)
+            }
+            // Blocks move lines columns, mem and dir words positionally
+            // (dir *contents* name procs, not blocks) and leave resp
+            // untouched: the whole encoding is covered.
+            SymDim::Blocks => {
+                for bi in 0..b {
+                    keys.begin_key();
+                    for pi in 0..p {
+                        keys.push(word(s.lines[pi * b + bi]));
+                    }
+                    keys.push(s.mem[bi].0 as u64);
+                    keys.push(match s.dir[bi] {
+                        DirEntry::Uncached => 0u64,
+                        DirEntry::Shared(m) => 1 << 16 | m as u64,
+                        DirEntry::Owned(q) => 2 << 16 | q as u64,
+                    });
+                }
+                Some(p * b + b + b + p)
+            }
+            SymDim::Values => None,
+        }
+    }
 }
 
 impl Symmetry for Fig4Protocol {
@@ -377,6 +580,25 @@ impl Symmetry for Fig4Protocol {
             s.iter()
                 .map(|slot| slot.map_or(u64::MAX, |(b, v)| (b as u64) << 8 | v.0 as u64)),
         );
+    }
+
+    fn sort_keys(&self, s: &Self::State, dim: SymDim, keys: &mut SortKeyBuf) -> Option<usize> {
+        let slots = (self.locations() / self.params().p as u32) as usize;
+        keys.clear();
+        match dim {
+            // Proc keys are whole per-processor slot chunks.
+            SymDim::Procs => {
+                for chunk in s.chunks(slots) {
+                    keys.begin_key();
+                    for slot in chunk {
+                        keys.push(slot.map_or(u64::MAX, |(b, v)| (b as u64) << 8 | v.0 as u64));
+                    }
+                }
+                Some(s.len())
+            }
+            // Block and value numbers occur inside the slot words.
+            SymDim::Blocks | SymDim::Values => None,
+        }
     }
 }
 
@@ -415,6 +637,27 @@ impl Symmetry for StoreBufferTso {
                 .map(|e| e.map_or(u64::MAX, |(b, v)| (b as u64) << 8 | v.0 as u64)),
         );
         out.extend(s.mem.iter().map(|v| v.0 as u64));
+    }
+
+    fn sort_keys(&self, s: &Self::State, dim: SymDim, keys: &mut SortKeyBuf) -> Option<usize> {
+        let d = self.depth() as usize;
+        keys.clear();
+        match dim {
+            // Proc keys are whole store-buffer chunks; mem is
+            // proc-invariant.
+            SymDim::Procs => {
+                for chunk in s.buf.chunks(d) {
+                    keys.begin_key();
+                    for e in chunk {
+                        keys.push(e.map_or(u64::MAX, |(b, v)| (b as u64) << 8 | v.0 as u64));
+                    }
+                }
+                Some(s.buf.len() + s.mem.len())
+            }
+            // Block numbers occur inside the buffered-store words (which
+            // precede mem), and values inside every data word.
+            SymDim::Blocks | SymDim::Values => None,
+        }
     }
 }
 
@@ -478,6 +721,51 @@ impl Symmetry for LazyCaching {
                 (b as u64) << 16 | (v.0 as u64) << 8 | star as u64
             })
         }));
+    }
+
+    fn sort_keys(&self, s: &Self::State, dim: SymDim, keys: &mut SortKeyBuf) -> Option<usize> {
+        let pr = self.params();
+        let (p, b) = (pr.p as usize, pr.b as usize);
+        let (qo, qi) = (self.out_depth() as usize, self.in_depth() as usize);
+        keys.clear();
+        match dim {
+            // Proc keys span three segments — cache row, out-queue chunk,
+            // in-queue chunk — with the proc-invariant mem array between
+            // the first two. Segment-uniform, so the composite sort is
+            // exact over the whole encoding.
+            SymDim::Procs => {
+                for pi in 0..p {
+                    keys.begin_key();
+                    for bi in 0..b {
+                        keys.push(s.cache[pi * b + bi].map_or(u64::MAX, |v| v.0 as u64));
+                    }
+                    for e in &s.out[pi * qo..(pi + 1) * qo] {
+                        keys.push(e.map_or(u64::MAX, |(blk, v)| (blk as u64) << 8 | v.0 as u64));
+                    }
+                    for e in &s.inq[pi * qi..(pi + 1) * qi] {
+                        keys.push(e.map_or(u64::MAX, |(blk, v, star)| {
+                            (blk as u64) << 16 | (v.0 as u64) << 8 | star as u64
+                        }));
+                    }
+                }
+                Some(p * b + b + p * qo + p * qi)
+            }
+            // Block keys cover the cache columns and mem word; the queue
+            // entries carry block numbers *inside* their words, so the
+            // positional prefix stops at mem and the queues are resolved
+            // by the residual enumeration's full comparison.
+            SymDim::Blocks => {
+                for bi in 0..b {
+                    keys.begin_key();
+                    for pi in 0..p {
+                        keys.push(s.cache[pi * b + bi].map_or(u64::MAX, |v| v.0 as u64));
+                    }
+                    keys.push(s.mem[bi].0 as u64);
+                }
+                Some(p * b + b)
+            }
+            SymDim::Values => None,
+        }
     }
 }
 
@@ -564,6 +852,122 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The `sort_keys` contract, checked by brute force: for every
+    /// supported dimension and every reachable state on a random walk,
+    /// the stably-sorted key order must achieve the lexicographically
+    /// minimal `covered`-prefix over *all* perms of that dimension, and
+    /// the tie runs (fed through `ResidualEnum`) must reproduce the exact
+    /// argmin set — no winning arrangement missed, none invented.
+    fn check_sort_keys<P: Symmetry + Clone>(proto: &P, seed: u64, steps: usize) {
+        use scv_types::ResidualEnum;
+        let dims = proto.symmetry_dims();
+        let params = proto.params();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut r = Runner::new(proto.clone());
+        let id = |n: u8| (0..n).collect::<Vec<u8>>();
+        let single = |dim: SymDim, fwd: &[u8]| match dim {
+            SymDim::Procs => SymPerm::from_parts(fwd.to_vec(), id(params.b), id(params.v)),
+            SymDim::Blocks => SymPerm::from_parts(id(params.p), fwd.to_vec(), id(params.v)),
+            SymDim::Values => SymPerm::from_parts(id(params.p), id(params.b), fwd.to_vec()),
+        };
+        let mut supported = 0;
+        for _ in 0..steps {
+            let s = r.state().clone();
+            for dim in SymDim::ALL {
+                if !dims.has(dim) {
+                    continue;
+                }
+                let mut keys = SortKeyBuf::new();
+                let Some(covered) = proto.sort_keys(&s, dim, &mut keys) else {
+                    continue;
+                };
+                supported += 1;
+                let n = dim.count(params) as usize;
+                assert_eq!(keys.len(), n, "one key per element");
+                let full = enc(proto, &s);
+                assert!(covered <= full.len(), "covered prefix within encoding");
+                // Brute force: every single-dimension perm's prefix.
+                let mut all = ResidualEnum::new();
+                let order: Vec<u8> = (0..n as u8).collect();
+                let runs = if n >= 2 {
+                    vec![(0u32, n as u32)]
+                } else {
+                    vec![]
+                };
+                all.reset(&order, &runs);
+                let mut best: Option<Vec<u64>> = None;
+                let mut argmin: Vec<Vec<u8>> = Vec::new();
+                while let Some(arr) = all.next() {
+                    // arr[rank] = element ⇒ fwd[element] = rank.
+                    let mut fwd = vec![0u8; n];
+                    for (rank, &el) in arr.iter().enumerate() {
+                        fwd[el as usize] = rank as u8;
+                    }
+                    let g = single(dim, &fwd);
+                    let e = enc(proto, &proto.permute_state(&s, &g));
+                    assert_eq!(e.len(), full.len(), "perms preserve length");
+                    let pre = e[..covered].to_vec();
+                    match &mut best {
+                        None => {
+                            best = Some(pre);
+                            argmin.push(arr.to_vec());
+                        }
+                        Some(b) if pre < *b => {
+                            *b = pre;
+                            argmin.clear();
+                            argmin.push(arr.to_vec());
+                        }
+                        Some(b) if pre == *b => argmin.push(arr.to_vec()),
+                        _ => {}
+                    }
+                }
+                // Prediction: stable sort by composite key; tie runs give
+                // the residual subgroup.
+                let mut pred: Vec<u8> = (0..n as u8).collect();
+                pred.sort_by(|&x, &y| keys.key(x as usize).cmp(keys.key(y as usize)));
+                let mut runs: Vec<(u32, u32)> = Vec::new();
+                let mut start = 0usize;
+                for i in 1..=n {
+                    if i == n || keys.key(pred[i] as usize) != keys.key(pred[start] as usize) {
+                        if i - start >= 2 {
+                            runs.push((start as u32, (i - start) as u32));
+                        }
+                        start = i;
+                    }
+                }
+                let mut re = ResidualEnum::new();
+                re.reset(&pred, &runs);
+                let mut predicted: Vec<Vec<u8>> = Vec::new();
+                while let Some(a) = re.next() {
+                    predicted.push(a.to_vec());
+                }
+                predicted.sort_unstable();
+                argmin.sort_unstable();
+                assert_eq!(
+                    predicted, argmin,
+                    "sorted-key argmin set must equal brute force for {dim:?}"
+                );
+            }
+            if !r.step_random(&mut rng) {
+                break;
+            }
+        }
+        assert!(supported > 0, "protocol supports no sortable dimension");
+    }
+
+    #[test]
+    fn sort_keys_match_brute_force_argmin_on_the_zoo() {
+        check_sort_keys(&SerialMemory::new(Params::new(3, 2, 2)), 51, 25);
+        check_sort_keys(&MsiProtocol::new(Params::new(3, 2, 2)), 52, 25);
+        check_sort_keys(&MsiProtocol::buggy(Params::new(3, 2, 2)), 53, 25);
+        check_sort_keys(&MesiProtocol::new(Params::new(3, 2, 2)), 54, 25);
+        check_sort_keys(&MesiProtocol::buggy(Params::new(3, 2, 2)), 55, 25);
+        check_sort_keys(&DirectoryProtocol::new(Params::new(3, 2, 2)), 56, 25);
+        check_sort_keys(&Fig4Protocol::new(Params::new(3, 2, 2), 2), 57, 25);
+        check_sort_keys(&StoreBufferTso::new(Params::new(3, 2, 2), 2), 58, 25);
+        check_sort_keys(&LazyCaching::new(Params::new(3, 2, 2), 2, 2), 59, 25);
     }
 
     #[test]

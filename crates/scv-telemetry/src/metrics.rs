@@ -79,10 +79,23 @@ pub enum Metric {
     ///
     /// [`Budget`]: https://docs.rs/scv-mc (run-control module)
     McBudgetTrips,
+    /// Canonicalizations fully resolved by the sort-based refinement fast
+    /// path: the per-element signature sort was discriminating enough
+    /// that exactly one orbit candidate survived per outer coset.
+    SymRefineExact,
+    /// Canonicalizations that had to enumerate a non-trivial residual
+    /// subgroup (tied refinement cells) after the sort-based fast path.
+    SymResidualEnum,
+    /// Shared striped seal-cache (L2) hits: canonicalizations answered
+    /// from a peer worker's earlier seal.
+    SealCacheL2Hits,
+    /// Shared striped seal-cache (L2) misses (the state then paid for a
+    /// canonicalization and populated the cache for all workers).
+    SealCacheL2Misses,
 }
 
 /// All metrics, in declaration order (keep in sync with [`Metric`]).
-pub const ALL_METRICS: [Metric; 25] = [
+pub const ALL_METRICS: [Metric; 29] = [
     Metric::McStatesAdmitted,
     Metric::McTransitions,
     Metric::McStatesExpanded,
@@ -108,6 +121,10 @@ pub const ALL_METRICS: [Metric; 25] = [
     Metric::McArenaAllocBytes,
     Metric::McCheckpointBytes,
     Metric::McBudgetTrips,
+    Metric::SymRefineExact,
+    Metric::SymResidualEnum,
+    Metric::SealCacheL2Hits,
+    Metric::SealCacheL2Misses,
 ];
 
 impl Metric {
@@ -139,6 +156,10 @@ impl Metric {
             Metric::McArenaAllocBytes => "mc.arena_alloc_bytes",
             Metric::McCheckpointBytes => "mc.checkpoint_bytes",
             Metric::McBudgetTrips => "mc.budget_trips",
+            Metric::SymRefineExact => "symmetry.refine_exact",
+            Metric::SymResidualEnum => "symmetry.residual_enum",
+            Metric::SealCacheL2Hits => "symmetry.seal_cache_l2_hits",
+            Metric::SealCacheL2Misses => "symmetry.seal_cache_l2_misses",
         }
     }
 }
@@ -157,14 +178,18 @@ pub enum Hist {
     /// Orbit size (group order / stabilizer order) per canonicalized
     /// product state — how much each state's orbit collapses.
     SymOrbitSize,
+    /// Residual-coset size enumerated per canonicalized state after
+    /// sort-based refinement — 1 means the sort alone was discriminating.
+    SymResidualGroupSize,
 }
 
 /// All histograms, in declaration order (keep in sync with [`Hist`]).
-pub const ALL_HISTS: [Hist; 4] = [
+pub const ALL_HISTS: [Hist; 5] = [
     Hist::SeenProbeLen,
     Hist::SeenBatchYield,
     Hist::McQueueDepth,
     Hist::SymOrbitSize,
+    Hist::SymResidualGroupSize,
 ];
 
 impl Hist {
@@ -175,6 +200,7 @@ impl Hist {
             Hist::SeenBatchYield => "seen.batch_yield",
             Hist::McQueueDepth => "mc.queue_depth",
             Hist::SymOrbitSize => "symmetry.orbit_size",
+            Hist::SymResidualGroupSize => "symmetry.residual_group_size",
         }
     }
 }

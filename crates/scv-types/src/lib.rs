@@ -23,5 +23,5 @@ pub mod trace;
 
 pub use ids::{BlockId, Params, ProcId, Value};
 pub use op::{Op, OpKind};
-pub use perm::{Reordering, SymDims, SymPerm};
+pub use perm::{Reordering, ResidualEnum, SortKeyBuf, SymDim, SymDims, SymPerm};
 pub use trace::Trace;

@@ -149,6 +149,52 @@ impl SymDims {
     pub fn any(self) -> bool {
         self.procs || self.blocks || self.values
     }
+
+    /// Is `dim` enabled?
+    pub fn has(self, dim: SymDim) -> bool {
+        match dim {
+            SymDim::Procs => self.procs,
+            SymDim::Blocks => self.blocks,
+            SymDim::Values => self.values,
+        }
+    }
+
+    /// Return a copy with `dim` set to `on`.
+    pub fn with(self, dim: SymDim, on: bool) -> SymDims {
+        let mut d = self;
+        match dim {
+            SymDim::Procs => d.procs = on,
+            SymDim::Blocks => d.blocks = on,
+            SymDim::Values => d.values = on,
+        }
+        d
+    }
+}
+
+/// One of the three symmetric identity dimensions of [`SymDims`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SymDim {
+    /// Processor identities.
+    Procs,
+    /// Memory-block identities.
+    Blocks,
+    /// Data values (`⊥` is a fixed point).
+    Values,
+}
+
+impl SymDim {
+    /// All three dimensions, in a fixed order.
+    pub const ALL: [SymDim; 3] = [SymDim::Procs, SymDim::Blocks, SymDim::Values];
+
+    /// The number of interchangeable elements of this dimension under
+    /// `params`.
+    pub fn count(self, params: Params) -> u8 {
+        match self {
+            SymDim::Procs => params.p,
+            SymDim::Blocks => params.b,
+            SymDim::Values => params.v,
+        }
+    }
 }
 
 /// A simultaneous renaming of processor, block, and value identities —
@@ -237,6 +283,57 @@ impl SymPerm {
         }
     }
 
+    /// Overwrite this renaming in place from 0-based forward maps,
+    /// reusing the existing allocations — the hot-loop counterpart of
+    /// [`SymPerm::from_parts`] for canonicalization scratch buffers.
+    ///
+    /// Permutation validity is only checked under `debug_assertions`;
+    /// callers produce the maps from rank arrays that are permutations by
+    /// construction.
+    pub fn assign_parts(&mut self, proc: &[u8], block: &[u8], value: &[u8]) {
+        #[cfg(debug_assertions)]
+        for part in [proc, block, value] {
+            let mut seen = vec![false; part.len()];
+            for &j in part {
+                assert!(
+                    (j as usize) < part.len() && !seen[j as usize],
+                    "not a permutation"
+                );
+                seen[j as usize] = true;
+            }
+        }
+        fn set(dst: &mut Vec<u8>, inv: &mut Vec<u8>, src: &[u8]) {
+            dst.clear();
+            dst.extend_from_slice(src);
+            inv.clear();
+            inv.resize(src.len(), 0);
+            for (i, &j) in src.iter().enumerate() {
+                inv[j as usize] = i as u8;
+            }
+        }
+        set(&mut self.proc, &mut self.inv_proc, proc);
+        set(&mut self.block, &mut self.inv_block, block);
+        set(&mut self.value, &mut self.inv_value, value);
+    }
+
+    /// Overwrite one dimension of this renaming in place (see
+    /// [`SymPerm::assign_parts`]).
+    pub fn assign_dim(&mut self, dim: SymDim, fwd: &[u8]) {
+        let (dst, inv) = match dim {
+            SymDim::Procs => (&mut self.proc, &mut self.inv_proc),
+            SymDim::Blocks => (&mut self.block, &mut self.inv_block),
+            SymDim::Values => (&mut self.value, &mut self.inv_value),
+        };
+        dst.clear();
+        dst.extend_from_slice(fwd);
+        inv.clear();
+        inv.resize(fwd.len(), 0);
+        for (i, &j) in fwd.iter().enumerate() {
+            debug_assert!((j as usize) < fwd.len(), "not a permutation");
+            inv[j as usize] = i as u8;
+        }
+    }
+
     /// Is this the identity on every dimension?
     pub fn is_identity(&self) -> bool {
         let id = |m: &[u8]| m.iter().enumerate().all(|(i, &j)| i as u8 == j);
@@ -270,6 +367,11 @@ impl SymPerm {
     /// Rename a 0-based block index.
     pub fn block_idx(&self, i: usize) -> usize {
         self.block[i] as usize
+    }
+
+    /// Rename a 0-based value index.
+    pub fn value_idx(&self, i: usize) -> usize {
+        self.value[i] as usize
     }
 
     /// The old processor index that lands at new index `i`.
@@ -308,24 +410,35 @@ impl SymPerm {
         f(dims.procs, params.p) * f(dims.blocks, params.b) * f(dims.values, params.v)
     }
 
+    /// Shrink `dims` until the product group fits under `cap` elements.
+    ///
+    /// Each round drops the *enabled dimension with the smallest
+    /// factorial* — the one whose loss degrades the quotient least
+    /// (dropping a dimension of `n` elements forfeits an up-to-`n!`-fold
+    /// state reduction). Ties break values → blocks → procs, matching the
+    /// historical fixed order. The result is always a whole product of
+    /// symmetric groups, i.e. a true subgroup of `S_p × S_b × S_v`, which
+    /// is what makes orbit-minimum canonicalization sound.
+    pub fn capped_dims(params: Params, dims: SymDims, cap: usize) -> SymDims {
+        let mut dims = dims;
+        while dims.any() && Self::group_order(params, dims) > cap {
+            let weakest = [SymDim::Values, SymDim::Blocks, SymDim::Procs]
+                .into_iter()
+                .filter(|&d| dims.has(d))
+                .min_by_key(|&d| factorial(d.count(params)))
+                .expect("dims.any() guarantees an enabled dimension");
+            dims = dims.with(weakest, false);
+        }
+        dims
+    }
+
     /// Enumerate the symmetry group over the enabled dimensions, identity
     /// first.
     ///
     /// If the full product group exceeds `cap` elements, whole dimensions
-    /// are dropped (values first, then blocks, then processors) until it
-    /// fits — the result is always a true subgroup of `S_p × S_b × S_v`,
-    /// which is what makes orbit-minimum canonicalization sound.
+    /// are dropped per [`SymPerm::capped_dims`] until it fits.
     pub fn group(params: Params, dims: SymDims, cap: usize) -> Vec<SymPerm> {
-        let mut dims = dims;
-        if Self::group_order(params, dims) > cap {
-            dims.values = false;
-        }
-        if Self::group_order(params, dims) > cap {
-            dims.blocks = false;
-        }
-        if Self::group_order(params, dims) > cap {
-            dims.procs = false;
-        }
+        let dims = Self::capped_dims(params, dims, cap);
         let one = |n: u8| vec![(0..n).collect::<Vec<u8>>()];
         let procs = if dims.procs {
             all_perms(params.p)
@@ -351,6 +464,161 @@ impl SymPerm {
             }
         }
         out
+    }
+}
+
+/// Reusable buffer of per-element composite sort keys for one symmetric
+/// dimension, filled by a protocol's `Symmetry::sort_keys` and consumed by
+/// the sort-based canonicalization fast path.
+///
+/// Key `i` is the sequence of `encode_state` words contributed by element
+/// `i` of the dimension, in position order. Keys are stored back-to-back
+/// in one arena so refilling allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct SortKeyBuf {
+    words: Vec<u64>,
+    starts: Vec<u32>,
+}
+
+impl SortKeyBuf {
+    /// Empty buffer.
+    pub fn new() -> SortKeyBuf {
+        SortKeyBuf::default()
+    }
+
+    /// Drop all keys (allocations are retained).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.starts.clear();
+    }
+
+    /// Start the key of the next element.
+    pub fn begin_key(&mut self) {
+        self.starts.push(self.words.len() as u32);
+    }
+
+    /// Append one word to the key opened by the last `begin_key`.
+    pub fn push(&mut self, w: u64) {
+        debug_assert!(!self.starts.is_empty(), "push before begin_key");
+        self.words.push(w);
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Are there no keys?
+    pub fn is_empty(&self) -> bool {
+        self.starts.is_empty()
+    }
+
+    /// The key of element `i`.
+    pub fn key(&self, i: usize) -> &[u64] {
+        let lo = self.starts[i] as usize;
+        let hi = self
+            .starts
+            .get(i + 1)
+            .map_or(self.words.len(), |&s| s as usize);
+        &self.words[lo..hi]
+    }
+}
+
+/// Enumerator of the *residual subgroup* left over after sort-based
+/// refinement: the product of symmetric groups on the tied cells of a
+/// sorted element order.
+///
+/// `reset(order, runs)` takes the refined arrangement (`order[rank]` = the
+/// element placed at that rank) and the maximal runs of ranks whose sort
+/// keys tied; `next()` then yields every arrangement obtained by permuting
+/// elements *within* each tied run — `∏ len(run)!` arrangements in total,
+/// the refined one first. Runs advance odometer-style via the classic
+/// next-permutation step, so enumeration is allocation-free after `reset`.
+#[derive(Debug, Default)]
+pub struct ResidualEnum {
+    cur: Vec<u8>,
+    runs: Vec<(u32, u32)>,
+    started: bool,
+    done: bool,
+}
+
+/// Advance `seg` to its next permutation in lexicographic order; returns
+/// false (leaving `seg` sorted ascending, i.e. wrapped around) when `seg`
+/// was the last one.
+fn next_permutation(seg: &mut [u8]) -> bool {
+    if seg.len() < 2 {
+        return false;
+    }
+    let mut i = seg.len() - 1;
+    while i > 0 && seg[i - 1] >= seg[i] {
+        i -= 1;
+    }
+    if i == 0 {
+        seg.reverse();
+        return false;
+    }
+    let mut j = seg.len() - 1;
+    while seg[j] <= seg[i - 1] {
+        j -= 1;
+    }
+    seg.swap(i - 1, j);
+    seg[i..].reverse();
+    true
+}
+
+impl ResidualEnum {
+    /// Empty enumerator; call `reset` before use.
+    pub fn new() -> ResidualEnum {
+        ResidualEnum::default()
+    }
+
+    /// Load a refined arrangement and its tied runs (`(start, len)` rank
+    /// ranges, each of length ≥ 2). Within each run the elements are
+    /// sorted ascending so the odometer starts from each run's first
+    /// permutation.
+    pub fn reset(&mut self, order: &[u8], runs: &[(u32, u32)]) {
+        self.cur.clear();
+        self.cur.extend_from_slice(order);
+        self.runs.clear();
+        self.runs.extend_from_slice(runs);
+        for &(s, l) in &self.runs {
+            debug_assert!(l >= 2 && (s + l) as usize <= order.len());
+            self.cur[s as usize..(s + l) as usize].sort_unstable();
+        }
+        self.started = false;
+        self.done = false;
+    }
+
+    /// Total number of arrangements this enumerator will yield.
+    pub fn count(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|&(_, l)| (1..=l as u64).product::<u64>())
+            .product()
+    }
+
+    /// The next arrangement (`slice[rank]` = element), or `None` when all
+    /// `count()` arrangements have been yielded.
+    ///
+    /// Not an `Iterator`: the yielded slice borrows the enumerator's own
+    /// scratch buffer (a lending iterator), which the trait cannot express.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<&[u8]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.cur);
+        }
+        for &(s, l) in &self.runs {
+            if next_permutation(&mut self.cur[s as usize..(s + l) as usize]) {
+                return Some(&self.cur);
+            }
+            // This run wrapped back to sorted order; carry into the next.
+        }
+        self.done = true;
+        None
     }
 }
 
@@ -464,8 +732,9 @@ mod tests {
     #[test]
     fn sym_group_cap_drops_whole_dimensions() {
         let params = Params::new(4, 3, 3);
-        // 4!·3!·3! = 864 > 200 → drop values → 144; still > 100 → drop
-        // blocks → 24.
+        // 4!·3!·3! = 864 > 200 → values and blocks tie as weakest (3! each,
+        // tie-break prefers values) → drop values → 144; still > 100 →
+        // drop blocks → 24.
         let g = SymPerm::group(params, SymDims::FULL, 200);
         assert_eq!(g.len(), 24 * 6);
         let g = SymPerm::group(params, SymDims::FULL, 100);
@@ -476,6 +745,89 @@ mod tests {
                 assert!(g.contains(&a.compose(b)));
             }
         }
+    }
+
+    #[test]
+    fn capped_dims_drops_least_valuable_dimension_first() {
+        // (p,b,v) = (2,3,3): 2!·3!·3! = 72 > 40. The weakest enabled
+        // dimension is procs (2! = 2 < 3!), so the least-reduction policy
+        // drops procs and keeps 3!·3! = 36 — the historical fixed
+        // values→blocks order would have kept only 2!·3! = 12.
+        let params = Params::new(2, 3, 3);
+        let d = SymPerm::capped_dims(params, SymDims::FULL, 40);
+        assert!(!d.procs && d.blocks && d.values);
+        assert_eq!(SymPerm::group_order(params, d), 36);
+        // Under the cap nothing is dropped; over any bound everything is.
+        assert_eq!(
+            SymPerm::capped_dims(params, SymDims::FULL, 72),
+            SymDims::FULL
+        );
+        assert_eq!(
+            SymPerm::capped_dims(params, SymDims::FULL, 0),
+            SymDims::NONE
+        );
+    }
+
+    #[test]
+    fn residual_enum_yields_product_of_run_factorials() {
+        // Arrangement [3,1,2,0,4] with tied runs at ranks 0..2 and 2..5
+        // (lengths 2 and 3): 2!·3! = 12 distinct arrangements, each a
+        // permutation within its runs only.
+        let mut re = ResidualEnum::new();
+        re.reset(&[3, 1, 2, 0, 4], &[(0, 2), (2, 3)]);
+        assert_eq!(re.count(), 12);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(a) = re.next() {
+            assert_eq!(a.len(), 5);
+            let mut r0 = [a[0], a[1]];
+            let mut r1 = [a[2], a[3], a[4]];
+            r0.sort_unstable();
+            r1.sort_unstable();
+            assert_eq!(r0, [1, 3], "run 0 permutes only its own elements");
+            assert_eq!(r1, [0, 2, 4], "run 1 permutes only its own elements");
+            assert!(seen.insert(a.to_vec()), "arrangement repeated");
+        }
+        assert_eq!(seen.len(), 12);
+        // No runs → exactly the input arrangement, once.
+        re.reset(&[2, 0, 1], &[]);
+        assert_eq!(re.count(), 1);
+        assert_eq!(re.next(), Some(&[2, 0, 1][..]));
+        assert_eq!(re.next(), None);
+    }
+
+    #[test]
+    fn assign_parts_matches_from_parts() {
+        let mut p = SymPerm::identity(Params::new(3, 2, 2));
+        p.assign_parts(&[2, 0, 1], &[1, 0], &[0, 1]);
+        assert_eq!(
+            p,
+            SymPerm::from_parts(vec![2, 0, 1], vec![1, 0], vec![0, 1])
+        );
+        p.assign_dim(SymDim::Procs, &[1, 2, 0]);
+        assert_eq!(
+            p,
+            SymPerm::from_parts(vec![1, 2, 0], vec![1, 0], vec![0, 1])
+        );
+        for i in 0..3 {
+            assert_eq!(p.inv_proc_idx(p.proc_idx(i)), i);
+        }
+    }
+
+    #[test]
+    fn sort_key_buf_round_trips_keys() {
+        let mut kb = SortKeyBuf::new();
+        kb.begin_key();
+        kb.push(7);
+        kb.push(8);
+        kb.begin_key();
+        kb.begin_key();
+        kb.push(9);
+        assert_eq!(kb.len(), 3);
+        assert_eq!(kb.key(0), &[7, 8]);
+        assert_eq!(kb.key(1), &[] as &[u64]);
+        assert_eq!(kb.key(2), &[9]);
+        kb.clear();
+        assert!(kb.is_empty());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! ```text
 //! scv verify <protocol> [-p N] [-b N] [-v N] [--threads N] [--max-states N]
 //!                       [--strategy ws|level-sync] [--batch N]
-//!                       [--symmetry off|proc|full] [--expand lazy|eager]
+//!                       [--symmetry off|proc|full|full-enum] [--expand lazy|eager]
 //!                       [--timeout SECS] [--checkpoint PATH]
 //!                       [--checkpoint-every SECS] [--resume PATH]
 //!                       # --timeout trips to an Inconclusive verdict (exit 3)
@@ -182,7 +182,7 @@ impl Args {
                     } else if other == "--symmetry" {
                         Some(
                             it.next()
-                                .ok_or("--symmetry needs a value (off | proc | full)")?
+                                .ok_or("--symmetry needs a value (off | proc | full | full-enum)")?
                                 .clone(),
                         )
                     } else {
@@ -192,8 +192,11 @@ impl Args {
                         Some("off") => a.symmetry = SymmetryMode::Off,
                         Some("proc") => a.symmetry = SymmetryMode::Proc,
                         Some("full") => a.symmetry = SymmetryMode::Full,
+                        Some("full-enum") => a.symmetry = SymmetryMode::FullEnum,
                         Some(v) => {
-                            return Err(format!("unknown symmetry mode `{v}` (off | proc | full)"))
+                            return Err(format!(
+                                "unknown symmetry mode `{v}` (off | proc | full | full-enum)"
+                            ))
                         }
                         None => return Err(format!("unknown flag {other}")),
                     }
